@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation: banks per task under the co-design (paper footnote 11:
+ * "we have experimented with 4 and 2 banks as well; while they
+ * improve performance, the improvements are not as high as the
+ * 6 banks case").
+ */
+
+#include "bench_util.hh"
+
+using namespace refsched;
+using namespace refsched::bench;
+using core::Policy;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parseArgs(argc, argv);
+    const auto workloads = workloadNames(opts);
+    const auto density = dram::DensityGb::d32;
+
+    std::cout << "Ablation: banks/task (per rank) under the "
+                 "co-design, vs all-bank (32Gb)\n\n";
+
+    core::Table table({"banks/task", "geomean vs all-bank"});
+    for (int banks : {2, 4, 6, 7}) {
+        std::vector<double> speedups;
+        for (const auto &wl : workloads) {
+            const auto base =
+                runCell(opts, wl, Policy::AllBank, density);
+            auto cfg = core::makeConfig(wl, Policy::CoDesign, density,
+                                        milliseconds(64.0), 2, 4,
+                                        opts.timeScale);
+            cfg.banksPerTaskPerRank = banks;
+            core::RunOptions run;
+            run.warmupQuanta = opts.warmupQuanta;
+            run.measureQuanta = opts.measureQuanta;
+            const auto cd = core::runOnce(cfg, run);
+            speedups.push_back(cd.speedupOver(base));
+        }
+        table.addRow({std::to_string(banks),
+                      core::pctImprovement(geomean(speedups))});
+    }
+
+    emit(opts, table);
+    std::cout << "\nPaper reference: 6 banks/task is the sweet spot "
+                 "at 1:4 consolidation\n(footnote 11).\n";
+    return 0;
+}

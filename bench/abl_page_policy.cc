@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation: open-page vs closed-page row-buffer management under the
+ * baseline and the co-design (the paper's Table 1 uses open-page;
+ * related work debates the policy, e.g. Kaseridis et al.'s
+ * minimalist open-page).
+ *
+ * Expectation: open-page wins whenever workloads have row locality
+ * (streams); closed-page narrows the gap for purely random mixes.
+ * The co-design's benefit is orthogonal: it survives either policy.
+ */
+
+#include "bench_util.hh"
+
+using namespace refsched;
+using namespace refsched::bench;
+using core::Policy;
+
+namespace
+{
+
+core::Metrics
+runWith(const BenchOptions &opts, const std::string &wl, Policy policy,
+        memctrl::PagePolicy page)
+{
+    auto cfg = core::makeConfig(wl, policy, dram::DensityGb::d32,
+                                milliseconds(64.0), 2, 4,
+                                opts.timeScale);
+    cfg.mcParams.pagePolicy = page;
+    core::RunOptions run;
+    run.warmupQuanta = opts.warmupQuanta;
+    run.measureQuanta = opts.measureQuanta;
+    return core::runOnce(cfg, run);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parseArgs(argc, argv);
+    const auto workloads = workloadNames(opts);
+
+    std::cout << "Ablation: open-page vs closed-page row policy "
+                 "(32Gb)\n\n";
+
+    core::Table table({"workload", "open row-hit", "open IPC",
+                       "closed IPC", "closed vs open",
+                       "co-design gain (open)",
+                       "co-design gain (closed)"});
+    for (const auto &wl : workloads) {
+        const auto abOpen = runWith(opts, wl, Policy::AllBank,
+                                    memctrl::PagePolicy::Open);
+        const auto abClosed = runWith(opts, wl, Policy::AllBank,
+                                      memctrl::PagePolicy::Closed);
+        const auto cdOpen = runWith(opts, wl, Policy::CoDesign,
+                                    memctrl::PagePolicy::Open);
+        const auto cdClosed = runWith(opts, wl, Policy::CoDesign,
+                                      memctrl::PagePolicy::Closed);
+        table.addRow(
+            {wl, core::fmt(abOpen.rowHitRate * 100.0, 1) + "%",
+             core::fmt(abOpen.harmonicMeanIpc),
+             core::fmt(abClosed.harmonicMeanIpc),
+             core::pctImprovement(abClosed.speedupOver(abOpen)),
+             core::pctImprovement(cdOpen.speedupOver(abOpen)),
+             core::pctImprovement(cdClosed.speedupOver(abClosed))});
+    }
+
+    emit(opts, table);
+    return 0;
+}

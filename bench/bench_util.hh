@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction benches.
+ *
+ * Every bench accepts:
+ *   --full        run all ten Table 2 workloads (default: a
+ *                 representative five covering H/M/L classes)
+ *   --scale N     ratio-preserving timeScale (default 128)
+ *   --csv         emit CSV instead of an aligned table
+ *
+ * Runs are deterministic; the same invocation always reproduces the
+ * same numbers.
+ */
+
+#ifndef REFSCHED_BENCH_BENCH_UTIL_HH
+#define REFSCHED_BENCH_BENCH_UTIL_HH
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workload/workloads.hh"
+
+namespace refsched::bench
+{
+
+struct BenchOptions
+{
+    bool full = false;
+    bool csv = false;
+    unsigned timeScale = 128;
+    int warmupQuanta = 8;
+    int measureQuanta = 16;
+};
+
+inline BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            opts.full = true;
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opts.csv = true;
+        } else if (std::strcmp(argv[i], "--scale") == 0
+                   && i + 1 < argc) {
+            opts.timeScale =
+                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else {
+            std::cerr << "usage: " << argv[0]
+                      << " [--full] [--csv] [--scale N]\n";
+            std::exit(2);
+        }
+    }
+    return opts;
+}
+
+/** Workloads to evaluate: all ten, or a class-covering subset. */
+inline std::vector<std::string>
+workloadNames(const BenchOptions &opts)
+{
+    if (opts.full) {
+        std::vector<std::string> names;
+        for (const auto &wl : workload::table2Workloads())
+            names.push_back(wl.name);
+        return names;
+    }
+    return {"WL-1", "WL-2", "WL-5", "WL-8", "WL-10"};
+}
+
+/** Run one experiment cell with the bench's standard lengths. */
+inline core::Metrics
+runCell(const BenchOptions &opts, const std::string &workload,
+        core::Policy policy, dram::DensityGb density,
+        Tick tREFW = milliseconds(64.0), int numCores = 2,
+        int tasksPerCore = 4)
+{
+    auto cfg = core::makeConfig(workload, policy, density, tREFW,
+                                numCores, tasksPerCore,
+                                opts.timeScale);
+    core::RunOptions run;
+    run.warmupQuanta = opts.warmupQuanta;
+    run.measureQuanta = opts.measureQuanta;
+    return core::runOnce(cfg, run);
+}
+
+inline void
+emit(const BenchOptions &opts, const core::Table &table)
+{
+    if (opts.csv)
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+}
+
+/** Geometric mean of a vector of ratios. */
+inline double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double product = 1.0;
+    for (double x : xs)
+        product *= x;
+    return std::pow(product, 1.0 / static_cast<double>(xs.size()));
+}
+
+} // namespace refsched::bench
+
+#endif // REFSCHED_BENCH_BENCH_UTIL_HH

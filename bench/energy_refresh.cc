@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Extension bench: DRAM energy across refresh policies.
+ *
+ * Refresh energy itself is policy-invariant (the same rows are
+ * refreshed either way); what changes is how much *work* is done in
+ * the same wall-clock window.  The comparison metric is therefore
+ * energy per committed instruction (pJ/instr): masking refresh
+ * overheads lets the co-design amortize the fixed refresh+background
+ * energy over more instructions, improving system-level efficiency
+ * -- the energy framing used by Coordinated Refresh (Bhati et al.,
+ * ISLPED'13) among the paper's related work.
+ */
+
+#include "bench_util.hh"
+
+using namespace refsched;
+using namespace refsched::bench;
+using core::Policy;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parseArgs(argc, argv);
+    const auto workloads = workloadNames(opts);
+    const auto density = dram::DensityGb::d32;
+
+    std::cout << "DRAM energy by refresh policy (32Gb, measured "
+                 "window)\n\n";
+
+    core::Table table({"workload", "policy", "total (mJ)",
+                       "refresh share", "pJ/instr",
+                       "EPI vs all-bank"});
+    for (const auto &wl : workloads) {
+        const auto base = runCell(opts, wl, Policy::AllBank, density);
+        for (auto policy : {Policy::AllBank, Policy::PerBank,
+                            Policy::CoDesign, Policy::NoRefresh}) {
+            const auto m = policy == Policy::AllBank
+                ? base
+                : runCell(opts, wl, policy, density);
+            table.addRow(
+                {wl, toString(policy),
+                 core::fmt(m.energy.totalPj() / 1e9, 3),
+                 core::fmt(m.energy.refreshShare() * 100.0, 1) + "%",
+                 core::fmt(m.energyPerInstructionPj, 1),
+                 core::pctImprovement(base.energyPerInstructionPj
+                                      / m.energyPerInstructionPj)});
+        }
+    }
+
+    emit(opts, table);
+    std::cout << "\nExpectation: total refresh picojoules are nearly "
+                 "identical across refreshing\npolicies (row "
+                 "coverage is fixed); the co-design's EPI advantage "
+                 "comes from doing\nmore work per window.\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 4: IPC when each task is confined to a subset of the 8
+ * banks per rank AND all refresh overheads are eliminated,
+ * normalized to the all-bank-refresh baseline where tasks span all
+ * banks.
+ *
+ * Paper shape: with high densities (16/24/32 Gb), confining tasks to
+ * >= 4 banks per rank still beats the all-bank baseline (the saved
+ * tRFC outweighs the lost BLP); at 8 Gb, where refresh is cheap,
+ * confinement to few banks loses.
+ */
+
+#include "bench_util.hh"
+
+using namespace refsched;
+using namespace refsched::bench;
+using core::Policy;
+
+namespace
+{
+
+core::Metrics
+runConfined(const BenchOptions &opts, const std::string &wl,
+            dram::DensityGb density, int banksPerTask)
+{
+    auto cfg = core::makeConfig(wl, Policy::NoRefresh, density,
+                                milliseconds(64.0), 2, 4,
+                                opts.timeScale);
+    if (banksPerTask < 8) {
+        cfg.partitioning = core::Partitioning::Soft;
+        cfg.banksPerTaskPerRank = banksPerTask;
+    }
+    core::RunOptions run;
+    run.warmupQuanta = opts.warmupQuanta;
+    run.measureQuanta = opts.measureQuanta;
+    return core::runOnce(cfg, run);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opts = parseArgs(argc, argv);
+
+    // Fig. 4 is about BLP of memory-intensive tasks.
+    const std::vector<std::string> workloads =
+        opts.full ? workloadNames(opts)
+                  : std::vector<std::string>{"WL-1", "WL-5", "WL-8"};
+
+    std::cout << "Figure 4: IPC with k banks/task per rank and all "
+                 "refresh eliminated,\nnormalized to the all-bank "
+                 "refresh baseline (average over "
+              << workloads.size() << " workloads)\n\n";
+
+    core::Table table({"density", "8 banks", "6 banks", "4 banks",
+                       "2 banks", "1 bank"});
+
+    for (auto density :
+         {dram::DensityGb::d8, dram::DensityGb::d16,
+          dram::DensityGb::d24, dram::DensityGb::d32}) {
+        std::vector<std::string> row{dram::toString(density)};
+        for (int banks : {8, 6, 4, 2, 1}) {
+            std::vector<double> speedups;
+            for (const auto &wl : workloads) {
+                const auto base =
+                    runCell(opts, wl, Policy::AllBank, density);
+                const auto confined =
+                    runConfined(opts, wl, density, banks);
+                speedups.push_back(confined.speedupOver(base));
+            }
+            row.push_back(core::pctImprovement(geomean(speedups)));
+        }
+        table.addRow(row);
+    }
+
+    emit(opts, table);
+    std::cout << "\nPaper reference: >= 4 banks/task still wins at "
+                 "16/24/32 Gb once tRFC is\neliminated; at 8 Gb "
+                 "confinement to few banks degrades (footnote 4).\n";
+    return 0;
+}

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot substrate operations:
+ * the red-black tree, buddy allocator, event queue, cache, trace
+ * generation, and memory-controller throughput.  These guard against
+ * performance regressions in the simulator itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache.hh"
+#include "dram/refresh_scheduler.hh"
+#include "memctrl/memory_controller.hh"
+#include "os/buddy_allocator.hh"
+#include "os/cfs_runqueue.hh"
+#include "os/rbtree.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/rng.hh"
+#include "workload/trace_generator.hh"
+
+using namespace refsched;
+
+namespace
+{
+
+void
+BM_RbTreeInsertErase(benchmark::State &state)
+{
+    os::RbTree<std::uint64_t, int> tree;
+    Rng rng(1);
+    std::vector<decltype(tree)::Node *> nodes;
+    for (std::int64_t i = 0; i < state.range(0); ++i)
+        nodes.push_back(tree.insert(rng.next(), 0));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        tree.erase(nodes[i]);
+        nodes[i] = tree.insert(rng.next(), 0);
+        i = (i + 1) % nodes.size();
+    }
+}
+BENCHMARK(BM_RbTreeInsertErase)->Arg(16)->Arg(1024);
+
+void
+BM_RbTreeLeftmost(benchmark::State &state)
+{
+    os::RbTree<std::uint64_t, int> tree;
+    Rng rng(1);
+    for (int i = 0; i < 1024; ++i)
+        tree.insert(rng.next(), 0);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.leftmost());
+}
+BENCHMARK(BM_RbTreeLeftmost);
+
+void
+BM_BuddyAllocFreePage(benchmark::State &state)
+{
+    const auto dev = dram::makeDdr3_1600(dram::DensityGb::d32,
+                                         milliseconds(64.0), 64);
+    dram::AddressMapping mapping(dev.org);
+    os::BuddyAllocator buddy(mapping);
+    os::Task task(1, "bench", mapping.totalBanks());
+    for (auto _ : state) {
+        auto pfn = buddy.allocPage(task);
+        buddy.freePage(*pfn);
+    }
+}
+BENCHMARK(BM_BuddyAllocFreePage);
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    EventQueue eq;
+    for (auto _ : state) {
+        eq.schedule(eq.now() + 10, [] {});
+        eq.runOne();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache c(cache::CacheParams{2 * kMiB, 16, 64, 20});
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            c.access(rng.below(8 * kMiB) & ~63ULL, false));
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &prof = workload::profileByName("mcf");
+    workload::SyntheticTraceGenerator gen(prof, 7, 32 * kMiB);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_RefreshSchedulerPop(benchmark::State &state)
+{
+    const auto dev = dram::makeDdr3_1600(dram::DensityGb::d32,
+                                         milliseconds(64.0), 1);
+    dram::SequentialPerBank sched(dev);
+    class IdleView : public dram::McRefreshView
+    {
+        int queuedToBank(int, int, int) const override { return 0; }
+        double channelUtilization(int) const override { return 0.0; }
+    } view;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched.pop(0, view));
+}
+BENCHMARK(BM_RefreshSchedulerPop);
+
+void
+BM_ControllerRandomReads(benchmark::State &state)
+{
+    // Steady-state open-loop random reads through the controller;
+    // reports simulated reads per wall second.
+    const auto dev = dram::makeDdr3_1600(dram::DensityGb::d32,
+                                         milliseconds(64.0), 64);
+    EventQueue eq;
+    memctrl::MemoryController mc(
+        eq, dev,
+        dram::makeRefreshScheduler(
+            dram::RefreshPolicy::PerBankRoundRobin, dev));
+    Rng rng(3);
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        if (mc.readQueueSize(0) < 32) {
+            memctrl::Request r;
+            r.paddr = rng.below(dev.org.totalBytes() / 64) * 64;
+            r.type = memctrl::Request::Type::Read;
+            r.onComplete = [&completed](Tick) { ++completed; };
+            mc.enqueue(std::move(r));
+        }
+        eq.runUntil(eq.now() + dev.timings.tCK * 4);
+    }
+    state.counters["readsCompleted"] =
+        static_cast<double>(completed);
+}
+BENCHMARK(BM_ControllerRandomReads);
+
+void
+BM_CfsEnqueueDequeue(benchmark::State &state)
+{
+    os::CfsRunQueue rq;
+    std::vector<std::unique_ptr<os::Task>> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back(std::make_unique<os::Task>(
+            static_cast<Pid>(i + 1), "t", 16));
+        rq.enqueue(tasks.back().get());
+    }
+    Tick v = 0;
+    for (auto _ : state) {
+        os::Task *t = rq.first();
+        rq.dequeue(t);
+        t->vruntime = ++v;
+        rq.enqueue(t);
+    }
+}
+BENCHMARK(BM_CfsEnqueueDequeue);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table 2: the workload mixes and their MPKI classes.
+ *
+ * Each synthetic benchmark profile is run standalone and its
+ * *measured* MPKI (L2 demand misses per kilo-instruction) is
+ * compared to the class the paper's Table 2 assigns (H > 10,
+ * 1 <= M <= 10, L < 1).
+ */
+
+#include "bench_util.hh"
+#include "workload/profile.hh"
+
+using namespace refsched;
+using namespace refsched::bench;
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parseArgs(argc, argv);
+
+    std::cout << "Benchmark profiles: measured vs intended MPKI\n\n";
+    core::Table profiles({"benchmark", "footprint (MiB)",
+                          "analytic MPKI", "measured MPKI",
+                          "measured class", "paper class"});
+
+    for (const auto &name : workload::builtinProfileNames()) {
+        const auto &prof = workload::profileByName(name);
+
+        core::SystemConfig cfg;
+        cfg.numCores = 1;
+        cfg.tasksPerCore = 1;
+        cfg.timeScale = opts.timeScale;
+        cfg.applyPolicy(core::Policy::NoRefresh);
+        cfg.benchmarks = {name};
+        core::RunOptions run;
+        run.warmupQuanta = opts.warmupQuanta;
+        run.measureQuanta = opts.measureQuanta;
+        const auto m = core::runOnce(cfg, run);
+        const double mpki = m.tasks.front().mpki;
+
+        profiles.addRow(
+            {name,
+             core::fmt(static_cast<double>(prof.footprintBytes)
+                           / static_cast<double>(kMiB),
+                       0),
+             core::fmt(prof.expectedMpki(), 1), core::fmt(mpki, 1),
+             workload::toString(
+                 workload::BenchmarkProfile::classify(mpki)),
+             workload::toString(prof.paperClass)});
+    }
+    emit(opts, profiles);
+
+    std::cout << "\nTable 2: workload mixes (dual-core 1:4)\n\n";
+    core::Table mixes({"workload", "composition", "class"});
+    for (const auto &wl : workload::table2Workloads()) {
+        std::string comp;
+        for (const auto &[bench, count] : wl.mix) {
+            if (!comp.empty())
+                comp += ", ";
+            comp += bench + "(" + std::to_string(count) + ")";
+        }
+        mixes.addRow({wl.name, comp, wl.mpkiLabel});
+    }
+    emit(opts, mixes);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Operation above 85 degC (paper section 6.4): DRAM retention halves
+ * to 32 ms, refresh runs twice as often, and the co-design's benefit
+ * roughly doubles.
+ *
+ * This example emulates a thermal excursion: the same workload is
+ * evaluated at 64 ms retention (cool) and 32 ms retention (hot), and
+ * the output shows how each policy's headroom changes -- the
+ * decision data for a system that switches scheduling policy with
+ * temperature.
+ *
+ * Usage: thermal_throttle [workload]   (default WL-10)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/report.hh"
+
+using namespace refsched;
+
+namespace
+{
+
+struct Point
+{
+    double allBank;
+    double perBank;
+    double coDesign;
+    double noRefresh;
+};
+
+Point
+measure(const std::string &workload, Tick tREFW)
+{
+    using core::Policy;
+    auto run = [&](Policy p) {
+        return core::runOnce(
+                   core::makeConfig(workload, p,
+                                    dram::DensityGb::d32, tREFW))
+            .harmonicMeanIpc;
+    };
+    return Point{run(Policy::AllBank), run(Policy::PerBank),
+                 run(Policy::CoDesign), run(Policy::NoRefresh)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "WL-10";
+
+    std::cout << "Thermal study: " << workload
+              << " at 64 ms (below 85C) vs 32 ms (above 85C) "
+                 "retention, 32Gb\n\n";
+
+    const auto cool = measure(workload, milliseconds(64.0));
+    const auto hot = measure(workload, milliseconds(32.0));
+
+    core::Table table({"policy", "IPC @64ms", "IPC @32ms",
+                       "thermal penalty", "headroom to ideal @32ms"});
+    auto row = [&](const char *name, double c, double h,
+                   double ideal) {
+        table.addRow({name, core::fmt(c), core::fmt(h),
+                      core::pctImprovement(h / c),
+                      core::pctImprovement(ideal / h)});
+    };
+    row("all-bank", cool.allBank, hot.allBank, hot.noRefresh);
+    row("per-bank", cool.perBank, hot.perBank, hot.noRefresh);
+    row("co-design", cool.coDesign, hot.coDesign, hot.noRefresh);
+    row("no-refresh (ideal)", cool.noRefresh, hot.noRefresh,
+        hot.noRefresh);
+    table.print(std::cout);
+
+    std::cout << "\nCo-design gain over all-bank: "
+              << core::pctImprovement(cool.coDesign / cool.allBank)
+              << " when cool, "
+              << core::pctImprovement(hot.coDesign / hot.allBank)
+              << " when hot.\nThe paper reports the 32 ms benefit "
+                 "roughly doubling (16.2% -> 34.1% at 32Gb);\nthe "
+                 "co-design also uses a 2 ms quantum at 32 ms so "
+                 "quanta stay aligned with\nrefresh slots (footnote "
+                 "12) -- this library derives that automatically.\n";
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "cache/cache.hh"
+
+#include "simcore/logging.hh"
+
+namespace refsched::cache
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    if (!isPowerOfTwo(params_.lineBytes))
+        fatal("cache line size must be a power of two");
+    if (params_.associativity < 1)
+        fatal("cache associativity must be >= 1");
+    numSets_ = params_.numSets();
+    if (numSets_ == 0 || !isPowerOfTwo(numSets_))
+        fatal("cache set count must be a non-zero power of two; size=",
+              params_.sizeBytes, " assoc=", params_.associativity,
+              " line=", params_.lineBytes);
+    lineShift_ = log2Exact(params_.lineBytes);
+    setBits_ = log2Exact(numSets_);
+    lines_.assign(numSets_ * static_cast<std::uint64_t>(
+                                 params_.associativity),
+                  Line{});
+}
+
+std::uint64_t
+Cache::setIndex(Addr paddr) const
+{
+    return (paddr >> lineShift_) & (numSets_ - 1);
+}
+
+Addr
+Cache::tagOf(Addr paddr) const
+{
+    return paddr >> (lineShift_ + setBits_);
+}
+
+Addr
+Cache::lineAddr(Addr tag, std::uint64_t set) const
+{
+    return ((tag << setBits_) | set) << lineShift_;
+}
+
+Cache::Line *
+Cache::find(Addr paddr)
+{
+    const std::uint64_t set = setIndex(paddr);
+    const Addr tag = tagOf(paddr);
+    Line *base =
+        &lines_[set * static_cast<std::uint64_t>(params_.associativity)];
+    for (int w = 0; w < params_.associativity; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr paddr) const
+{
+    return const_cast<Cache *>(this)->find(paddr);
+}
+
+bool
+Cache::contains(Addr paddr) const
+{
+    return find(paddr) != nullptr;
+}
+
+CacheAccessOutcome
+Cache::access(Addr paddr, bool isWrite)
+{
+    ++accesses_;
+    if (Line *line = find(paddr)) {
+        line->lastUse = ++useCounter_;
+        line->dirty |= isWrite;
+        return CacheAccessOutcome{true, false, false, 0};
+    }
+    ++misses_;
+    CacheAccessOutcome out = insert(paddr, isWrite);
+    out.hit = false;
+    return out;
+}
+
+CacheAccessOutcome
+Cache::insert(Addr paddr, bool dirty)
+{
+    CacheAccessOutcome out;
+    out.hit = false;
+
+    if (Line *line = find(paddr)) {
+        // Already present (write-back landing on a cached line).
+        line->dirty |= dirty;
+        line->lastUse = ++useCounter_;
+        return out;
+    }
+
+    const std::uint64_t set = setIndex(paddr);
+    Line *base =
+        &lines_[set * static_cast<std::uint64_t>(params_.associativity)];
+
+    Line *victim = nullptr;
+    for (int w = 0; w < params_.associativity; ++w) {
+        Line &l = base[w];
+        if (!l.valid) {
+            victim = &l;
+            break;
+        }
+        if (!victim || l.lastUse < victim->lastUse)
+            victim = &l;
+    }
+
+    if (victim->valid) {
+        out.victimValid = true;
+        out.victimDirty = victim->dirty;
+        out.victimAddr = lineAddr(victim->tag, set);
+        if (victim->dirty)
+            ++writebacks_;
+    }
+
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tagOf(paddr);
+    victim->lastUse = ++useCounter_;
+    return out;
+}
+
+bool
+Cache::invalidate(Addr paddr)
+{
+    if (Line *line = find(paddr)) {
+        const bool wasDirty = line->dirty;
+        line->valid = false;
+        line->dirty = false;
+        return wasDirty;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &l : lines_)
+        l = Line{};
+    useCounter_ = 0;
+}
+
+} // namespace refsched::cache

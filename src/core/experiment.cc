@@ -1,0 +1,33 @@
+#include "core/experiment.hh"
+
+#include "core/system.hh"
+#include "workload/workloads.hh"
+
+namespace refsched::core
+{
+
+SystemConfig
+makeConfig(const std::string &workloadName, Policy policy,
+           dram::DensityGb density, Tick tREFW, int numCores,
+           int tasksPerCore, unsigned timeScale)
+{
+    SystemConfig cfg;
+    cfg.numCores = numCores;
+    cfg.tasksPerCore = tasksPerCore;
+    cfg.density = density;
+    cfg.tREFW = tREFW;
+    cfg.timeScale = timeScale;
+    cfg.applyPolicy(policy);
+    cfg.benchmarks = workload::workloadByName(workloadName)
+                         .taskList(cfg.totalTasks());
+    return cfg;
+}
+
+Metrics
+runOnce(const SystemConfig &cfg, const RunOptions &opts)
+{
+    System system(cfg);
+    return system.run(opts.warmupQuanta, opts.measureQuanta);
+}
+
+} // namespace refsched::core

@@ -1,0 +1,30 @@
+#include "core/metrics.hh"
+
+#include <sstream>
+
+namespace refsched::core
+{
+
+double
+Metrics::avgMpki() const
+{
+    if (tasks.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &t : tasks)
+        sum += t.mpki;
+    return sum / static_cast<double>(tasks.size());
+}
+
+std::string
+Metrics::summary() const
+{
+    std::ostringstream os;
+    os << "hmeanIPC=" << harmonicMeanIpc << " avgLat="
+       << avgReadLatencyMemCycles << "cy rowHit=" << rowHitRate
+       << " refreshes=" << refreshCommands << " blocked="
+       << blockedReadFraction;
+    return os.str();
+}
+
+} // namespace refsched::core

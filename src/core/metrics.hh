@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Measured results of one experiment run.
+ *
+ * The headline metric matches the paper: harmonic mean of per-task
+ * IPC over the measured interval, reported as a speedup relative to
+ * a baseline run (all-bank refresh in most figures).  Memory
+ * latency is reported in DRAM clock cycles like Fig. 11.
+ */
+
+#ifndef REFSCHED_CORE_METRICS_HH
+#define REFSCHED_CORE_METRICS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/energy.hh"
+#include "simcore/types.hh"
+
+namespace refsched::core
+{
+
+struct TaskMetrics
+{
+    Pid pid = -1;
+    std::string benchmark;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;      ///< CPU cycles while scheduled
+    double ipc = 0.0;
+    double mpki = 0.0;             ///< L2 demand misses / kilo-instr
+    std::uint64_t dramReads = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t fallbackAllocs = 0;
+    std::uint64_t residentPages = 0;
+    std::uint64_t quantaRun = 0;
+};
+
+struct Metrics
+{
+    std::vector<TaskMetrics> tasks;
+
+    double harmonicMeanIpc = 0.0;
+    double weightedIpcSum = 0.0;   ///< plain sum of per-task IPCs
+
+    /** Average DRAM read latency in memory-clock cycles (Fig. 11). */
+    double avgReadLatencyMemCycles = 0.0;
+
+    double rowHitRate = 0.0;
+    std::uint64_t dramReads = 0;
+    std::uint64_t dramWrites = 0;
+    std::uint64_t refreshCommands = 0;
+    std::uint64_t readsBlockedByRefresh = 0;
+    double blockedReadFraction = 0.0;
+
+    // Scheduler behaviour (co-design diagnostics).
+    std::uint64_t quantaScheduled = 0;
+    std::uint64_t cleanPicks = 0;
+    std::uint64_t deferredPicks = 0;
+    std::uint64_t fallbackPicks = 0;
+    std::uint64_t bestEffortPicks = 0;
+
+    /** Fairness: (max - min vruntime) in quanta at run end. */
+    double vruntimeSpreadQuanta = 0.0;
+
+    /** DRAM energy over the measured interval (all channels). */
+    dram::EnergyBreakdown energy;
+
+    /** DRAM energy per committed instruction (pJ/instr). */
+    double energyPerInstructionPj = 0.0;
+
+    Tick measuredTicks = 0;
+
+    /** Relative performance vs a baseline (harmonic-mean IPC). */
+    double
+    speedupOver(const Metrics &base) const
+    {
+        return base.harmonicMeanIpc > 0.0
+            ? harmonicMeanIpc / base.harmonicMeanIpc
+            : 0.0;
+    }
+
+    /** Average MPKI across tasks. */
+    double avgMpki() const;
+
+    /** One-line summary for logs. */
+    std::string summary() const;
+};
+
+} // namespace refsched::core
+
+#endif // REFSCHED_CORE_METRICS_HH

@@ -1,0 +1,90 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace refsched::core
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    REFSCHED_ASSERT(cells.size() == headers_.size(),
+                    "row width mismatch: ", cells.size(), " vs ",
+                    headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto printRow = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << " " << std::left
+               << std::setw(static_cast<int>(widths[c])) << row[c]
+               << " |";
+        }
+        os << "\n";
+    };
+
+    printRow(headers_);
+    os << "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto printRow = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    printRow(headers_);
+    for (const auto &row : rows_)
+        printRow(row);
+}
+
+std::string
+pctImprovement(double ratio)
+{
+    std::ostringstream os;
+    const double pct = (ratio - 1.0) * 100.0;
+    os << (pct >= 0 ? "+" : "") << std::fixed << std::setprecision(1)
+       << pct << "%";
+    return os.str();
+}
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+} // namespace refsched::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Plain-text table rendering for the figure benches: aligned
+ * columns, optional CSV, and helpers for the paper's "% improvement
+ * over baseline" formatting.
+ */
+
+#ifndef REFSCHED_CORE_REPORT_HH
+#define REFSCHED_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace refsched::core
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Aligned fixed-width text rendering. */
+    void print(std::ostream &os) const;
+
+    /** Comma-separated rendering. */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a ratio as a percentage improvement: 1.162 -> "+16.2%". */
+std::string pctImprovement(double ratio);
+
+/** Fixed-precision double formatting. */
+std::string fmt(double v, int precision = 3);
+
+} // namespace refsched::core
+
+#endif // REFSCHED_CORE_REPORT_HH

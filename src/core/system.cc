@@ -1,0 +1,354 @@
+#include "core/system.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+#include "workload/profile.hh"
+
+namespace refsched::core
+{
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), dev_(cfg.deviceConfig())
+{
+    cfg_.check();
+
+    // Default workload when none given: mcf on every task.
+    if (cfg_.benchmarks.empty())
+        cfg_.benchmarks.assign(
+            static_cast<std::size_t>(cfg_.totalTasks()), "mcf");
+
+    auto refresh =
+        dram::makeRefreshScheduler(cfg_.refreshPolicy(), dev_);
+    mc_ = std::make_unique<memctrl::MemoryController>(
+        eq_, dev_, std::move(refresh), cfg_.mcParams);
+    mc_->registerStats(registry_, "mc");
+
+    buddy_ = std::make_unique<os::BuddyAllocator>(mc_->mapping());
+    vm_ = std::make_unique<os::VirtualMemory>(mc_->mapping(), *buddy_);
+    caches_ = std::make_unique<cache::CacheHierarchy>(
+        cfg_.numCores, cfg_.cacheParams);
+    caches_->registerStats(registry_, "caches");
+
+    for (int i = 0; i < cfg_.numCores; ++i) {
+        cores_.push_back(std::make_unique<cpu::Core>(
+            eq_, i, cfg_.coreParams, *caches_, *mc_, *vm_));
+        cores_.back()->registerStats(registry_,
+                                     "core" + std::to_string(i));
+    }
+
+    os::SchedulerParams sp;
+    sp.quantum = cfg_.effectiveQuantum();
+    sp.refreshAware = cfg_.refreshAwareScheduling;
+    sp.etaThresh = cfg_.etaThresh;
+    sp.bestEffort = cfg_.bestEffort;
+    sched_ = std::make_unique<os::Scheduler>(eq_, sp);
+
+    std::vector<os::CpuContext *> cpuPtrs;
+    for (auto &c : cores_)
+        cpuPtrs.push_back(c.get());
+    sched_->attachCpus(std::move(cpuPtrs));
+    sched_->registerStats(registry_, "sched");
+
+    if (cfg_.refreshAwareScheduling) {
+        // The co-design's hardware/software contract: the MC exposes
+        // which bank each channel refreshes during a quantum.
+        auto &rs = mc_->refreshScheduler();
+        const int channels = cfg_.channels;
+        sched_->setRefreshQuery([&rs, channels](Tick from) {
+            std::vector<int> banks;
+            for (int ch = 0; ch < channels; ++ch) {
+                const auto chBanks = rs.banksUnderRefreshAt(ch, from);
+                banks.insert(banks.end(), chBanks.begin(),
+                             chBanks.end());
+            }
+            return banks;
+        });
+    }
+
+    buildTasks();
+    assignBankMasks();
+    if (cfg_.preTouchPages)
+        preTouchFootprints();
+}
+
+System::~System() = default;
+
+std::vector<os::Task *>
+System::tasks()
+{
+    std::vector<os::Task *> out;
+    for (auto &t : tasks_)
+        out.push_back(t.get());
+    return out;
+}
+
+void
+System::buildTasks()
+{
+    const int totalBanks = cfg_.totalBanks();
+    const auto pageBytes = mc_->mapping().pageBytes();
+
+    // Capacity guard: scaled footprints must fit physical memory
+    // (the paper's region-of-interest working sets fit its DIMM; at
+    // low densities we shrink proportionally, mirroring how a real
+    // run would be memory-capacity limited).
+    std::uint64_t wanted = 0;
+    std::vector<std::uint64_t> footprints;
+    for (const auto &name : cfg_.benchmarks) {
+        const auto &prof = workload::profileByName(name);
+        std::uint64_t fp = std::max<std::uint64_t>(
+            prof.footprintBytes / cfg_.timeScale, prof.hotsetBytes);
+        fp = divCeil(fp, pageBytes) * pageBytes;
+        footprints.push_back(fp);
+        wanted += fp;
+    }
+    const std::uint64_t budget =
+        mc_->mapping().totalFrames() * pageBytes * 9 / 10;
+    if (wanted > budget) {
+        const double scale = static_cast<double>(budget)
+            / static_cast<double>(wanted);
+        warn("footprints exceed physical memory; scaling by ", scale);
+        for (auto &fp : footprints) {
+            fp = static_cast<std::uint64_t>(
+                static_cast<double>(fp) * scale);
+            fp = std::max<std::uint64_t>(fp / pageBytes, 1) * pageBytes;
+        }
+    }
+
+    for (int i = 0; i < cfg_.totalTasks(); ++i) {
+        const auto &name =
+            cfg_.benchmarks[static_cast<std::size_t>(i)];
+        // The time-scaled simulation shrinks the instructions
+        // executed per quantum by timeScale, so cache-residency is
+        // only preserved if the hot working set shrinks by the same
+        // factor (keeping instructions-per-quantum : hot-set-size
+        // constant).  Footprints were scaled above for the same
+        // reason.
+        workload::BenchmarkProfile prof = workload::profileByName(name);
+        prof.hotsetBytes = std::max<std::uint64_t>(
+            prof.hotsetBytes / cfg_.timeScale, 4 * kKiB);
+        auto task = std::make_unique<os::Task>(
+            static_cast<Pid>(i + 1), name, totalBanks);
+        auto src = std::make_unique<workload::SyntheticTraceGenerator>(
+            prof, cfg_.seed * 1000003ULL + static_cast<std::uint64_t>(i),
+            footprints[static_cast<std::size_t>(i)]);
+        task->source = src.get();
+        // Interleave tasks across cores so mixed workloads land
+        // evenly (task i runs on core i % numCores and belongs to
+        // per-core partition group i / numCores).
+        sched_->addTask(task.get(), i % cfg_.numCores);
+        sources_.push_back(std::move(src));
+        tasks_.push_back(std::move(task));
+    }
+}
+
+void
+System::assignBankMasks()
+{
+    if (cfg_.partitioning == Partitioning::None)
+        return;  // bank-oblivious: all banks allowed (default)
+
+    const int bpr = cfg_.banksPerRank;
+    const int allowedPerRank = cfg_.effectiveBanksPerTask();
+    const int excluded = bpr - allowedPerRank;
+
+    for (int i = 0; i < cfg_.totalTasks(); ++i) {
+        os::Task &t = *tasks_[static_cast<std::size_t>(i)];
+        const int group = i / cfg_.numCores;  // slot within its core
+
+        std::vector<bool> allowedInRank(
+            static_cast<std::size_t>(bpr), true);
+        if (cfg_.partitioning == Partitioning::Soft) {
+            // Group g is excluded from `excluded` consecutive
+            // bank-ids starting at g*excluded (mod bpr): every
+            // bank-id is excluded by some group when the groups
+            // cover the rank, which is what lets the refresh-aware
+            // scheduler always find a clean task (section 5.3).
+            // The start is additionally staggered per core so that
+            // tasks co-scheduled on different cores have different
+            // (overlapping) allowed sets, preserving more combined
+            // bank-level parallelism than identical masks would.
+            const int coreStagger = i % cfg_.numCores;
+            for (int k = 0; k < excluded; ++k) {
+                allowedInRank[static_cast<std::size_t>(
+                    (group * excluded + coreStagger + k) % bpr)] =
+                    false;
+            }
+        } else {  // Hard partitioning (Liu et al.): exclusive slices.
+            std::fill(allowedInRank.begin(), allowedInRank.end(),
+                      false);
+            const int per = std::max(1, bpr / cfg_.tasksPerCore);
+            for (int k = 0; k < per; ++k) {
+                allowedInRank[static_cast<std::size_t>(
+                    (group * per + k) % bpr)] = true;
+            }
+        }
+
+        // Mirror the per-rank pattern across all ranks and channels.
+        for (int g = 0; g < cfg_.totalBanks(); ++g)
+            t.allowBank(g, allowedInRank[static_cast<std::size_t>(
+                               g % bpr)]);
+    }
+}
+
+void
+System::preTouchFootprints()
+{
+    const auto pageBytes = mc_->mapping().pageBytes();
+
+    // Allocate in interleaved rounds so no task monopolises the
+    // shared free lists (soft partitioning shares banks by design).
+    std::vector<std::uint64_t> nextPage(tasks_.size(), 0);
+    std::vector<std::uint64_t> numPages;
+    for (auto &t : tasks_) {
+        auto *gen = static_cast<workload::SyntheticTraceGenerator *>(
+            t->source);
+        numPages.push_back(
+            divCeil(gen->footprintBytes(), pageBytes));
+    }
+
+    constexpr std::uint64_t kChunk = 64;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t i = 0; i < tasks_.size(); ++i) {
+            const std::uint64_t end =
+                std::min(numPages[i], nextPage[i] + kChunk);
+            for (; nextPage[i] < end; ++nextPage[i]) {
+                vm_->translate(*tasks_[i], nextPage[i] * pageBytes);
+                progress = true;
+            }
+        }
+    }
+}
+
+void
+System::resetMeasurement()
+{
+    registry_.resetAll();
+    caches_->resetStats();
+    for (auto &t : tasks_)
+        t->resetAccounting();
+}
+
+Metrics
+System::run(int warmupQuanta, int measureQuanta)
+{
+    REFSCHED_ASSERT(!ran_, "System::run may only be called once");
+    REFSCHED_ASSERT(measureQuanta > 0, "need a measurement interval");
+    ran_ = true;
+
+    const Tick q = cfg_.effectiveQuantum();
+    sched_->start();
+
+    eq_.runUntil(static_cast<Tick>(warmupQuanta) * q);
+    resetMeasurement();
+
+    const Tick start = eq_.now();
+    eq_.runUntil(static_cast<Tick>(warmupQuanta + measureQuanta) * q);
+    return collectMetrics(eq_.now() - start);
+}
+
+Metrics
+System::collectMetrics(Tick measuredTicks) const
+{
+    Metrics m;
+    m.measuredTicks = measuredTicks;
+
+    const Tick cpuPeriod = cfg_.coreParams.cpuPeriod;
+
+    double invIpcSum = 0.0;
+    int counted = 0;
+    for (const auto &t : tasks_) {
+        TaskMetrics tm;
+        tm.pid = t->pid();
+        tm.benchmark = t->name();
+        tm.instructions = t->instrsRetired;
+        tm.cycles = t->scheduledTicks / cpuPeriod;
+        tm.ipc = t->ipc(cpuPeriod);
+        const auto misses = caches_->l2MissesOf(t->pid());
+        tm.mpki = tm.instructions
+            ? 1000.0 * static_cast<double>(misses)
+                / static_cast<double>(tm.instructions)
+            : 0.0;
+        tm.dramReads = t->dramReads;
+        tm.pageFaults = t->pageFaults;
+        tm.fallbackAllocs = t->fallbackAllocs;
+        tm.residentPages = t->residentPages();
+        tm.quantaRun = t->quantaRun;
+        m.tasks.push_back(tm);
+
+        if (tm.ipc > 0.0) {
+            invIpcSum += 1.0 / tm.ipc;
+            m.weightedIpcSum += tm.ipc;
+            ++counted;
+        } else {
+            warn("task ", t->name(), " (pid ", t->pid(),
+                 ") has zero IPC in the measured interval");
+        }
+    }
+    m.harmonicMeanIpc =
+        counted ? static_cast<double>(counted) / invIpcSum : 0.0;
+
+    double latSum = 0.0;
+    std::uint64_t latSamples = 0;
+    double rowHits = 0.0, rowMisses = 0.0;
+    for (int ch = 0; ch < cfg_.channels; ++ch) {
+        const auto &s = mc_->channelStats(ch);
+        m.dramReads += static_cast<std::uint64_t>(s.reads.value());
+        m.dramWrites += static_cast<std::uint64_t>(s.writes.value());
+        m.refreshCommands +=
+            static_cast<std::uint64_t>(s.refreshCommands.value());
+        m.readsBlockedByRefresh += static_cast<std::uint64_t>(
+            s.readsBlockedByRefresh.value());
+        latSum += s.readLatency.total();
+        latSamples += s.readLatency.samples();
+        rowHits += s.rowHits.value();
+        rowMisses += s.rowMisses.value();
+    }
+    if (latSamples > 0) {
+        m.avgReadLatencyMemCycles = latSum
+            / static_cast<double>(latSamples)
+            / static_cast<double>(dev_.timings.tCK);
+    }
+    if (rowHits + rowMisses > 0.0)
+        m.rowHitRate = rowHits / (rowHits + rowMisses);
+    if (m.dramReads > 0) {
+        m.blockedReadFraction =
+            static_cast<double>(m.readsBlockedByRefresh)
+            / static_cast<double>(m.dramReads);
+    }
+
+    std::uint64_t totalInstrs = 0;
+    for (const auto &t : m.tasks)
+        totalInstrs += t.instructions;
+    for (int ch = 0; ch < cfg_.channels; ++ch) {
+        const auto e = mc_->energyBreakdown(ch, measuredTicks);
+        m.energy.activatePj += e.activatePj;
+        m.energy.readWritePj += e.readWritePj;
+        m.energy.refreshPj += e.refreshPj;
+        m.energy.backgroundPj += e.backgroundPj;
+    }
+    if (totalInstrs > 0)
+        m.energyPerInstructionPj =
+            m.energy.totalPj() / static_cast<double>(totalInstrs);
+
+    m.quantaScheduled =
+        static_cast<std::uint64_t>(sched_->quantaScheduled.value());
+    m.cleanPicks =
+        static_cast<std::uint64_t>(sched_->cleanPicks.value());
+    m.deferredPicks =
+        static_cast<std::uint64_t>(sched_->deferredPicks.value());
+    m.fallbackPicks =
+        static_cast<std::uint64_t>(sched_->fallbackPicks.value());
+    m.bestEffortPicks =
+        static_cast<std::uint64_t>(sched_->bestEffortPicks.value());
+    m.vruntimeSpreadQuanta =
+        static_cast<double>(sched_->vruntimeSpread())
+        / static_cast<double>(cfg_.effectiveQuantum());
+
+    return m;
+}
+
+} // namespace refsched::core

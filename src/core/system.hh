@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The fully-wired simulated machine: cores + caches + memory
+ * controller + DRAM + OS (allocator, VM, scheduler) + workload.
+ *
+ * Construction performs the co-design setup the paper describes:
+ * the DRAM address mapping is exposed to the OS, tasks receive
+ * possible_banks_vector masks per the partitioning mode, footprints
+ * are pre-allocated through the bank-aware buddy allocator, and the
+ * refresh schedule is exposed to the process scheduler when the
+ * policy is CoDesign.
+ *
+ * run() executes warm-up quanta, resets all statistics, then runs
+ * the measured quanta and returns Metrics.
+ */
+
+#ifndef REFSCHED_CORE_SYSTEM_HH
+#define REFSCHED_CORE_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cache/cache_hierarchy.hh"
+#include "core/metrics.hh"
+#include "core/system_config.hh"
+#include "cpu/core.hh"
+#include "memctrl/memory_controller.hh"
+#include "os/buddy_allocator.hh"
+#include "os/scheduler.hh"
+#include "os/task.hh"
+#include "os/virtual_memory.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/stats.hh"
+#include "workload/trace_generator.hh"
+
+namespace refsched::core
+{
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /**
+     * Run @p warmupQuanta scheduling quanta, reset statistics, run
+     * @p measureQuanta more, and return the measured metrics.  May
+     * be called once per System.
+     */
+    Metrics run(int warmupQuanta, int measureQuanta);
+
+    // --- Component access (examples, tests, custom experiments) ---
+    EventQueue &eventQueue() { return eq_; }
+    memctrl::MemoryController &controller() { return *mc_; }
+    os::BuddyAllocator &buddy() { return *buddy_; }
+    os::VirtualMemory &vm() { return *vm_; }
+    cache::CacheHierarchy &caches() { return *caches_; }
+    os::Scheduler &scheduler() { return *sched_; }
+    cpu::Core &core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
+    std::vector<os::Task *> tasks();
+    const SystemConfig &config() const { return cfg_; }
+    StatRegistry &stats() { return registry_; }
+
+    /** Dump every registered statistic. */
+    void dumpStats(std::ostream &os) const { registry_.dump(os); }
+
+    /** Collect metrics for the interval since the last stat reset. */
+    Metrics collectMetrics(Tick measuredTicks) const;
+
+  private:
+    void buildTasks();
+    void assignBankMasks();
+    void preTouchFootprints();
+    void resetMeasurement();
+
+    SystemConfig cfg_;
+    dram::DramDeviceConfig dev_;
+    EventQueue eq_;
+    StatRegistry registry_;
+
+    std::unique_ptr<memctrl::MemoryController> mc_;
+    std::unique_ptr<os::BuddyAllocator> buddy_;
+    std::unique_ptr<os::VirtualMemory> vm_;
+    std::unique_ptr<cache::CacheHierarchy> caches_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::unique_ptr<os::Scheduler> sched_;
+    std::vector<std::unique_ptr<workload::SyntheticTraceGenerator>>
+        sources_;
+    std::vector<std::unique_ptr<os::Task>> tasks_;
+
+    bool ran_ = false;
+};
+
+} // namespace refsched::core
+
+#endif // REFSCHED_CORE_SYSTEM_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The instruction stream a core consumes for a task.
+ *
+ * Trace entries are run-length encoded: each entry carries a count
+ * of non-memory instructions (gap) followed by one memory operation.
+ * Sources are infinite; the experiment runner bounds simulations by
+ * time, like the paper bounds them by instruction count.
+ */
+
+#ifndef REFSCHED_CPU_INSTRUCTION_SOURCE_HH
+#define REFSCHED_CPU_INSTRUCTION_SOURCE_HH
+
+#include <cstdint>
+
+#include "simcore/types.hh"
+
+namespace refsched::cpu
+{
+
+/** gap non-memory instructions, then one memory access. */
+struct TraceEntry
+{
+    std::uint32_t gap = 0;
+    bool isWrite = false;
+
+    /**
+     * The access is part of a sequential stream.  Such accesses are
+     * trivially covered by a stride prefetcher / deep MLP, so the
+     * core issues their DRAM misses without blocking retirement on
+     * them (bandwidth-bound behaviour); random accesses block the
+     * ROB head (latency-bound behaviour).
+     */
+    bool sequential = false;
+
+    /**
+     * The access depends on the previous miss (pointer chasing): the
+     * core cannot issue it to DRAM until earlier blocking misses
+     * have returned, serialising the chain (MLP = 1).
+     */
+    bool dependent = false;
+
+    Addr vaddr = 0;
+};
+
+class InstructionSource
+{
+  public:
+    virtual ~InstructionSource() = default;
+
+    /** Produce the next trace entry. */
+    virtual TraceEntry next() = 0;
+
+    /**
+     * Cycles-per-instruction of the non-memory work, modelling ILP
+     * limits the issue width alone does not capture.
+     */
+    virtual double baseCpi() const { return 0.5; }
+};
+
+} // namespace refsched::cpu
+
+#endif // REFSCHED_CPU_INSTRUCTION_SOURCE_HH

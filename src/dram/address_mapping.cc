@@ -1,0 +1,68 @@
+#include "dram/address_mapping.hh"
+
+#include "simcore/logging.hh"
+
+namespace refsched::dram
+{
+
+AddressMapping::AddressMapping(const DramOrganization &org) : org_(org)
+{
+    org_.check();
+    offsetBits_ = log2Exact(org_.lineBytes);
+    columnBits_ = log2Exact(org_.columnsPerRow());
+    channelBits_ = log2Exact(static_cast<std::uint64_t>(org_.channels));
+    bankBits_ = log2Exact(static_cast<std::uint64_t>(org_.banksPerRank));
+    rankBits_ =
+        log2Exact(static_cast<std::uint64_t>(org_.ranksPerChannel));
+    pageShift_ = log2Exact(org_.rowBytes);
+    REFSCHED_ASSERT(offsetBits_ + columnBits_ == pageShift_,
+                    "column+offset bits must cover one page");
+}
+
+DramCoord
+AddressMapping::decompose(Addr paddr) const
+{
+    DramCoord c;
+    Addr a = paddr >> offsetBits_;
+    c.column = a & ((1ULL << columnBits_) - 1);
+    a >>= columnBits_;
+    c.channel = static_cast<int>(a & ((1ULL << channelBits_) - 1));
+    a >>= channelBits_;
+    c.bank = static_cast<int>(a & ((1ULL << bankBits_) - 1));
+    a >>= bankBits_;
+    c.rank = static_cast<int>(a & ((1ULL << rankBits_) - 1));
+    a >>= rankBits_;
+    // The row is the (unmasked) top field: this keeps the mapping
+    // exact for non-power-of-two row counts (24 Gb -> 384K rows).
+    c.row = a;
+    if (org_.xorBankHash) {
+        // Self-inverse bank hash: bank XOR low-row-bits.
+        c.bank = static_cast<int>(
+            static_cast<std::uint64_t>(c.bank)
+            ^ (c.row & ((1ULL << bankBits_) - 1)));
+    }
+    return c;
+}
+
+Addr
+AddressMapping::compose(const DramCoord &c) const
+{
+    Addr bankField = static_cast<Addr>(c.bank);
+    if (org_.xorBankHash)
+        bankField ^= c.row & ((1ULL << bankBits_) - 1);
+    Addr a = c.row;
+    a = (a << rankBits_) | static_cast<Addr>(c.rank);
+    a = (a << bankBits_) | bankField;
+    a = (a << channelBits_) | static_cast<Addr>(c.channel);
+    a = (a << columnBits_) | c.column;
+    a <<= offsetBits_;
+    return a;
+}
+
+int
+AddressMapping::globalBank(Addr paddr) const
+{
+    return globalBank(decompose(paddr));
+}
+
+} // namespace refsched::dram

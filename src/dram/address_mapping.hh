@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Physical-address <-> DRAM-coordinate mapping.
+ *
+ * The co-design requires the hardware address mapping to be *exposed
+ * to the OS* (paper section 5.2.1): the buddy allocator must know
+ * which bank a physical frame lives in.  This class is that shared
+ * contract -- both the memory controller and the OS hold a reference
+ * to the same AddressMapping.
+ *
+ * Bit layout (LSB first):
+ *
+ *   | line offset | column | channel | bank | rank | row |
+ *
+ * The column + line-offset bits together cover exactly one DRAM row
+ * (4 KB), which equals the OS page size; therefore every 4 KB page
+ * maps to a single (channel, rank, bank, row) -- the property the
+ * paper's per-bank free lists rely on.
+ */
+
+#ifndef REFSCHED_DRAM_ADDRESS_MAPPING_HH
+#define REFSCHED_DRAM_ADDRESS_MAPPING_HH
+
+#include <cstdint>
+
+#include "dram/timings.hh"
+#include "simcore/types.hh"
+
+namespace refsched::dram
+{
+
+/** Decomposed DRAM coordinates of a physical address. */
+struct DramCoord
+{
+    int channel = 0;
+    int rank = 0;
+    int bank = 0;           ///< bank index within the rank
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;
+
+    bool
+    operator==(const DramCoord &o) const
+    {
+        return channel == o.channel && rank == o.rank && bank == o.bank
+            && row == o.row && column == o.column;
+    }
+};
+
+class AddressMapping
+{
+  public:
+    explicit AddressMapping(const DramOrganization &org);
+
+    /** Split a physical address into DRAM coordinates. */
+    DramCoord decompose(Addr paddr) const;
+
+    /** Inverse of decompose (line offset zero). */
+    Addr compose(const DramCoord &coord) const;
+
+    /**
+     * Global bank index of @p paddr:
+     * ((channel * ranks) + rank) * banksPerRank + bankInRank.
+     */
+    int globalBank(Addr paddr) const;
+
+    /** Global bank index from coordinates. */
+    int
+    globalBank(const DramCoord &c) const
+    {
+        return (c.channel * org_.ranksPerChannel + c.rank)
+            * org_.banksPerRank + c.bank;
+    }
+
+    /** Bank-in-rank index from a global bank index. */
+    int
+    bankInRank(int globalBank) const
+    {
+        return globalBank % org_.banksPerRank;
+    }
+
+    /** Rank (within its channel) of a global bank index. */
+    int
+    rankOf(int globalBank) const
+    {
+        return (globalBank / org_.banksPerRank) % org_.ranksPerChannel;
+    }
+
+    /** Channel of a global bank index. */
+    int
+    channelOf(int globalBank) const
+    {
+        return globalBank / (org_.banksPerRank * org_.ranksPerChannel);
+    }
+
+    /** Global bank that holds page frame number @p pfn. */
+    int
+    bankOfFrame(std::uint64_t pfn) const
+    {
+        return globalBank(pfn << pageShift_);
+    }
+
+    /** Total global banks across all channels. */
+    int
+    totalBanks() const
+    {
+        return org_.channels * org_.ranksPerChannel * org_.banksPerRank;
+    }
+
+    std::uint64_t pageBytes() const { return org_.rowBytes; }
+    unsigned pageShift() const { return pageShift_; }
+    std::uint64_t totalFrames() const
+    {
+        return org_.totalBytes() >> pageShift_;
+    }
+
+    const DramOrganization &organization() const { return org_; }
+
+  private:
+    DramOrganization org_;
+    unsigned offsetBits_;
+    unsigned columnBits_;
+    unsigned channelBits_;
+    unsigned bankBits_;
+    unsigned rankBits_;
+    unsigned pageShift_;
+};
+
+} // namespace refsched::dram
+
+#endif // REFSCHED_DRAM_ADDRESS_MAPPING_HH

@@ -1,0 +1,159 @@
+#include "dram/bank.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace refsched::dram
+{
+
+void
+Bank::activate(Tick now, std::int64_t row, const DramTimings &t)
+{
+    REFSCHED_ASSERT(!isOpen(), "ACT to an open bank");
+    REFSCHED_ASSERT(now >= actAllowedAt, "ACT violates tRC/tRP");
+    REFSCHED_ASSERT(!underRefresh(now), "ACT to a refreshing bank");
+
+    openRow = row;
+    rdAllowedAt = std::max(rdAllowedAt, now + t.tRCD);
+    wrAllowedAt = std::max(wrAllowedAt, now + t.tRCD);
+    preAllowedAt = std::max(preAllowedAt, now + t.tRAS);
+    actAllowedAt = std::max(actAllowedAt, now + t.tRC);
+    ++activations;
+}
+
+void
+Bank::precharge(Tick now, const DramTimings &t)
+{
+    REFSCHED_ASSERT(isOpen(), "PRE to a closed bank");
+    REFSCHED_ASSERT(now >= preAllowedAt, "PRE violates tRAS/tWR/tRTP");
+
+    openRow = kNoRow;
+    actAllowedAt = std::max(actAllowedAt, now + t.tRP);
+}
+
+Tick
+Bank::read(Tick now, const DramTimings &t)
+{
+    REFSCHED_ASSERT(isOpen(), "READ to a closed bank");
+    REFSCHED_ASSERT(now >= rdAllowedAt, "READ violates tRCD/tCCD");
+
+    rdAllowedAt = std::max(rdAllowedAt, now + t.tCCD);
+    wrAllowedAt = std::max(wrAllowedAt, now + t.tCCD);
+    // Read-to-precharge: tRTP after the CAS.
+    preAllowedAt = std::max(preAllowedAt, now + t.tRTP);
+    return now + t.tCL + t.tBURST;
+}
+
+Tick
+Bank::write(Tick now, const DramTimings &t)
+{
+    REFSCHED_ASSERT(isOpen(), "WRITE to a closed bank");
+    REFSCHED_ASSERT(now >= wrAllowedAt, "WRITE violates tRCD/tCCD");
+
+    const Tick burstDone = now + t.tCWL + t.tBURST;
+    rdAllowedAt = std::max(rdAllowedAt, burstDone + t.tWTR);
+    wrAllowedAt = std::max(wrAllowedAt, now + t.tCCD);
+    // Write recovery before precharge.
+    preAllowedAt = std::max(preAllowedAt, burstDone + t.tWR);
+    return burstDone;
+}
+
+void
+Bank::startRefresh(Tick now, Tick tRFC, std::uint64_t rows,
+                   bool pausable)
+{
+    REFSCHED_ASSERT(!isOpen(), "REF to an open bank");
+    REFSCHED_ASSERT(!underRefresh(now), "overlapping bank refresh");
+
+    actAllowedBeforeRefresh = actAllowedAt;
+    refreshStart = now;
+    refreshRows = rows;
+    refreshPausable = pausable && rows > 0;
+    refreshingUntil = now + tRFC;
+    actAllowedAt = std::max(actAllowedAt, refreshingUntil);
+    ++refreshes;
+}
+
+std::uint64_t
+Bank::pauseRefresh(Tick now)
+{
+    if (!refreshPausable || !underRefresh(now))
+        return 0;
+
+    // Refresh Pausing points are coarse: hardware exposes a handful
+    // of interruption boundaries per tRFC, not per-row control
+    // (Nair et al. use a small fixed number of pausing points).
+    constexpr std::uint64_t kPausePoints = 4;
+    const std::uint64_t segments =
+        std::min<std::uint64_t>(kPausePoints, refreshRows);
+    const Tick perSeg = (refreshingUntil - refreshStart) / segments;
+    REFSCHED_ASSERT(perSeg > 0, "degenerate refresh segment time");
+    const std::uint64_t segsDone =
+        (now - refreshStart) / perSeg + 1;  // current segment finishes
+    if (segsDone >= segments)
+        return 0;  // nothing left worth pausing
+
+    const std::uint64_t rowsPerSeg =
+        divCeil(refreshRows, segments);
+    const std::uint64_t rowsDone =
+        std::min(refreshRows, segsDone * rowsPerSeg);
+    const std::uint64_t remaining = refreshRows - rowsDone;
+    if (remaining == 0)
+        return 0;
+
+    refreshingUntil = refreshStart + perSeg * segsDone;
+    refreshRows = rowsDone;
+    refreshPausable = false;
+    // Roll the ACT constraint back to the shortened refresh end.
+    actAllowedAt =
+        std::max(actAllowedBeforeRefresh, refreshingUntil);
+    return remaining;
+}
+
+bool
+Rank::fawBlocked(Tick now, const DramTimings &t) const
+{
+    if (!fawPrimed)
+        return false;
+    // The oldest of the last four ACTs must be at least tFAW old
+    // before a fifth may be issued.
+    const Tick oldest = lastActs[actCountMod];
+    return now < oldest + t.tFAW;
+}
+
+void
+Rank::noteActivate(Tick now, const DramTimings &t)
+{
+    actAllowedAt = std::max(actAllowedAt, now + t.tRRD);
+    lastActs[actCountMod] = now;
+    actCountMod = (actCountMod + 1) % 4;
+    if (actCountMod == 0)
+        fawPrimed = true;
+}
+
+bool
+Rank::allBanksIdle(Tick now) const
+{
+    for (const auto &b : banks) {
+        if (b.isOpen() || b.underRefresh(now))
+            return false;
+    }
+    return true;
+}
+
+void
+Rank::startAllBankRefresh(Tick now, Tick tRFC)
+{
+    REFSCHED_ASSERT(allBanksIdle(now), "all-bank REF with open banks");
+    refreshingUntil = now + tRFC;
+    for (auto &b : banks) {
+        b.refreshingUntil = refreshingUntil;
+        b.actAllowedAt = std::max(b.actAllowedAt, refreshingUntil);
+        ++b.refreshes;
+    }
+    actAllowedAt = std::max(actAllowedAt, refreshingUntil);
+    ++allBankRefreshes;
+}
+
+} // namespace refsched::dram

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * DRAM bank and rank state machines.
+ *
+ * A Bank tracks its open row and the earliest ticks at which each
+ * command type may be issued to it; issuing a command updates those
+ * constraints per the JEDEC-style timing rules.  A Rank adds
+ * rank-level constraints (tRRD, tFAW) and all-bank refresh state.
+ * The memory controller drives these objects; they contain no
+ * scheduling policy of their own.
+ */
+
+#ifndef REFSCHED_DRAM_BANK_HH
+#define REFSCHED_DRAM_BANK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/timings.hh"
+#include "simcore/stats.hh"
+#include "simcore/types.hh"
+
+namespace refsched::dram
+{
+
+/** Sentinel row id for a closed (precharged) bank. */
+constexpr std::int64_t kNoRow = -1;
+
+class Bank
+{
+  public:
+    /** Row currently latched in the row buffer, or kNoRow. */
+    std::int64_t openRow = kNoRow;
+
+    /** Earliest tick each command may be issued to this bank. */
+    Tick actAllowedAt = 0;
+    Tick rdAllowedAt = 0;
+    Tick wrAllowedAt = 0;
+    Tick preAllowedAt = 0;
+
+    /** Bank unavailable (under refresh) until this tick. */
+    Tick refreshingUntil = 0;
+
+    /** Start tick and row count of the in-flight refresh (refresh
+     *  pausing needs to know how far it has progressed). */
+    Tick refreshStart = 0;
+    std::uint64_t refreshRows = 0;
+
+    /** In-flight refresh may be paused at a row boundary. */
+    bool refreshPausable = false;
+
+    /** actAllowedAt as it was before the refresh extended it, so a
+     *  pause can roll the constraint back. */
+    Tick actAllowedBeforeRefresh = 0;
+
+    /** Rows refreshed since this bank's current refresh pass began
+     *  (Algorithm 1 bookkeeping lives in the refresh scheduler; this
+     *  per-bank counter feeds stats/invariant checks). */
+    std::uint64_t rowsRefreshedInWindow = 0;
+
+    // --- Statistics ---
+    std::uint64_t activations = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t refreshes = 0;
+
+    bool isOpen() const { return openRow != kNoRow; }
+
+    bool
+    underRefresh(Tick now) const
+    {
+        return now < refreshingUntil;
+    }
+
+    /** Apply an ACT of @p row at tick @p now. */
+    void activate(Tick now, std::int64_t row, const DramTimings &t);
+
+    /** Apply a PRE at tick @p now. */
+    void precharge(Tick now, const DramTimings &t);
+
+    /** Apply a read CAS at @p now; returns the data-ready tick. */
+    Tick read(Tick now, const DramTimings &t);
+
+    /** Apply a write CAS at @p now; returns burst-complete tick. */
+    Tick write(Tick now, const DramTimings &t);
+
+    /** Begin a refresh occupying the bank for @p tRFC.
+     *  @p rows and @p pausable feed the refresh-pausing bookkeeping. */
+    void startRefresh(Tick now, Tick tRFC, std::uint64_t rows = 0,
+                      bool pausable = false);
+
+    /**
+     * Pause the in-flight refresh at the next row boundary (Nair et
+     * al., HPCA'13): the current row completes, the remainder is the
+     * caller's to re-issue.  Returns the number of rows NOT yet
+     * refreshed (0 when the refresh is finished or unpausable).
+     */
+    std::uint64_t pauseRefresh(Tick now);
+};
+
+/**
+ * Rank-level constraints and all-bank refresh state.  Banks are held
+ * by value; the memory controller indexes them directly.
+ */
+class Rank
+{
+  public:
+    explicit Rank(const DramOrganization &org)
+        : banks(static_cast<std::size_t>(org.banksPerRank)) {}
+
+    std::vector<Bank> banks;
+
+    /** Earliest tick any ACT may be issued in this rank (tRRD). */
+    Tick actAllowedAt = 0;
+
+    /** Whole rank blocked by all-bank refresh until this tick. */
+    Tick refreshingUntil = 0;
+
+    std::uint64_t allBankRefreshes = 0;
+
+    bool
+    underRefresh(Tick now) const
+    {
+        return now < refreshingUntil;
+    }
+
+    /** True iff a 4th ACT inside tFAW would be violated at @p now. */
+    bool fawBlocked(Tick now, const DramTimings &t) const;
+
+    /** Record an ACT for tRRD / tFAW accounting. */
+    void noteActivate(Tick now, const DramTimings &t);
+
+    /** True iff all banks are precharged and quiescent at @p now
+     *  (required before an all-bank REF). */
+    bool allBanksIdle(Tick now) const;
+
+    /** Begin an all-bank refresh occupying every bank for @p tRFC. */
+    void startAllBankRefresh(Tick now, Tick tRFC);
+
+  private:
+    /** Ticks of the last four ACTs, oldest first. */
+    Tick lastActs[4] = {0, 0, 0, 0};
+    int actCountMod = 0;
+    bool fawPrimed = false;
+};
+
+} // namespace refsched::dram
+
+#endif // REFSCHED_DRAM_BANK_HH

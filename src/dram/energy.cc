@@ -1,0 +1,19 @@
+#include "dram/energy.hh"
+
+#include <sstream>
+
+namespace refsched::dram
+{
+
+std::string
+EnergyBreakdown::summary() const
+{
+    std::ostringstream os;
+    os << "total=" << totalPj() / 1e9 << "mJ act="
+       << activatePj / 1e9 << " rdwr=" << readWritePj / 1e9
+       << " refresh=" << refreshPj / 1e9 << " bg="
+       << backgroundPj / 1e9;
+    return os.str();
+}
+
+} // namespace refsched::dram

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * DRAM energy accounting, in the style of the Micron DDR3 power
+ * model: per-event energies for row activations (ACT+PRE pair),
+ * read/write bursts and refresh (charged per row refreshed, since a
+ * REF internally activates and precharges every affected row), plus
+ * rank background power integrated over time.
+ *
+ * Absolute joules are approximate (datasheet-class constants for a
+ * DDR3-1600 x8 rank); the model's purpose is comparing refresh
+ * policies: refresh energy itself is invariant across policies (the
+ * same rows are refreshed either way), so the interesting outputs
+ * are the background share and energy-per-instruction, which improve
+ * when a policy finishes more work in the same wall-clock time.
+ */
+
+#ifndef REFSCHED_DRAM_ENERGY_HH
+#define REFSCHED_DRAM_ENERGY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "dram/timings.hh"
+#include "simcore/stats.hh"
+#include "simcore/types.hh"
+
+namespace refsched::dram
+{
+
+/** Per-event energies (picojoules) and background power. */
+struct EnergyParams
+{
+    double actPrePj = 2300.0;   ///< one ACT + its eventual PRE
+    double readPj = 1400.0;     ///< one 64 B read burst incl. I/O
+    double writePj = 1500.0;    ///< one 64 B write burst incl. I/O
+    double refreshRowPj = 110.0;///< per row internally refreshed
+    double backgroundMwPerRank = 75.0;  ///< standby power per rank
+};
+
+/** Accumulates energy for one channel. */
+class EnergyModel
+{
+  public:
+    EnergyModel(const EnergyParams &params, int ranks)
+        : params_(params), ranks_(ranks)
+    {
+    }
+
+    void noteActivate() { actPj_ += params_.actPrePj; }
+    void noteRead() { rdwrPj_ += params_.readPj; }
+    void noteWrite() { rdwrPj_ += params_.writePj; }
+
+    void
+    noteRefresh(std::uint64_t rows)
+    {
+        refreshPj_ +=
+            params_.refreshRowPj * static_cast<double>(rows);
+    }
+
+    /** Background energy for @p elapsed simulated ticks. */
+    double
+    backgroundPj(Tick elapsed) const
+    {
+        // mW * ps = 1e-3 J/s * 1e-12 s = 1e-15 J = 1e-3 pJ.
+        return params_.backgroundMwPerRank
+            * static_cast<double>(ranks_)
+            * static_cast<double>(elapsed) * 1e-3;
+    }
+
+    double activatePj() const { return actPj_; }
+    double readWritePj() const { return rdwrPj_; }
+    double refreshPj() const { return refreshPj_; }
+
+    double
+    totalPj(Tick elapsed) const
+    {
+        return actPj_ + rdwrPj_ + refreshPj_ + backgroundPj(elapsed);
+    }
+
+    void
+    reset()
+    {
+        actPj_ = rdwrPj_ = refreshPj_ = 0.0;
+    }
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    EnergyParams params_;
+    int ranks_;
+    double actPj_ = 0.0;
+    double rdwrPj_ = 0.0;
+    double refreshPj_ = 0.0;
+};
+
+/** Channel-energy breakdown reported through Metrics. */
+struct EnergyBreakdown
+{
+    double activatePj = 0.0;
+    double readWritePj = 0.0;
+    double refreshPj = 0.0;
+    double backgroundPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return activatePj + readWritePj + refreshPj + backgroundPj;
+    }
+
+    double
+    refreshShare() const
+    {
+        const double t = totalPj();
+        return t > 0.0 ? refreshPj / t : 0.0;
+    }
+
+    std::string summary() const;
+};
+
+} // namespace refsched::dram
+
+#endif // REFSCHED_DRAM_ENERGY_HH

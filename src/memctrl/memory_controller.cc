@@ -1,0 +1,617 @@
+#include "memctrl/memory_controller.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace refsched::memctrl
+{
+
+using dram::Bank;
+using dram::RefreshCommand;
+
+MemoryController::Channel::Channel(const dram::DramDeviceConfig &cfg)
+{
+    ranks.assign(static_cast<std::size_t>(cfg.org.ranksPerChannel),
+                 dram::Rank(cfg.org));
+    queuedPerBank.assign(static_cast<std::size_t>(cfg.org.banksTotal()),
+                         0);
+    stats.readLatencyDist.init(
+        0.0, 4.0e6 /* ps: 4 us */, 64);
+}
+
+MemoryController::MemoryController(
+    EventQueue &eq, const dram::DramDeviceConfig &cfg,
+    std::unique_ptr<dram::RefreshScheduler> refresh,
+    const ControllerParams &params)
+    : eq_(eq),
+      cfg_(cfg),
+      mapping_(cfg.org),
+      refresh_(std::move(refresh)),
+      params_(params),
+      clock_(cfg.timings.tCK),
+      epochLength_(cfg.timings.tREFIab)
+{
+    REFSCHED_ASSERT(refresh_ != nullptr, "null refresh scheduler");
+    if (params_.writeLowWatermark >= params_.writeHighWatermark)
+        fatal("write drain watermarks inverted");
+    if (params_.writeHighWatermark > params_.writeQueueCapacity)
+        fatal("write high watermark exceeds queue capacity");
+
+    channels_.reserve(static_cast<std::size_t>(cfg_.org.channels));
+    for (int ch = 0; ch < cfg_.org.channels; ++ch)
+        channels_.emplace_back(cfg_);
+
+    // Arm each channel for its first refresh command.
+    for (int ch = 0; ch < cfg_.org.channels; ++ch) {
+        const Tick due = refresh_->nextDue(ch);
+        if (due != kMaxTick)
+            scheduleTick(ch, due);
+    }
+}
+
+bool
+MemoryController::enqueue(Request req)
+{
+    req.coord = mapping_.decompose(req.paddr);
+    const int ch = req.coord.channel;
+    auto &c = channels_[static_cast<std::size_t>(ch)];
+    const Tick now = eq_.now();
+
+    if (req.isRead()) {
+        // Forward from a queued write to the same line, if any.
+        const Addr line = req.paddr & ~(cfg_.org.lineBytes - 1);
+        for (const auto &w : c.writeQ) {
+            if ((w.paddr & ~(cfg_.org.lineBytes - 1)) == line) {
+                ++c.stats.forwardedReads;
+                ++c.stats.reads;
+                auto cb = std::move(req.onComplete);
+                const Tick doneAt = now + cfg_.timings.tCK;
+                eq_.schedule(doneAt, [cb = std::move(cb), doneAt] {
+                    if (cb)
+                        cb(doneAt);
+                });
+                c.stats.readLatency.sample(
+                    static_cast<double>(cfg_.timings.tCK));
+                return true;
+            }
+        }
+        if (c.readQ.size() >= params_.readQueueCapacity)
+            return false;
+        req.enqueuedAt = now;
+        req.seq = nextSeq_++;
+        ++c.queuedPerBank[static_cast<std::size_t>(
+            bankIndex(req.coord.rank, req.coord.bank))];
+        c.readQ.push_back(std::move(req));
+    } else {
+        if (c.writeQ.size() >= params_.writeQueueCapacity)
+            return false;
+        req.enqueuedAt = now;
+        req.seq = nextSeq_++;
+        c.writeQ.push_back(std::move(req));
+    }
+
+    scheduleTick(ch, clock_.nextEdgeAtOrAfter(now));
+    return true;
+}
+
+void
+MemoryController::requestRetryNotification(std::function<void()> cb)
+{
+    retryWaiters_.push_back(std::move(cb));
+}
+
+void
+MemoryController::notifyRetry()
+{
+    if (retryWaiters_.empty())
+        return;
+    std::vector<std::function<void()>> waiters;
+    waiters.swap(retryWaiters_);
+    for (auto &w : waiters)
+        w();
+}
+
+int
+MemoryController::queuedToBank(int channel, int rank, int bank) const
+{
+    const auto &c = channels_[static_cast<std::size_t>(channel)];
+    return c.queuedPerBank[static_cast<std::size_t>(
+        bankIndex(rank, bank))];
+}
+
+double
+MemoryController::channelUtilization(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)].lastUtil;
+}
+
+std::size_t
+MemoryController::readQueueSize(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)].readQ.size();
+}
+
+std::size_t
+MemoryController::writeQueueSize(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)].writeQ.size();
+}
+
+const dram::Bank &
+MemoryController::bank(int channel, int rank, int bankIdx) const
+{
+    const auto &c = channels_[static_cast<std::size_t>(channel)];
+    return c.ranks[static_cast<std::size_t>(rank)]
+        .banks[static_cast<std::size_t>(bankIdx)];
+}
+
+bool
+MemoryController::draining(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)].draining;
+}
+
+void
+MemoryController::scheduleTick(int ch, Tick when)
+{
+    auto &c = channels_[static_cast<std::size_t>(ch)];
+    when = clock_.nextEdgeAtOrAfter(std::max(when, eq_.now()));
+    if (c.tickEvent.pending() && c.tickScheduledAt <= when)
+        return;
+    c.tickEvent.cancel();
+    c.tickScheduledAt = when;
+    c.tickEvent = eq_.schedule(
+        when, [this, ch] { tick(ch); }, EventPriority::ClockEdge);
+}
+
+void
+MemoryController::rollUtilizationEpoch(Channel &c)
+{
+    const Tick now = eq_.now();
+    while (now >= c.epochStart + epochLength_) {
+        c.lastUtil = std::min(
+            1.0, static_cast<double>(c.busyTicks)
+                     / static_cast<double>(epochLength_));
+        c.busyTicks = 0;
+        c.epochStart += epochLength_;
+    }
+}
+
+void
+MemoryController::harvestDueRefreshes(Channel &c, int ch)
+{
+    const Tick now = eq_.now();
+    while (refresh_->nextDue(ch) <= now) {
+        RefreshCommand cmd = refresh_->pop(ch, *this);
+        if (cmd.tRFC == 0 || cmd.rows == 0) {
+            ++c.stats.refreshNoops;
+            continue;
+        }
+        c.pendingRefreshes.push_back(cmd);
+    }
+}
+
+bool
+MemoryController::frozenByRefresh(const Channel &c, int rank,
+                                  int bank) const
+{
+    // Deferred (not yet engaged) refreshes do not block traffic --
+    // that is the whole point of elastic postponement.  Only the
+    // committed front command freezes its targets.
+    if (!c.refreshEngaged || c.pendingRefreshes.empty())
+        return false;
+    const auto &cmd = c.pendingRefreshes.front();
+    return cmd.rank == rank && (cmd.isAllBank() || cmd.bank == bank);
+}
+
+bool
+MemoryController::demandQueuedForRefresh(
+    const Channel &c, const dram::RefreshCommand &cmd) const
+{
+    if (cmd.isAllBank()) {
+        const int base = cmd.rank * cfg_.org.banksPerRank;
+        for (int b = 0; b < cfg_.org.banksPerRank; ++b) {
+            if (c.queuedPerBank[static_cast<std::size_t>(base + b)]
+                > 0) {
+                return true;
+            }
+        }
+        return false;
+    }
+    return c.queuedPerBank[static_cast<std::size_t>(
+               bankIndex(cmd.rank, cmd.bank))]
+        > 0;
+}
+
+bool
+MemoryController::refreshEngineStep(Channel &c, int ch)
+{
+    if (c.pendingRefreshes.empty())
+        return false;
+
+    const Tick now = eq_.now();
+    RefreshCommand &cmd = c.pendingRefreshes.front();
+
+    // Elastic postponement: hold the refresh while demand reads are
+    // queued for its banks, unless the backlog forces issue.  A
+    // force-issued refresh is also exempt from pausing -- otherwise
+    // saturating traffic could starve refresh indefinitely.
+    if (!c.refreshEngaged) {
+        const bool forced =
+            c.pendingRefreshes.size() >= params_.maxPostponedRefreshes;
+        if (!forced && demandQueuedForRefresh(c, cmd))
+            return false;
+        c.refreshEngaged = true;
+        c.refreshForced = forced;
+    }
+
+    auto &rank = c.ranks[static_cast<std::size_t>(cmd.rank)];
+
+    const auto &t = cfg_.timings;
+
+    auto tryStep = [&](Bank &b) -> int {
+        // Returns: 0 = ready, 1 = issued PRE (slot consumed),
+        //          2 = waiting.
+        if (b.underRefresh(now))
+            return 2;
+        if (b.isOpen()) {
+            if (now >= b.preAllowedAt) {
+                b.precharge(now, t);
+                return 1;
+            }
+            return 2;
+        }
+        return 0;
+    };
+
+    if (cmd.isAllBank()) {
+        bool allReady = true;
+        for (auto &b : rank.banks) {
+            const int s = tryStep(b);
+            if (s == 1)
+                return true;  // one PRE issued this cycle
+            if (s == 2)
+                allReady = false;
+        }
+        if (!allReady || rank.underRefresh(now))
+            return false;
+        rank.startAllBankRefresh(now, cmd.tRFC);
+        for (auto &b : rank.banks)
+            b.rowsRefreshedInWindow += cmd.rows;
+        c.stats.rowsRefreshed +=
+            static_cast<double>(cmd.rows * rank.banks.size());
+        c.stats.energyRefreshPj += params_.energy.refreshRowPj
+            * static_cast<double>(cmd.rows * rank.banks.size());
+    } else {
+        auto &b = rank.banks[static_cast<std::size_t>(cmd.bank)];
+        const int s = tryStep(b);
+        if (s == 1)
+            return true;
+        if (s == 2)
+            return false;
+        b.startRefresh(now, cmd.tRFC, cmd.rows,
+                       params_.refreshPausing && !c.refreshForced);
+        b.rowsRefreshedInWindow += cmd.rows;
+        c.stats.rowsRefreshed += static_cast<double>(cmd.rows);
+        c.stats.energyRefreshPj += params_.energy.refreshRowPj
+            * static_cast<double>(cmd.rows);
+    }
+
+    ++c.stats.refreshCommands;
+    c.pendingRefreshes.pop_front();
+    c.refreshEngaged = false;
+    (void)ch;
+    return true;
+}
+
+void
+MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
+{
+    c.stats.readLatency.sample(
+        static_cast<double>(dataAt - req.enqueuedAt));
+    c.stats.readLatencyDist.sample(
+        static_cast<double>(dataAt - req.enqueuedAt));
+    c.stats.readQueueWait.sample(
+        static_cast<double>(eq_.now() - req.enqueuedAt));
+    if (req.blockedByRefresh)
+        ++c.stats.readsBlockedByRefresh;
+
+    if (req.onComplete) {
+        auto cb = std::move(req.onComplete);
+        eq_.schedule(dataAt, [cb = std::move(cb), dataAt] {
+            cb(dataAt);
+        });
+    }
+}
+
+bool
+MemoryController::serveQueue(Channel &c, int ch, std::deque<Request> &q,
+                             bool isWriteQueue)
+{
+    if (q.empty())
+        return false;
+
+    const Tick now = eq_.now();
+    const auto &t = cfg_.timings;
+
+    auto bankOf = [&](const Request &r) -> Bank & {
+        return c.ranks[static_cast<std::size_t>(r.coord.rank)]
+            .banks[static_cast<std::size_t>(r.coord.bank)];
+    };
+
+    auto blocked = [&](const Request &r) {
+        const Bank &b = bankOf(r);
+        return b.underRefresh(now)
+            || frozenByRefresh(c, r.coord.rank, r.coord.bank);
+    };
+
+    // Track refresh interference on the oldest request.
+    if (blocked(q.front())) {
+        q.front().blockedByRefresh = true;
+        c.stats.refreshBlockedTicks += static_cast<double>(t.tCK);
+
+        // Refresh Pausing: free the bank at the next row boundary
+        // and re-queue the unfinished rows.
+        if (params_.refreshPausing && !isWriteQueue) {
+            const auto &coord = q.front().coord;
+            Bank &fb = bankOf(q.front());
+            const auto remaining = fb.pauseRefresh(now);
+            if (remaining > 0) {
+                fb.rowsRefreshedInWindow -= remaining;
+                c.stats.rowsRefreshed -=
+                    static_cast<double>(remaining);
+                c.stats.energyRefreshPj -= params_.energy.refreshRowPj
+                    * static_cast<double>(remaining);
+                ++c.stats.refreshPauses;
+
+                dram::RefreshCommand resume;
+                resume.rank = coord.rank;
+                resume.bank = coord.bank;
+                resume.rows = remaining;
+                resume.tRFC = static_cast<Tick>(remaining)
+                    * (t.tRFCpb / t.rowsPerRefresh);
+                c.pendingRefreshes.push_back(resume);
+            }
+        }
+    }
+
+    // Pass 1 (FR): oldest ready row hit.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        Request &r = q[i];
+        Bank &b = bankOf(r);
+        if (blocked(r) || !b.isOpen()
+            || b.openRow != static_cast<std::int64_t>(r.coord.row)) {
+            continue;
+        }
+        const Tick casAllowed =
+            isWriteQueue ? b.wrAllowedAt : b.rdAllowedAt;
+        // Bus constraints: burst spacing plus rank-to-rank switch
+        // and read<->write turnaround penalties.
+        Tick busReady = c.nextCasAt;
+        if (c.lastCasRank >= 0 && c.lastCasRank != r.coord.rank)
+            busReady += t.tRTRS;
+        if (c.lastCasRank >= 0 && c.lastCasWasWrite != isWriteQueue)
+            busReady += t.tBusTurn;
+        if (now < casAllowed || now < busReady)
+            continue;
+
+        if (!r.neededAct)
+            ++c.stats.rowHits;
+        else
+            ++c.stats.rowMisses;
+
+        if (!isWriteQueue) {
+            --c.queuedPerBank[static_cast<std::size_t>(
+                bankIndex(r.coord.rank, r.coord.bank))];
+        }
+
+        if (isWriteQueue) {
+            b.write(now, t);
+            ++c.stats.writes;
+            c.stats.energyReadWritePj += params_.energy.writePj;
+        } else {
+            const Tick dataAt = b.read(now, t);
+            ++c.stats.reads;
+            c.stats.energyReadWritePj += params_.energy.readPj;
+            completeRead(c, r, dataAt);
+        }
+        c.nextCasAt = now + t.tBURST;
+        c.lastCasRank = r.coord.rank;
+        c.lastCasWasWrite = isWriteQueue;
+        c.busyTicks += t.tBURST;
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        notifyRetry();
+        (void)ch;
+        return true;
+    }
+
+    // Pass 2 (FCFS): oldest request needing an ACT on a closed bank.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        Request &r = q[i];
+        Bank &b = bankOf(r);
+        if (blocked(r) || b.isOpen())
+            continue;
+        auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
+        if (rank.underRefresh(now))
+            continue;
+        if (now < b.actAllowedAt || now < rank.actAllowedAt
+            || rank.fawBlocked(now, t)) {
+            continue;
+        }
+        b.activate(now, static_cast<std::int64_t>(r.coord.row), t);
+        rank.noteActivate(now, t);
+        c.stats.energyActivatePj += params_.energy.actPrePj;
+        r.neededAct = true;
+        return true;
+    }
+
+    // Pass 3: precharge a conflicting row for the oldest conflicting
+    // request, but only when no queued request still wants that row
+    // (open-row policy).
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        Request &r = q[i];
+        Bank &b = bankOf(r);
+        if (blocked(r) || !b.isOpen()
+            || b.openRow == static_cast<std::int64_t>(r.coord.row)) {
+            continue;
+        }
+        if (now < b.preAllowedAt)
+            continue;
+        bool rowStillWanted = false;
+        for (const auto &other : q) {
+            if (other.coord.rank == r.coord.rank
+                && other.coord.bank == r.coord.bank
+                && static_cast<std::int64_t>(other.coord.row)
+                       == b.openRow) {
+                rowStillWanted = true;
+                break;
+            }
+        }
+        if (rowStillWanted)
+            continue;
+        b.precharge(now, t);
+        return true;
+    }
+
+    return false;
+}
+
+bool
+MemoryController::closedPagePrecharge(Channel &c)
+{
+    const Tick now = eq_.now();
+    const auto &t = cfg_.timings;
+
+    auto rowWanted = [&](int rank, int bank, std::int64_t row) {
+        auto scan = [&](const std::deque<Request> &q) {
+            for (const auto &r : q) {
+                if (r.coord.rank == rank && r.coord.bank == bank
+                    && static_cast<std::int64_t>(r.coord.row) == row) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        return scan(c.readQ) || scan(c.writeQ);
+    };
+
+    for (int rank = 0; rank < cfg_.org.ranksPerChannel; ++rank) {
+        for (int bank = 0; bank < cfg_.org.banksPerRank; ++bank) {
+            dram::Bank &b = c.ranks[static_cast<std::size_t>(rank)]
+                .banks[static_cast<std::size_t>(bank)];
+            if (!b.isOpen() || now < b.preAllowedAt
+                || b.underRefresh(now)
+                || frozenByRefresh(c, rank, bank)) {
+                continue;
+            }
+            if (rowWanted(rank, bank, b.openRow))
+                continue;
+            b.precharge(now, t);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::tick(int ch)
+{
+    auto &c = channels_[static_cast<std::size_t>(ch)];
+    c.tickScheduledAt = kMaxTick;
+
+    rollUtilizationEpoch(c);
+    harvestDueRefreshes(c, ch);
+
+    // Write-drain hysteresis (Table 1: watermarks 32/54).  Writes
+    // are only drained in batches: trickling single writes between
+    // read bursts would precharge open rows and wreck read locality,
+    // so an opportunistic drain (read queue idle) also requires a
+    // worthwhile batch above the low watermark.
+    const bool opportunistic = c.readQ.empty()
+        && c.writeQ.size() >= params_.writeLowWatermark + 4;
+    if (!c.draining
+        && (c.writeQ.size() >= params_.writeHighWatermark
+            || opportunistic)) {
+        c.draining = true;
+        ++c.stats.writeDrainBatches;
+    } else if (c.draining
+               && c.writeQ.size() <= params_.writeLowWatermark) {
+        c.draining = false;
+    }
+
+    bool issued = refreshEngineStep(c, ch);
+
+    if (!issued) {
+        if (c.draining)
+            issued = serveQueue(c, ch, c.writeQ, true);
+        else
+            issued = serveQueue(c, ch, c.readQ, false);
+    }
+    if (!issued && params_.pagePolicy == PagePolicy::Closed)
+        issued = closedPagePrecharge(c);
+    (void)issued;
+
+    // Re-arm.
+    Tick wake = kMaxTick;
+    const Tick now = eq_.now();
+
+    bool openBanksToClose = false;
+    if (params_.pagePolicy == PagePolicy::Closed) {
+        for (const auto &rank : c.ranks) {
+            for (const auto &b : rank.banks)
+                openBanksToClose |= b.isOpen();
+        }
+    }
+
+    if (!c.pendingRefreshes.empty() || !c.readQ.empty()
+        || !c.writeQ.empty() || openBanksToClose) {
+        wake = now + cfg_.timings.tCK;
+    }
+    wake = std::min(wake, refresh_->nextDue(ch));
+    if (wake != kMaxTick)
+        scheduleTick(ch, wake);
+}
+
+void
+MemoryController::registerStats(StatRegistry &reg,
+                                const std::string &prefix)
+{
+    for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+        auto &s = channels_[ch].stats;
+        const std::string p = prefix + ".ch" + std::to_string(ch) + ".";
+        reg.add(p + "reads", &s.reads);
+        reg.add(p + "writes", &s.writes);
+        reg.add(p + "rowHits", &s.rowHits);
+        reg.add(p + "rowMisses", &s.rowMisses);
+        reg.add(p + "refreshCommands", &s.refreshCommands);
+        reg.add(p + "refreshNoops", &s.refreshNoops);
+        reg.add(p + "refreshPauses", &s.refreshPauses);
+        reg.add(p + "rowsRefreshed", &s.rowsRefreshed);
+        reg.add(p + "readsBlockedByRefresh", &s.readsBlockedByRefresh);
+        reg.add(p + "refreshBlockedTicks", &s.refreshBlockedTicks);
+        reg.add(p + "writeDrainBatches", &s.writeDrainBatches);
+        reg.add(p + "forwardedReads", &s.forwardedReads);
+        reg.add(p + "readLatency", &s.readLatency);
+        reg.add(p + "readQueueWait", &s.readQueueWait);
+        reg.add(p + "readLatencyDist", &s.readLatencyDist);
+        reg.add(p + "energyActivatePj", &s.energyActivatePj);
+        reg.add(p + "energyReadWritePj", &s.energyReadWritePj);
+        reg.add(p + "energyRefreshPj", &s.energyRefreshPj);
+    }
+}
+
+dram::EnergyBreakdown
+MemoryController::energyBreakdown(int channel, Tick elapsed) const
+{
+    const auto &s = channelStats(channel);
+    dram::EnergyModel model(params_.energy, cfg_.org.ranksPerChannel);
+    dram::EnergyBreakdown out;
+    out.activatePj = s.energyActivatePj.value();
+    out.readWritePj = s.energyReadWritePj.value();
+    out.refreshPj = s.energyRefreshPj.value();
+    out.backgroundPj = model.backgroundPj(elapsed);
+    return out;
+}
+
+} // namespace refsched::memctrl

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * The DRAM memory controller (Table 1 configuration).
+ *
+ * Per channel: FR-FCFS command scheduling with an open-row policy,
+ * 64-entry read and write queues, batch write draining between
+ * low/high watermarks (32/54), and a pluggable refresh scheduler.
+ *
+ * Refresh arbitration: when a refresh command falls due, its target
+ * bank(s) are frozen (no new ACT/CAS); open target rows are
+ * precharged with priority, then the REF is issued, occupying the
+ * bank(s) for tRFC.  Non-target banks keep serving requests -- the
+ * property that makes per-bank refresh (and the co-design) win.
+ *
+ * The controller is a clocked component on the shared EventQueue: it
+ * issues at most one command per memory-clock edge per channel and
+ * sleeps when it provably has nothing to do.
+ */
+
+#ifndef REFSCHED_MEMCTRL_MEMORY_CONTROLLER_HH
+#define REFSCHED_MEMCTRL_MEMORY_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "dram/bank.hh"
+#include "dram/energy.hh"
+#include "dram/refresh_scheduler.hh"
+#include "dram/timings.hh"
+#include "memctrl/request.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/stats.hh"
+#include "simcore/types.hh"
+
+namespace refsched::memctrl
+{
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    Open,    ///< keep rows open until a conflict (Table 1 default)
+    Closed,  ///< precharge as soon as no queued request wants the row
+};
+
+/** Queue sizing / drain policy (Table 1). */
+struct ControllerParams
+{
+    PagePolicy pagePolicy = PagePolicy::Open;
+
+    std::size_t readQueueCapacity = 64;
+    std::size_t writeQueueCapacity = 64;
+    std::size_t writeLowWatermark = 32;
+    std::size_t writeHighWatermark = 54;
+
+    /**
+     * Elastic refresh postponement (JEDEC allows up to 8 postponed
+     * REF commands): a due refresh is deferred while demand reads
+     * are queued for its target bank(s), until the backlog reaches
+     * this limit and issue is forced.  Set to 1 for rigid,
+     * schedule-exact refresh.
+     */
+    std::size_t maxPostponedRefreshes = 8;
+
+    /** DRAM energy accounting constants. */
+    dram::EnergyParams energy;
+
+    /**
+     * Refresh Pausing (Nair et al., HPCA'13): abort an in-progress
+     * per-bank refresh at the next row boundary when a demand read
+     * is waiting on that bank; the remaining rows are re-queued as a
+     * fresh refresh command.
+     */
+    bool refreshPausing = false;
+};
+
+class MemoryController : public dram::McRefreshView
+{
+  public:
+    MemoryController(EventQueue &eq, const dram::DramDeviceConfig &cfg,
+                     std::unique_ptr<dram::RefreshScheduler> refresh,
+                     const ControllerParams &params = {});
+
+    MemoryController(const MemoryController &) = delete;
+    MemoryController &operator=(const MemoryController &) = delete;
+
+    /**
+     * Try to enqueue @p req.  Returns false when the target queue is
+     * full; the caller should wait for a retry notification.  Writes
+     * are posted (no completion callback); reads invoke
+     * req.onComplete at data-burst-done time.  Reads that hit a
+     * queued write are forwarded and complete on the next cycle.
+     */
+    bool enqueue(Request req);
+
+    /** One-shot callback fired when queue space frees up. */
+    void requestRetryNotification(std::function<void()> cb);
+
+    /** Register this controller's stats under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix);
+
+    const dram::AddressMapping &mapping() const { return mapping_; }
+    const dram::DramDeviceConfig &config() const { return cfg_; }
+    dram::RefreshScheduler &refreshScheduler() { return *refresh_; }
+    const dram::RefreshScheduler &refreshScheduler() const
+    {
+        return *refresh_;
+    }
+
+    // --- McRefreshView ---
+    int queuedToBank(int channel, int rank, int bank) const override;
+    double channelUtilization(int channel) const override;
+
+    // --- Introspection for tests ---
+    std::size_t readQueueSize(int channel) const;
+    std::size_t writeQueueSize(int channel) const;
+    const dram::Bank &bank(int channel, int rank, int bank) const;
+    bool draining(int channel) const;
+
+    /** Aggregate statistics (exposed for metrics collection). */
+    struct ChannelStats
+    {
+        Scalar reads;
+        Scalar writes;
+        Scalar rowHits;
+        Scalar rowMisses;
+        Scalar refreshCommands;
+        Scalar refreshNoops;
+        Scalar refreshPauses;
+        Scalar rowsRefreshed;
+        Scalar readsBlockedByRefresh;
+        Scalar refreshBlockedTicks;
+        Scalar writeDrainBatches;
+        Scalar forwardedReads;
+        Average readLatency;   ///< enqueue -> data (ticks)
+        Average readQueueWait; ///< enqueue -> CAS issue (ticks)
+        Distribution readLatencyDist;
+
+        // DRAM energy (picojoules; background added at collection).
+        Scalar energyActivatePj;
+        Scalar energyReadWritePj;
+        Scalar energyRefreshPj;
+    };
+
+    const ChannelStats &channelStats(int channel) const
+    {
+        return channels_[static_cast<std::size_t>(channel)].stats;
+    }
+
+    /**
+     * Energy consumed on @p channel, with background power
+     * integrated over @p elapsed ticks (the measurement interval).
+     */
+    dram::EnergyBreakdown energyBreakdown(int channel,
+                                          Tick elapsed) const;
+
+  private:
+    struct Channel
+    {
+        explicit Channel(const dram::DramDeviceConfig &cfg);
+
+        std::vector<dram::Rank> ranks;
+        std::deque<Request> readQ;
+        std::deque<Request> writeQ;
+        std::deque<dram::RefreshCommand> pendingRefreshes;
+
+        /** The front pending refresh is committed to issue: its
+         *  target banks are frozen and being precharged. */
+        bool refreshEngaged = false;
+
+        /** The engaged refresh was force-issued (backlog full); it
+         *  must not be paused. */
+        bool refreshForced = false;
+
+        /** Earliest tick the shared data bus accepts another CAS. */
+        Tick nextCasAt = 0;
+
+        /** Last CAS target, for rank-switch / turnaround penalties. */
+        int lastCasRank = -1;
+        bool lastCasWasWrite = false;
+
+        bool draining = false;
+
+        /** Demand-read queue occupancy per (rank*banksPerRank+bank);
+         *  feeds OooPerBank's choice and refresh deferral. */
+        std::vector<int> queuedPerBank;
+
+        // Utilization epoch accounting (feeds AdaptiveRefresh).
+        Tick epochStart = 0;
+        Tick busyTicks = 0;
+        double lastUtil = 0.0;
+
+        // Sleep/wake management.
+        EventHandle tickEvent;
+        Tick tickScheduledAt = kMaxTick;
+
+        ChannelStats stats;
+    };
+
+    /** One scheduling step for @p ch at the current clock edge. */
+    void tick(int ch);
+
+    /** Arrange for tick(ch) to run at clock edge >= @p when. */
+    void scheduleTick(int ch, Tick when);
+
+    /** Pop refresh commands that have come due into the pending Q. */
+    void harvestDueRefreshes(Channel &c, int ch);
+
+    /** Try to advance the refresh engine; true if a command slot was
+     *  consumed (PRE toward refresh, or REF itself). */
+    bool refreshEngineStep(Channel &c, int ch);
+
+    /** Try to issue one request command from @p q; true on issue. */
+    bool serveQueue(Channel &c, int ch, std::deque<Request> &q,
+                    bool isWriteQueue);
+
+    /** Closed-page policy: precharge one idle open row, if any. */
+    bool closedPagePrecharge(Channel &c);
+
+    /** True if the bank is frozen by an in-flight/pending refresh. */
+    bool frozenByRefresh(const Channel &c, int rank, int bank) const;
+
+    /** Demand reads queued for the command's target bank(s)? */
+    bool demandQueuedForRefresh(const Channel &c,
+                                const dram::RefreshCommand &cmd) const;
+
+    void completeRead(Channel &c, Request &req, Tick dataAt);
+    void rollUtilizationEpoch(Channel &c);
+    void notifyRetry();
+
+    int bankIndex(int rank, int bank) const
+    {
+        return rank * cfg_.org.banksPerRank + bank;
+    }
+
+    EventQueue &eq_;
+    dram::DramDeviceConfig cfg_;
+    dram::AddressMapping mapping_;
+    std::unique_ptr<dram::RefreshScheduler> refresh_;
+    ControllerParams params_;
+    ClockDomain clock_;
+    std::vector<Channel> channels_;
+    std::vector<std::function<void()>> retryWaiters_;
+    std::uint64_t nextSeq_ = 0;
+    Tick epochLength_;
+};
+
+} // namespace refsched::memctrl
+
+#endif // REFSCHED_MEMCTRL_MEMORY_CONTROLLER_HH

@@ -1,0 +1,19 @@
+#include "memctrl/request.hh"
+
+#include <sstream>
+
+namespace refsched::memctrl
+{
+
+std::string
+Request::describe() const
+{
+    std::ostringstream os;
+    os << (isRead() ? "R" : "W") << " pa=0x" << std::hex << paddr
+       << std::dec << " ch=" << coord.channel << " ra=" << coord.rank
+       << " ba=" << coord.bank << " row=" << coord.row
+       << " core=" << coreId << " pid=" << pid << " seq=" << seq;
+    return os.str();
+}
+
+} // namespace refsched::memctrl

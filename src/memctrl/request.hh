@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Memory requests exchanged between the cache hierarchy / cores and
+ * the memory controller.
+ */
+
+#ifndef REFSCHED_MEMCTRL_REQUEST_HH
+#define REFSCHED_MEMCTRL_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dram/address_mapping.hh"
+#include "simcore/types.hh"
+
+namespace refsched::memctrl
+{
+
+/** A single cache-line-sized DRAM transaction. */
+struct Request
+{
+    enum class Type { Read, Write };
+
+    Addr paddr = 0;
+    Type type = Type::Read;
+    int coreId = -1;
+    Pid pid = -1;
+
+    /** Tick the request entered the controller queue. */
+    Tick enqueuedAt = 0;
+
+    /** Pre-decoded DRAM coordinates (filled by the controller). */
+    dram::DramCoord coord;
+
+    /** Monotonic id for deterministic tie-breaking and debugging. */
+    std::uint64_t seq = 0;
+
+    /**
+     * Completion callback for reads, invoked at the tick the data
+     * burst finishes on the bus.  Unused for writes (posted).
+     */
+    std::function<void(Tick)> onComplete;
+
+    /** Set once the request observed its bank busy refreshing. */
+    bool blockedByRefresh = false;
+
+    /** Set when the controller issued an ACT on this request's
+     *  behalf (row-buffer miss accounting). */
+    bool neededAct = false;
+
+    bool isRead() const { return type == Type::Read; }
+    bool isWrite() const { return type == Type::Write; }
+
+    std::string describe() const;
+};
+
+} // namespace refsched::memctrl
+
+#endif // REFSCHED_MEMCTRL_REQUEST_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bank-aware buddy allocator (paper Algorithm 2).
+ *
+ * A classic binary-buddy physical frame allocator (orders 0..11, like
+ * Linux's MAX_ORDER) extended with the paper's two mechanisms:
+ *
+ *  1. Per-bank free-list caches: order-0 pages popped from the buddy
+ *     free lists whose bank does not match the requested bank are
+ *     stashed in a per-bank cache rather than returned, so a free
+ *     page of any bank is later found without traversing the OS
+ *     free list (Algorithm 2, lines 15/33).
+ *  2. Round-robin allocation over a task's possibleBanksVector, via
+ *     the task's lastAllocedBank cursor, preserving bank-level
+ *     parallelism within the permitted subset (lines 10-11).
+ *
+ * The allocator learns bank placement through the hardware
+ * AddressMapping that the co-design exposes to the OS.
+ */
+
+#ifndef REFSCHED_OS_BUDDY_ALLOCATOR_HH
+#define REFSCHED_OS_BUDDY_ALLOCATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "os/task.hh"
+#include "simcore/stats.hh"
+
+namespace refsched::os
+{
+
+class BuddyAllocator
+{
+  public:
+    /** Largest block order (2^11 pages = 8 MB with 4 KB pages). */
+    static constexpr int kMaxOrder = 11;
+
+    explicit BuddyAllocator(const dram::AddressMapping &mapping);
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: bank-aware page allocation
+    // ------------------------------------------------------------------
+
+    /**
+     * Allocate one page for @p task honouring its
+     * possibleBanksVector, rotating over permitted banks.  Returns
+     * std::nullopt when no page in a permitted bank exists.
+     */
+    std::optional<std::uint64_t> allocPage(Task &task);
+
+    /**
+     * Fallback of section 5.4.1: allocate one page from any bank
+     * (used when the soft-partitioned banks are exhausted).
+     */
+    std::optional<std::uint64_t> allocPageAnyBank(Task *task);
+
+    /** Return one page; it lands in its bank's free-list cache. */
+    void freePage(std::uint64_t pfn);
+
+    // ------------------------------------------------------------------
+    // Generic buddy interface
+    // ------------------------------------------------------------------
+
+    /** Allocate a 2^order-page block (lowest address first). */
+    std::optional<std::uint64_t> allocBlock(int order);
+
+    /** Free a block previously returned by allocBlock, coalescing
+     *  with free buddies up to kMaxOrder. */
+    void freeBlock(std::uint64_t pfn, int order);
+
+    /** Push per-bank cached pages back into the buddy lists (with
+     *  coalescing), e.g. when tearing a workload down. */
+    void drainBankCaches();
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /** Free frames in buddy lists + per-bank caches. */
+    std::uint64_t freeFrames() const { return freeFrames_; }
+
+    std::uint64_t totalFrames() const { return totalFrames_; }
+
+    std::uint64_t bankCacheSize(int globalBank) const
+    {
+        return perBankFree_[static_cast<std::size_t>(globalBank)].size();
+    }
+
+    std::uint64_t freeListSize(int order) const
+    {
+        return freeLists_[static_cast<std::size_t>(order)].size();
+    }
+
+    /**
+     * Check structural invariants: free blocks aligned to their
+     * order, in range, non-overlapping, and the free-frame count
+     * consistent.  O(free blocks log n); for tests.
+     */
+    bool checkInvariants(std::string *why = nullptr) const;
+
+    // --- Statistics ---
+    std::uint64_t pagesAllocated() const { return pagesAllocated_; }
+    std::uint64_t bankCacheHits() const { return bankCacheHits_; }
+    std::uint64_t osListFetches() const { return osListFetches_; }
+    std::uint64_t stashes() const { return stashes_; }
+    std::uint64_t fallbackAllocations() const { return fallbacks_; }
+
+  private:
+    /** Pop a page from @p bank's cache, if any. */
+    std::optional<std::uint64_t> popBankCache(int bank);
+
+    const dram::AddressMapping &mapping_;
+    std::uint64_t totalFrames_;
+    std::uint64_t freeFrames_ = 0;
+    int numBanks_;
+
+    /** Buddy free lists, one ordered set of block-start pfns per
+     *  order (ordered => deterministic lowest-address-first). */
+    std::vector<std::set<std::uint64_t>> freeLists_;
+
+    /** Per-bank caches of order-0 pages (Algorithm 2). */
+    std::vector<std::vector<std::uint64_t>> perBankFree_;
+
+    std::uint64_t pagesAllocated_ = 0;
+    std::uint64_t bankCacheHits_ = 0;
+    std::uint64_t osListFetches_ = 0;
+    std::uint64_t stashes_ = 0;
+    std::uint64_t fallbacks_ = 0;
+};
+
+} // namespace refsched::os
+
+#endif // REFSCHED_OS_BUDDY_ALLOCATOR_HH

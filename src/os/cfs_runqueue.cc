@@ -1,0 +1,60 @@
+#include "os/cfs_runqueue.hh"
+
+#include "simcore/logging.hh"
+
+namespace refsched::os
+{
+
+void
+CfsRunQueue::enqueue(Task *task)
+{
+    REFSCHED_ASSERT(task != nullptr, "enqueue null task");
+    REFSCHED_ASSERT(!contains(task), "task already enqueued: pid ",
+                    task->pid());
+    auto *node =
+        tree_.insert(VruntimeKey{task->vruntime, task->pid()}, task);
+    nodes_.emplace(task, node);
+}
+
+void
+CfsRunQueue::dequeue(Task *task)
+{
+    auto it = nodes_.find(task);
+    REFSCHED_ASSERT(it != nodes_.end(), "dequeue of absent task: pid ",
+                    task->pid());
+    tree_.erase(it->second);
+    nodes_.erase(it);
+}
+
+bool
+CfsRunQueue::contains(const Task *task) const
+{
+    return nodes_.count(task) != 0;
+}
+
+Task *
+CfsRunQueue::first() const
+{
+    auto *node = tree_.leftmost();
+    return node ? node->value : nullptr;
+}
+
+void
+CfsRunQueue::forEachInOrder(
+    const std::function<bool(Task *)> &visit) const
+{
+    for (auto *node = tree_.leftmost(); node != nullptr;
+         node = tree_.next(node)) {
+        if (!visit(node->value))
+            return;
+    }
+}
+
+Tick
+CfsRunQueue::minVruntime() const
+{
+    auto *node = tree_.leftmost();
+    return node ? node->key.vruntime : 0;
+}
+
+} // namespace refsched::os

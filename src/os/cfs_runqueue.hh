@@ -1,0 +1,83 @@
+/**
+ * @file
+ * CFS-style per-CPU runqueue: tasks ordered by (vruntime, pid) in a
+ * red-black tree, exactly like the Linux scheduler's cfs_rq (paper
+ * section 2.4).  The leftmost node is the conventional pick; the
+ * refresh-aware scheduler walks in-order from the left (Algorithm 3).
+ */
+
+#ifndef REFSCHED_OS_CFS_RUNQUEUE_HH
+#define REFSCHED_OS_CFS_RUNQUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "os/rbtree.hh"
+#include "os/task.hh"
+#include "simcore/types.hh"
+
+namespace refsched::os
+{
+
+/** Tree key: vruntime ordered, pid tie-broken for determinism. */
+struct VruntimeKey
+{
+    Tick vruntime = 0;
+    Pid pid = 0;
+
+    bool
+    operator<(const VruntimeKey &o) const
+    {
+        if (vruntime != o.vruntime)
+            return vruntime < o.vruntime;
+        return pid < o.pid;
+    }
+};
+
+class CfsRunQueue
+{
+  public:
+    using Tree = RbTree<VruntimeKey, Task *>;
+
+    CfsRunQueue() = default;
+
+    /** Add a runnable task (keyed by its current vruntime). */
+    void enqueue(Task *task);
+
+    /** Remove @p task (it must be enqueued here). */
+    void dequeue(Task *task);
+
+    /** True if @p task is currently enqueued. */
+    bool contains(const Task *task) const;
+
+    /** Leftmost (minimum-vruntime) task, or nullptr. */
+    Task *first() const;
+
+    /**
+     * Visit tasks in vruntime order until @p visit returns false.
+     * Used by the refresh-aware pick (Algorithm 3's bounded walk).
+     */
+    void forEachInOrder(
+        const std::function<bool(Task *)> &visit) const;
+
+    /** Smallest vruntime in the queue (0 when empty). */
+    Tick minVruntime() const;
+
+    std::size_t size() const { return tree_.size(); }
+    bool empty() const { return tree_.empty(); }
+
+    /** Red-black invariants of the underlying tree (for tests). */
+    bool validate(std::string *why = nullptr) const
+    {
+        return tree_.validate(why);
+    }
+
+  private:
+    Tree tree_;
+    std::unordered_map<const Task *, Tree::Node *> nodes_;
+};
+
+} // namespace refsched::os
+
+#endif // REFSCHED_OS_CFS_RUNQUEUE_HH

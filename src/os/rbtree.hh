@@ -1,0 +1,430 @@
+/**
+ * @file
+ * A from-scratch red-black tree, the data structure behind Linux's
+ * CFS runqueue (paper section 2.4).
+ *
+ * Multimap semantics: duplicate keys are allowed and are ordered by
+ * insertion (later duplicates to the right), which gives the CFS
+ * runqueue deterministic FIFO behaviour among equal vruntimes.
+ *
+ * The tree owns its nodes; callers hold Node* handles for O(1)
+ * erase, exactly like the kernel's rb_node embedding.  Algorithms
+ * follow CLRS chapter 13 with an explicit nil sentinel.
+ *
+ * validate() checks all red-black invariants and is used heavily by
+ * the property tests.
+ */
+
+#ifndef REFSCHED_OS_RBTREE_HH
+#define REFSCHED_OS_RBTREE_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "simcore/logging.hh"
+
+namespace refsched::os
+{
+
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class RbTree
+{
+  public:
+    struct Node
+    {
+        Key key{};
+        Value value{};
+
+      private:
+        friend class RbTree;
+        Node *parent = nullptr;
+        Node *left = nullptr;
+        Node *right = nullptr;
+        bool red = false;
+    };
+
+    explicit RbTree(Compare cmp = Compare()) : cmp_(std::move(cmp))
+    {
+        nil_ = new Node();
+        nil_->red = false;
+        nil_->parent = nil_->left = nil_->right = nil_;
+        root_ = nil_;
+    }
+
+    ~RbTree()
+    {
+        clear();
+        delete nil_;
+    }
+
+    RbTree(const RbTree &) = delete;
+    RbTree &operator=(const RbTree &) = delete;
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Insert a (key, value) pair; returns the owning node. */
+    Node *
+    insert(const Key &key, const Value &value)
+    {
+        Node *z = new Node();
+        z->key = key;
+        z->value = value;
+        z->left = z->right = z->parent = nil_;
+
+        Node *y = nil_;
+        Node *x = root_;
+        while (x != nil_) {
+            y = x;
+            // Duplicates go right: stable order among equal keys.
+            x = cmp_(z->key, x->key) ? x->left : x->right;
+        }
+        z->parent = y;
+        if (y == nil_)
+            root_ = z;
+        else if (cmp_(z->key, y->key))
+            y->left = z;
+        else
+            y->right = z;
+        z->red = true;
+        insertFixup(z);
+        ++size_;
+        return z;
+    }
+
+    /** Remove @p z from the tree and delete it. */
+    void
+    erase(Node *z)
+    {
+        REFSCHED_ASSERT(z != nullptr && z != nil_, "erase of bad node");
+
+        Node *y = z;
+        bool yWasRed = y->red;
+        Node *x = nil_;
+
+        if (z->left == nil_) {
+            x = z->right;
+            transplant(z, z->right);
+        } else if (z->right == nil_) {
+            x = z->left;
+            transplant(z, z->left);
+        } else {
+            y = minimum(z->right);
+            yWasRed = y->red;
+            x = y->right;
+            if (y->parent == z) {
+                x->parent = y;
+            } else {
+                transplant(y, y->right);
+                y->right = z->right;
+                y->right->parent = y;
+            }
+            transplant(z, y);
+            y->left = z->left;
+            y->left->parent = y;
+            y->red = z->red;
+        }
+        if (!yWasRed)
+            eraseFixup(x);
+        delete z;
+        --size_;
+    }
+
+    /** Leftmost (minimum-key) node, or nullptr when empty. */
+    Node *
+    leftmost() const
+    {
+        return root_ == nil_ ? nullptr : minimum(root_);
+    }
+
+    /** Rightmost (maximum-key) node, or nullptr when empty. */
+    Node *
+    rightmost() const
+    {
+        if (root_ == nil_)
+            return nullptr;
+        Node *x = root_;
+        while (x->right != nil_)
+            x = x->right;
+        return x;
+    }
+
+    /** In-order successor of @p x, or nullptr at the end. */
+    Node *
+    next(Node *x) const
+    {
+        REFSCHED_ASSERT(x != nullptr && x != nil_, "next of bad node");
+        if (x->right != nil_)
+            return minimum(x->right);
+        Node *y = x->parent;
+        while (y != nil_ && x == y->right) {
+            x = y;
+            y = y->parent;
+        }
+        return y == nil_ ? nullptr : y;
+    }
+
+    /** First node whose key equals @p key (leftmost match). */
+    Node *
+    find(const Key &key) const
+    {
+        Node *x = root_;
+        Node *best = nullptr;
+        while (x != nil_) {
+            if (cmp_(x->key, key)) {
+                x = x->right;
+            } else {
+                if (!cmp_(key, x->key))
+                    best = x;  // equal; keep searching left
+                x = x->left;
+            }
+        }
+        return best;
+    }
+
+    /** Delete all nodes. */
+    void
+    clear()
+    {
+        destroy(root_);
+        root_ = nil_;
+        size_ = 0;
+    }
+
+    /**
+     * Verify every red-black invariant.  Returns true when valid;
+     * otherwise false with an explanation in @p why (if non-null).
+     */
+    bool
+    validate(std::string *why = nullptr) const
+    {
+        if (root_->red) {
+            if (why)
+                *why = "root is red";
+            return false;
+        }
+        int expectedBlack = -1;
+        std::size_t counted = 0;
+        const bool ok =
+            validateNode(root_, 0, expectedBlack, counted, why);
+        if (ok && counted != size_) {
+            if (why)
+                *why = "size mismatch";
+            return false;
+        }
+        return ok;
+    }
+
+  private:
+    Node *
+    minimum(Node *x) const
+    {
+        while (x->left != nil_)
+            x = x->left;
+        return x;
+    }
+
+    void
+    leftRotate(Node *x)
+    {
+        Node *y = x->right;
+        x->right = y->left;
+        if (y->left != nil_)
+            y->left->parent = x;
+        y->parent = x->parent;
+        if (x->parent == nil_)
+            root_ = y;
+        else if (x == x->parent->left)
+            x->parent->left = y;
+        else
+            x->parent->right = y;
+        y->left = x;
+        x->parent = y;
+    }
+
+    void
+    rightRotate(Node *x)
+    {
+        Node *y = x->left;
+        x->left = y->right;
+        if (y->right != nil_)
+            y->right->parent = x;
+        y->parent = x->parent;
+        if (x->parent == nil_)
+            root_ = y;
+        else if (x == x->parent->right)
+            x->parent->right = y;
+        else
+            x->parent->left = y;
+        y->right = x;
+        x->parent = y;
+    }
+
+    void
+    insertFixup(Node *z)
+    {
+        while (z->parent->red) {
+            Node *gp = z->parent->parent;
+            if (z->parent == gp->left) {
+                Node *uncle = gp->right;
+                if (uncle->red) {
+                    z->parent->red = false;
+                    uncle->red = false;
+                    gp->red = true;
+                    z = gp;
+                } else {
+                    if (z == z->parent->right) {
+                        z = z->parent;
+                        leftRotate(z);
+                    }
+                    z->parent->red = false;
+                    gp->red = true;
+                    rightRotate(gp);
+                }
+            } else {
+                Node *uncle = gp->left;
+                if (uncle->red) {
+                    z->parent->red = false;
+                    uncle->red = false;
+                    gp->red = true;
+                    z = gp;
+                } else {
+                    if (z == z->parent->left) {
+                        z = z->parent;
+                        rightRotate(z);
+                    }
+                    z->parent->red = false;
+                    gp->red = true;
+                    leftRotate(gp);
+                }
+            }
+        }
+        root_->red = false;
+    }
+
+    void
+    transplant(Node *u, Node *v)
+    {
+        if (u->parent == nil_)
+            root_ = v;
+        else if (u == u->parent->left)
+            u->parent->left = v;
+        else
+            u->parent->right = v;
+        v->parent = u->parent;
+    }
+
+    void
+    eraseFixup(Node *x)
+    {
+        while (x != root_ && !x->red) {
+            if (x == x->parent->left) {
+                Node *w = x->parent->right;
+                if (w->red) {
+                    w->red = false;
+                    x->parent->red = true;
+                    leftRotate(x->parent);
+                    w = x->parent->right;
+                }
+                if (!w->left->red && !w->right->red) {
+                    w->red = true;
+                    x = x->parent;
+                } else {
+                    if (!w->right->red) {
+                        w->left->red = false;
+                        w->red = true;
+                        rightRotate(w);
+                        w = x->parent->right;
+                    }
+                    w->red = x->parent->red;
+                    x->parent->red = false;
+                    w->right->red = false;
+                    leftRotate(x->parent);
+                    x = root_;
+                }
+            } else {
+                Node *w = x->parent->left;
+                if (w->red) {
+                    w->red = false;
+                    x->parent->red = true;
+                    rightRotate(x->parent);
+                    w = x->parent->left;
+                }
+                if (!w->right->red && !w->left->red) {
+                    w->red = true;
+                    x = x->parent;
+                } else {
+                    if (!w->left->red) {
+                        w->right->red = false;
+                        w->red = true;
+                        leftRotate(w);
+                        w = x->parent->left;
+                    }
+                    w->red = x->parent->red;
+                    x->parent->red = false;
+                    w->left->red = false;
+                    rightRotate(x->parent);
+                    x = root_;
+                }
+            }
+        }
+        x->red = false;
+    }
+
+    void
+    destroy(Node *x)
+    {
+        if (x == nil_)
+            return;
+        destroy(x->left);
+        destroy(x->right);
+        delete x;
+    }
+
+    bool
+    validateNode(Node *x, int blackDepth, int &expectedBlack,
+                 std::size_t &counted, std::string *why) const
+    {
+        if (x == nil_) {
+            if (expectedBlack < 0)
+                expectedBlack = blackDepth;
+            if (blackDepth != expectedBlack) {
+                if (why)
+                    *why = "unequal black heights";
+                return false;
+            }
+            return true;
+        }
+        ++counted;
+        if (x->red && (x->left->red || x->right->red)) {
+            if (why)
+                *why = "red node with red child";
+            return false;
+        }
+        if (x->left != nil_ && cmp_(x->key, x->left->key)) {
+            if (why)
+                *why = "left child greater than parent";
+            return false;
+        }
+        if (x->right != nil_ && cmp_(x->right->key, x->key)) {
+            if (why)
+                *why = "right child smaller than parent";
+            return false;
+        }
+        const int nextDepth = blackDepth + (x->red ? 0 : 1);
+        return validateNode(x->left, nextDepth, expectedBlack, counted,
+                            why)
+            && validateNode(x->right, nextDepth, expectedBlack, counted,
+                            why);
+    }
+
+    Compare cmp_;
+    Node *nil_;
+    Node *root_;
+    std::size_t size_ = 0;
+};
+
+} // namespace refsched::os
+
+#endif // REFSCHED_OS_RBTREE_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * A schedulable OS task (process) and its memory bookkeeping.
+ *
+ * Beyond the usual pid/vruntime/state, a Task carries the co-design
+ * state from the paper:
+ *  - possibleBanksVector: the bank bitmask set via cgroups/debugfs
+ *    (Algorithm 2, line 12) limiting where its pages may land;
+ *  - lastAllocedBank: round-robin cursor so consecutive allocations
+ *    spread over the permitted banks (Algorithm 2, lines 10-11);
+ *  - residentPagesPerBank: how many of its pages live in each global
+ *    bank, consumed by the refresh-aware scheduler (Algorithm 3) and
+ *    the best-effort variant (section 5.4.1).
+ */
+
+#ifndef REFSCHED_OS_TASK_HH
+#define REFSCHED_OS_TASK_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace refsched::cpu
+{
+class InstructionSource;
+} // namespace refsched::cpu
+
+namespace refsched::os
+{
+
+enum class TaskState
+{
+    Runnable,
+    Running,
+    Sleeping,
+    Finished,
+};
+
+class Task
+{
+  public:
+    Task(Pid pid, std::string name, int numGlobalBanks);
+
+    Pid pid() const { return pid_; }
+    const std::string &name() const { return name_; }
+
+    TaskState state = TaskState::Runnable;
+
+    /** CFS virtual runtime, in ticks. */
+    Tick vruntime = 0;
+
+    /**
+     * CFS load weight (Linux nice-0 = 1024).  vruntime advances at
+     * rate quantum * 1024 / weight, so heavier tasks are scheduled
+     * proportionally more often -- the "high priority task enters
+     * the system" scenario of paper section 5.4.
+     */
+    std::uint32_t weight = kDefaultWeight;
+
+    static constexpr std::uint32_t kDefaultWeight = 1024;
+
+    /** vruntime charge for running @p wall ticks at this weight. */
+    Tick
+    vruntimeDelta(Tick wall) const
+    {
+        return wall * kDefaultWeight / weight;
+    }
+
+    /** Instruction stream driving this task (owned by the System). */
+    cpu::InstructionSource *source = nullptr;
+
+    // --- Bank partitioning (Algorithm 2 state) ---
+
+    /** True entries mark global banks this task may allocate in. */
+    std::vector<bool> possibleBanksVector;
+
+    /** Round-robin cursor over permitted banks. */
+    int lastAllocedBank = -1;
+
+    bool
+    allowsBank(int globalBank) const
+    {
+        return possibleBanksVector[static_cast<std::size_t>(globalBank)];
+    }
+
+    void
+    allowBank(int globalBank, bool allowed = true)
+    {
+        possibleBanksVector[static_cast<std::size_t>(globalBank)] =
+            allowed;
+    }
+
+    void allowAllBanks();
+
+    int allowedBankCount() const;
+
+    // --- Virtual memory ---
+
+    /** vpn -> pfn demand-paged mappings. */
+    std::unordered_map<std::uint64_t, std::uint64_t> pageTable;
+
+    /** Resident page count per global bank. */
+    std::vector<std::uint32_t> residentPagesPerBank;
+
+    std::uint64_t
+    residentPages() const
+    {
+        std::uint64_t total = 0;
+        for (auto c : residentPagesPerBank)
+            total += c;
+        return total;
+    }
+
+    /** Fraction of this task's pages living in @p globalBank. */
+    double residentFractionIn(int globalBank) const;
+
+    // --- Accounting ---
+    std::uint64_t instrsRetired = 0;
+    std::uint64_t memOps = 0;
+    Tick scheduledTicks = 0;
+    std::uint64_t quantaRun = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t fallbackAllocs = 0;
+    std::uint64_t dramReads = 0;
+
+    /** Committed IPC over the measured interval. */
+    double ipc(Tick cpuPeriod) const;
+
+    /** Zero the measurement counters (end of warm-up). */
+    void resetAccounting();
+
+  private:
+    Pid pid_;
+    std::string name_;
+};
+
+} // namespace refsched::os
+
+#endif // REFSCHED_OS_TASK_HH

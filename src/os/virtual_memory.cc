@@ -1,0 +1,62 @@
+#include "os/virtual_memory.hh"
+
+#include "simcore/logging.hh"
+
+namespace refsched::os
+{
+
+VirtualMemory::VirtualMemory(const dram::AddressMapping &mapping,
+                             BuddyAllocator &buddy)
+    : mapping_(mapping), buddy_(buddy)
+{
+}
+
+Addr
+VirtualMemory::translate(Task &task, Addr vaddr, bool *faulted)
+{
+    const unsigned shift = mapping_.pageShift();
+    const std::uint64_t vpn = vaddr >> shift;
+    const Addr offset = vaddr & ((1ULL << shift) - 1);
+
+    auto it = task.pageTable.find(vpn);
+    if (it != task.pageTable.end()) {
+        if (faulted)
+            *faulted = false;
+        return (it->second << shift) | offset;
+    }
+
+    // Demand paging: Algorithm 2 first, any-bank fallback second.
+    auto pfn = buddy_.allocPage(task);
+    if (!pfn) {
+        pfn = buddy_.allocPageAnyBank(&task);
+        if (pfn) {
+            ++fallbacks_;
+            ++task.fallbackAllocs;
+        }
+    }
+    if (!pfn)
+        fatal("out of physical memory: task ", task.name(), " (pid ",
+              task.pid(), ") touched vpn ", vpn, " with ",
+              buddy_.freeFrames(), " free frames");
+
+    task.pageTable.emplace(vpn, *pfn);
+    ++task.residentPagesPerBank[static_cast<std::size_t>(
+        mapping_.bankOfFrame(*pfn))];
+    ++task.pageFaults;
+    ++pageFaults_;
+    if (faulted)
+        *faulted = true;
+    return (*pfn << shift) | offset;
+}
+
+void
+VirtualMemory::releaseTask(Task &task)
+{
+    for (const auto &[vpn, pfn] : task.pageTable)
+        buddy_.freePage(pfn);
+    task.pageTable.clear();
+    std::fill(task.residentPagesPerBank.begin(),
+              task.residentPagesPerBank.end(), 0);
+}
+
+} // namespace refsched::os

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Per-task virtual memory with demand paging.
+ *
+ * Virtual pages are materialised on first touch through the
+ * bank-aware buddy allocator (Algorithm 2).  When a task's permitted
+ * banks are exhausted, allocation falls back to any bank, as the
+ * generalised scheme in paper section 5.4.1 prescribes; the task's
+ * residentPagesPerBank counters then let the best-effort scheduler
+ * reason about where its data really lives.
+ */
+
+#ifndef REFSCHED_OS_VIRTUAL_MEMORY_HH
+#define REFSCHED_OS_VIRTUAL_MEMORY_HH
+
+#include <cstdint>
+
+#include "dram/address_mapping.hh"
+#include "os/buddy_allocator.hh"
+#include "os/task.hh"
+#include "simcore/stats.hh"
+
+namespace refsched::os
+{
+
+class VirtualMemory
+{
+  public:
+    VirtualMemory(const dram::AddressMapping &mapping,
+                  BuddyAllocator &buddy);
+
+    /**
+     * Translate @p vaddr for @p task, allocating the backing frame
+     * on first touch.  @p faulted (optional) reports whether this
+     * access took a page fault.  fatal() when physical memory is
+     * fully exhausted.
+     */
+    Addr translate(Task &task, Addr vaddr, bool *faulted = nullptr);
+
+    /** Release every frame owned by @p task. */
+    void releaseTask(Task &task);
+
+    std::uint64_t pageFaults() const { return pageFaults_; }
+    std::uint64_t fallbackAllocations() const { return fallbacks_; }
+
+  private:
+    const dram::AddressMapping &mapping_;
+    BuddyAllocator &buddy_;
+    std::uint64_t pageFaults_ = 0;
+    std::uint64_t fallbacks_ = 0;
+};
+
+} // namespace refsched::os
+
+#endif // REFSCHED_OS_VIRTUAL_MEMORY_HH

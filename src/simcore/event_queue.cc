@@ -1,0 +1,75 @@
+#include "simcore/event_queue.hh"
+
+#include "simcore/logging.hh"
+
+namespace refsched
+{
+
+EventHandle
+EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
+{
+    REFSCHED_ASSERT(when >= curTick, "event scheduled in the past: ",
+                    when, " < ", curTick);
+    auto alive = std::make_shared<bool>(true);
+    EventHandle handle;
+    handle.alive = alive;
+    pq.push(Record{when, static_cast<int>(prio), nextSeq++,
+                   std::move(cb), std::move(alive)});
+    return handle;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!pq.empty() && !*pq.top().alive)
+        pq.pop();
+}
+
+bool
+EventQueue::empty() const
+{
+    skipDead();
+    return pq.empty();
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    skipDead();
+    return pq.empty() ? kMaxTick : pq.top().when;
+}
+
+bool
+EventQueue::runOne()
+{
+    skipDead();
+    if (pq.empty())
+        return false;
+    // Copy out and pop before invoking: the callback may schedule
+    // new events (mutating pq) or even cancel itself harmlessly.
+    Record rec = pq.top();
+    pq.pop();
+    curTick = rec.when;
+    *rec.alive = false;
+    ++executed;
+    rec.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t count = 0;
+    while (true) {
+        skipDead();
+        if (pq.empty() || pq.top().when > limit)
+            break;
+        runOne();
+        ++count;
+    }
+    if (curTick < limit)
+        curTick = limit;
+    return count;
+}
+
+} // namespace refsched

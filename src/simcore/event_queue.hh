@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, sequence).
+ * Sequence numbers make scheduling deterministic: two events at the
+ * same tick and priority fire in the order they were scheduled.
+ * Events may be cancelled through the EventHandle returned at
+ * scheduling time; cancellation is O(1) (the slot is tombstoned and
+ * skipped when it reaches the head of the queue).
+ */
+
+#ifndef REFSCHED_SIMCORE_EVENT_QUEUE_HH
+#define REFSCHED_SIMCORE_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace refsched
+{
+
+/**
+ * Relative ordering of events scheduled for the same tick.  Lower
+ * values fire first.  The defaults mirror gem5: clocked-component
+ * work happens before generic callbacks, the OS scheduler sees
+ * completed hardware state, stat dumps run last.
+ */
+enum class EventPriority : int
+{
+    ClockEdge = 0,   ///< Clocked-component ticks (MC, cores).
+    Default = 10,    ///< Generic callbacks.
+    Scheduler = 20,  ///< OS quantum expiry.
+    StatDump = 30,   ///< Statistics snapshots.
+};
+
+/** Cancellation token for a scheduled event. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent the event from firing; idempotent. */
+    void
+    cancel()
+    {
+        if (auto p = alive.lock())
+            *p = false;
+    }
+
+    /** True if the event is still pending (not fired, not cancelled). */
+    bool
+    pending() const
+    {
+        auto p = alive.lock();
+        return p && *p;
+    }
+
+  private:
+    friend class EventQueue;
+    std::weak_ptr<bool> alive;
+};
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * The queue owns simulated time: now() advances only while run
+ * methods execute, and only to ticks of scheduled events.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return curTick; }
+
+    /**
+     * Schedule @p cb to fire at absolute tick @p when.
+     * Scheduling in the past is a panic (simulator bug).
+     */
+    EventHandle schedule(Tick when, Callback cb,
+                         EventPriority prio = EventPriority::Default);
+
+    /** Schedule @p cb to fire @p delta ticks from now. */
+    EventHandle
+    scheduleIn(Tick delta, Callback cb,
+               EventPriority prio = EventPriority::Default)
+    {
+        return schedule(curTick + delta, std::move(cb), prio);
+    }
+
+    /** True if no live events remain. */
+    bool empty() const;
+
+    /** Tick of the next live event, or kMaxTick when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Run events until the queue is empty or the next event lies
+     * beyond @p limit.  Events scheduled exactly at @p limit ARE
+     * executed.  now() is advanced to @p limit when the queue runs
+     * dry earlier, so subsequent scheduling is relative to the limit.
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run a single event; returns false if the queue was empty. */
+    bool runOne();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executedCount() const { return executed; }
+
+  private:
+    struct Record
+    {
+        Tick when;
+        int prio;
+        std::uint64_t seq;
+        Callback cb;
+        std::shared_ptr<bool> alive;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Record &a, const Record &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.prio != b.prio)
+                return a.prio > b.prio;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop tombstoned (cancelled) entries off the top. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Record, std::vector<Record>, Later> pq;
+    Tick curTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t executed = 0;
+};
+
+} // namespace refsched
+
+#endif // REFSCHED_SIMCORE_EVENT_QUEUE_HH

@@ -1,0 +1,36 @@
+#include "simcore/logging.hh"
+
+#include <cstdio>
+
+namespace refsched
+{
+
+namespace
+{
+LogLevel gLevel = LogLevel::Warn;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s\n", tag, msg.c_str());
+}
+
+} // namespace detail
+
+} // namespace refsched

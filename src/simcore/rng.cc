@@ -1,0 +1,51 @@
+#include "simcore/rng.hh"
+
+#include <cmath>
+
+namespace refsched
+{
+
+namespace
+{
+
+/** splitmix64: expands one 64-bit seed into a stream of state words. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+    // Guard against the (astronomically unlikely) all-zero state,
+    // which is the one fixed point of xoshiro256**.
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 1;
+}
+
+std::uint64_t
+Rng::geometric(double p, std::uint64_t maxGap)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return maxGap;
+    // Inverse-CDF sampling: floor(log(U) / log(1-p)).
+    const double u = real();
+    const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+    if (g >= static_cast<double>(maxGap))
+        return maxGap;
+    return static_cast<std::uint64_t>(g);
+}
+
+} // namespace refsched

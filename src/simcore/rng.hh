@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload traces.
+ *
+ * We implement xoshiro256** (Blackman & Vigna) rather than using
+ * std::mt19937 so that trace streams are bit-identical across
+ * standard-library implementations; every experiment in the paper
+ * reproduction is seeded and therefore exactly repeatable.
+ */
+
+#ifndef REFSCHED_SIMCORE_RNG_HH
+#define REFSCHED_SIMCORE_RNG_HH
+
+#include <cstdint>
+
+namespace refsched
+{
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialise the full state from a single 64-bit seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        const std::uint64_t t = s[1] << 17;
+
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's nearly-divisionless bounded generation; the tiny
+        // modulo bias of the simple 128-bit multiply-shift is
+        // irrelevant for workload synthesis, so we keep it simple.
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    inRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with success probability @p p. */
+    bool bernoulli(double p) { return real() < p; }
+
+    /**
+     * Geometric "gap" sample: number of failures before the first
+     * success with success probability @p p, clamped to @p maxGap.
+     * Used for instruction gaps between memory operations.
+     */
+    std::uint64_t geometric(double p, std::uint64_t maxGap = 100000);
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace refsched
+
+#endif // REFSCHED_SIMCORE_RNG_HH

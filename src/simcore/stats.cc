@@ -1,0 +1,137 @@
+#include "simcore/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace refsched
+{
+
+std::string
+Scalar::render() const
+{
+    std::ostringstream os;
+    os << val;
+    return os.str();
+}
+
+std::string
+Average::render() const
+{
+    std::ostringstream os;
+    os << mean() << " (" << count << " samples)";
+    return os.str();
+}
+
+Distribution::Distribution(double lo_, double hi_, std::size_t n)
+{
+    init(lo_, hi_, n);
+}
+
+void
+Distribution::init(double lo_, double hi_, std::size_t n)
+{
+    REFSCHED_ASSERT(hi_ > lo_ && n > 0, "bad distribution bounds");
+    lo = lo_;
+    hi = hi_;
+    width = (hi - lo) / static_cast<double>(n);
+    buckets.assign(n, 0);
+    reset();
+}
+
+void
+Distribution::sample(double v)
+{
+    if (count == 0) {
+        minV = maxV = v;
+    } else {
+        minV = std::min(minV, v);
+        maxV = std::max(maxV, v);
+    }
+    sum += v;
+    ++count;
+
+    if (v < lo) {
+        ++underflow;
+    } else if (v >= hi) {
+        ++overflow;
+    } else {
+        auto idx = static_cast<std::size_t>((v - lo) / width);
+        if (idx >= buckets.size())
+            idx = buckets.size() - 1;
+        ++buckets[idx];
+    }
+}
+
+double
+Distribution::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count));
+    std::uint64_t seen = underflow;
+    if (seen >= target)
+        return lo;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= target)
+            return lo + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi;
+}
+
+void
+Distribution::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    underflow = overflow = 0;
+    count = 0;
+    sum = 0.0;
+    minV = maxV = 0.0;
+}
+
+std::string
+Distribution::render() const
+{
+    std::ostringstream os;
+    os << "mean=" << mean() << " min=" << minValue()
+       << " max=" << maxValue() << " n=" << count;
+    return os.str();
+}
+
+void
+StatRegistry::add(const std::string &name, StatBase *stat)
+{
+    REFSCHED_ASSERT(stat != nullptr, "null stat: ", name);
+    auto [it, inserted] = stats.emplace(name, stat);
+    (void)it;
+    if (!inserted)
+        fatal("duplicate stat name: ", name);
+}
+
+StatBase *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = stats.find(name);
+    return it == stats.end() ? nullptr : it->second;
+}
+
+void
+StatRegistry::resetAll()
+{
+    for (auto &[name, stat] : stats)
+        stat->reset();
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &[name, stat] : stats)
+        os << name << " " << stat->render() << "\n";
+}
+
+} // namespace refsched

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lightweight statistics framework, modelled on gem5's stats package.
+ *
+ * Components own stat objects and register them with a StatRegistry
+ * under hierarchical dotted names ("mc0.readReqs").  The registry
+ * supports a global reset, which the experiment runner uses to drop
+ * warm-up activity before measurement, and a text dump.
+ */
+
+#ifndef REFSCHED_SIMCORE_STATS_HH
+#define REFSCHED_SIMCORE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace refsched
+{
+
+/** Base class for all statistics. */
+class StatBase
+{
+  public:
+    virtual ~StatBase() = default;
+
+    /** Discard accumulated data (used at end of warm-up). */
+    virtual void reset() = 0;
+
+    /** One-line textual rendering of the value. */
+    virtual std::string render() const = 0;
+};
+
+/** Monotonic counter / gauge. */
+class Scalar : public StatBase
+{
+  public:
+    void operator+=(double v) { val += v; }
+    void operator-=(double v) { val -= v; }
+    void operator++() { val += 1.0; }
+    void operator++(int) { val += 1.0; }
+    void set(double v) { val = v; }
+
+    double value() const { return val; }
+
+    void reset() override { val = 0.0; }
+    std::string render() const override;
+
+  private:
+    double val = 0.0;
+};
+
+/** Running mean with count (e.g., average memory latency). */
+class Average : public StatBase
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    std::uint64_t samples() const { return count; }
+    double total() const { return sum; }
+
+    void
+    reset() override
+    {
+        sum = 0.0;
+        count = 0;
+    }
+
+    std::string render() const override;
+
+  private:
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/**
+ * Fixed-bucket histogram with running min/max/mean.  Buckets are
+ * linear between [lo, hi); out-of-range samples land in underflow /
+ * overflow counters, so no sample is lost.
+ */
+class Distribution : public StatBase
+{
+  public:
+    Distribution() : Distribution(0.0, 1.0, 1) {}
+    Distribution(double lo, double hi, std::size_t numBuckets);
+
+    void init(double lo, double hi, std::size_t numBuckets);
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? sum / count : 0.0; }
+    double minValue() const { return count ? minV : 0.0; }
+    double maxValue() const { return count ? maxV : 0.0; }
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return buckets;
+    }
+    std::uint64_t underflowCount() const { return underflow; }
+    std::uint64_t overflowCount() const { return overflow; }
+
+    /** Approximate p-quantile (0..1) from bucket boundaries. */
+    double quantile(double q) const;
+
+    void reset() override;
+    std::string render() const override;
+
+  private:
+    double lo = 0.0, hi = 1.0, width = 1.0;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t underflow = 0, overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0, minV = 0.0, maxV = 0.0;
+};
+
+/**
+ * Name -> stat registry.  Does not own the stats; components keep
+ * their stat members and register pointers, matching gem5's model.
+ */
+class StatRegistry
+{
+  public:
+    /** Register @p stat under @p name; duplicate names are fatal. */
+    void add(const std::string &name, StatBase *stat);
+
+    /** Look up a stat (nullptr if absent). */
+    StatBase *find(const std::string &name) const;
+
+    /** Reset every registered stat. */
+    void resetAll();
+
+    /** Dump "name value" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    std::size_t size() const { return stats.size(); }
+
+  private:
+    std::map<std::string, StatBase *> stats;
+};
+
+} // namespace refsched
+
+#endif // REFSCHED_SIMCORE_STATS_HH

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthetic benchmark profiles standing in for the paper's SPEC
+ * CPU2006 / STREAM / NAS workloads.
+ *
+ * We do not have SPEC reference traces, so each benchmark is modelled
+ * as a parameterised address-stream generator calibrated to the
+ * properties the paper's evaluation actually depends on:
+ *
+ *   - memory footprint (section 5.4.1 gives mcf 1.7 GB, bwaves
+ *     920 MB, stream 800 MB, GemsFDTD 850 MB);
+ *   - MPKI class (Table 2: H > 10, M in 1..10, L < 1), realised as a
+ *     mixture of cache-resident "hot set" accesses, sequential
+ *     streaming, and uniform-random (pointer-chasing) accesses over
+ *     the full footprint;
+ *   - write intensity and non-memory ILP (baseCpi).
+ *
+ * The expected MPKI of a profile is analytically
+ *   1000 * memOpFraction * (randomFraction + seqFraction/accessesPerLine)
+ * since random accesses to a multi-MB footprint always miss a 2 MB
+ * L2 and sequential streams miss once per line; tab02_workloads
+ * verifies the measured values land in the intended class.
+ */
+
+#ifndef REFSCHED_WORKLOAD_PROFILE_HH
+#define REFSCHED_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/types.hh"
+
+namespace refsched::workload
+{
+
+/** MPKI intensity classes from Table 2. */
+enum class MpkiClass { Low, Medium, High };
+
+std::string toString(MpkiClass c);
+
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /** Full (unscaled) footprint in bytes. */
+    std::uint64_t footprintBytes = 64 * kMiB;
+
+    /** Fraction of instructions that are loads/stores. */
+    double memOpFraction = 0.3;
+
+    /** Fraction of memory ops that are writes. */
+    double writeFraction = 0.25;
+
+    /** Non-memory CPI (ILP beyond issue width). */
+    double baseCpi = 0.5;
+
+    // Access-pattern mixture; fractions sum to <= 1, the remainder
+    // going to the hot set.
+    double seqFraction = 0.0;     ///< streaming walks of the footprint
+    double randomFraction = 0.0;  ///< uniform over the footprint
+
+    /** Fraction of random accesses that are pointer-chase dependent
+     *  (serialised behind the previous miss, MLP = 1). */
+    double dependentFraction = 0.0;
+
+    /** Bytes of the cache-resident hot region. */
+    std::uint64_t hotsetBytes = 256 * kKiB;
+
+    /** Byte granularity of individual accesses. */
+    std::uint32_t accessBytes = 8;
+
+    /**
+     * Phase behaviour: when both are non-zero the benchmark
+     * alternates between a memory-intensive phase of memPhaseInstrs
+     * instructions (full pattern mixture) and a compute phase of
+     * computePhaseInstrs instructions (hot-set-only accesses).  Real
+     * applications are phased, and refresh schedulers with slack
+     * (elastic deferral, Adaptive Refresh) exploit the idle phases.
+     */
+    std::uint64_t memPhaseInstrs = 0;
+    std::uint64_t computePhaseInstrs = 0;
+
+    bool
+    phased() const
+    {
+        return memPhaseInstrs > 0 && computePhaseInstrs > 0;
+    }
+
+    /** Paper's classification (what Table 2 says). */
+    MpkiClass paperClass = MpkiClass::Low;
+
+    double hotFraction() const
+    {
+        return 1.0 - seqFraction - randomFraction;
+    }
+
+    /** Analytic MPKI estimate (see file header). */
+    double expectedMpki(std::uint64_t lineBytes = 64) const;
+
+    /** Classify an MPKI value per Table 2's thresholds. */
+    static MpkiClass classify(double mpki);
+
+    /** Sanity-check parameter ranges; fatal() on nonsense. */
+    void check() const;
+};
+
+/** Look up a built-in profile by benchmark name ("mcf", ...). */
+const BenchmarkProfile &profileByName(const std::string &name);
+
+/** Names of all built-in profiles. */
+std::vector<std::string> builtinProfileNames();
+
+} // namespace refsched::workload
+
+#endif // REFSCHED_WORKLOAD_PROFILE_HH

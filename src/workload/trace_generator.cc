@@ -1,0 +1,80 @@
+#include "workload/trace_generator.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace refsched::workload
+{
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(
+    const BenchmarkProfile &profile, std::uint64_t seed,
+    std::uint64_t footprintBytes)
+    : profile_(profile),
+      footprint_(std::max(footprintBytes, profile.hotsetBytes)),
+      rng_(seed)
+{
+    profile_.check();
+    // Spread the stream cursors across the footprint, like the
+    // separate operand arrays of a streaming kernel.  Each cursor is
+    // additionally staggered by one page: quarter-footprint offsets
+    // are typically congruent modulo the bank-interleave period, and
+    // without the stagger all streams would walk the same bank with
+    // different rows, destroying row-buffer locality artificially.
+    for (int s = 0; s < kNumStreams; ++s) {
+        streamCursor_[s] = ((footprint_ / kNumStreams + 4 * kKiB)
+                            * static_cast<std::uint64_t>(s))
+            % footprint_;
+    }
+    if (profile_.phased())
+        phaseInstrsLeft_ = profile_.memPhaseInstrs;
+}
+
+cpu::TraceEntry
+SyntheticTraceGenerator::next()
+{
+    cpu::TraceEntry e;
+    // Gap between memory ops: geometric with mean (1-f)/f.
+    e.gap = static_cast<std::uint32_t>(
+        rng_.geometric(profile_.memOpFraction, 4096));
+    e.isWrite = rng_.bernoulli(profile_.writeFraction);
+
+    if (profile_.phased()) {
+        if (phaseInstrsLeft_ == 0) {
+            inMemPhase_ = !inMemPhase_;
+            phaseInstrsLeft_ = inMemPhase_
+                ? profile_.memPhaseInstrs
+                : profile_.computePhaseInstrs;
+        }
+        const std::uint64_t consumed = e.gap + 1ULL;
+        phaseInstrsLeft_ -= std::min(phaseInstrsLeft_, consumed);
+        if (!inMemPhase_) {
+            // Compute phase: everything hits the hot set.
+            e.vaddr = rng_.below(profile_.hotsetBytes
+                                 / profile_.accessBytes)
+                * profile_.accessBytes;
+            return e;
+        }
+    }
+
+    const double which = rng_.real();
+    if (which < profile_.seqFraction) {
+        auto &cur = streamCursor_[nextStream_];
+        nextStream_ = (nextStream_ + 1) % kNumStreams;
+        cur += profile_.accessBytes;
+        if (cur >= footprint_)
+            cur = 0;
+        e.vaddr = cur;
+        e.sequential = true;
+    } else if (which < profile_.seqFraction + profile_.randomFraction) {
+        e.vaddr = rng_.below(footprint_ / profile_.accessBytes)
+            * profile_.accessBytes;
+        e.dependent = rng_.bernoulli(profile_.dependentFraction);
+    } else {
+        e.vaddr = rng_.below(profile_.hotsetBytes / profile_.accessBytes)
+            * profile_.accessBytes;
+    }
+    return e;
+}
+
+} // namespace refsched::workload

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic synthetic trace generation from a BenchmarkProfile.
+ *
+ * Virtual address space layout (per task, starting at 0):
+ *   [0, hotsetBytes)        the cache-resident hot region
+ *   [0, footprint)          sequential streams and random accesses
+ *                           range over the whole footprint
+ *
+ * Sequential accesses advance a small set of stream cursors spread
+ * across the footprint (wrapping), like the multiple array operands
+ * of STREAM/bwaves; random accesses are uniform over the footprint
+ * (pointer chasing); everything else hits the hot set.
+ */
+
+#ifndef REFSCHED_WORKLOAD_TRACE_GENERATOR_HH
+#define REFSCHED_WORKLOAD_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/instruction_source.hh"
+#include "simcore/rng.hh"
+#include "workload/profile.hh"
+
+namespace refsched::workload
+{
+
+class SyntheticTraceGenerator final : public cpu::InstructionSource
+{
+  public:
+    /**
+     * @param profile        the benchmark model
+     * @param seed           RNG seed (per task, for distinct streams)
+     * @param footprintBytes effective footprint (callers scale the
+     *                       profile footprint by the system
+     *                       timeScale); clamped to >= hot set
+     */
+    SyntheticTraceGenerator(const BenchmarkProfile &profile,
+                            std::uint64_t seed,
+                            std::uint64_t footprintBytes);
+
+    cpu::TraceEntry next() override;
+
+    double baseCpi() const override { return profile_.baseCpi; }
+
+    const BenchmarkProfile &profile() const { return profile_; }
+    std::uint64_t footprintBytes() const { return footprint_; }
+
+    /** True while the generator is in a memory-intensive phase
+     *  (always true for unphased profiles). */
+    bool inMemPhase() const { return inMemPhase_; }
+
+  private:
+    static constexpr int kNumStreams = 4;
+
+    BenchmarkProfile profile_;
+    std::uint64_t footprint_;
+    Rng rng_;
+    std::uint64_t streamCursor_[kNumStreams];
+    int nextStream_ = 0;
+
+    // Phase tracking (instruction budget of the current phase).
+    bool inMemPhase_ = true;
+    std::uint64_t phaseInstrsLeft_ = 0;
+};
+
+} // namespace refsched::workload
+
+#endif // REFSCHED_WORKLOAD_TRACE_GENERATOR_HH

@@ -1,0 +1,130 @@
+/** @file Tests for the two-level cache hierarchy. */
+
+#include "cache/cache_hierarchy.hh"
+
+#include <gtest/gtest.h>
+
+#include "simcore/logging.hh"
+
+namespace refsched::cache
+{
+namespace
+{
+
+HierarchyParams
+smallParams()
+{
+    HierarchyParams p;
+    p.l1 = CacheParams{1 * kKiB, 2, 64, 2};   // 8 sets
+    p.l2 = CacheParams{8 * kKiB, 4, 64, 20};  // 32 sets
+    return p;
+}
+
+TEST(CacheHierarchyTest, L1HitLatency)
+{
+    CacheHierarchy h(1, smallParams());
+    h.access(0, 1, 0x1000, false);  // install
+    const auto res = h.access(0, 1, 0x1000, false);
+    EXPECT_EQ(res.latency, 2u);
+    EXPECT_FALSE(res.dramMiss);
+    EXPECT_EQ(res.writebackCount, 0);
+}
+
+TEST(CacheHierarchyTest, ColdLoadMissesToDram)
+{
+    CacheHierarchy h(1, smallParams());
+    const auto res = h.access(0, 1, 0x4000, false);
+    EXPECT_TRUE(res.dramMiss);
+    EXPECT_EQ(res.latency, 2u + 20u);
+    EXPECT_EQ(h.l2MissesOf(1), 1u);
+}
+
+TEST(CacheHierarchyTest, StoresWriteValidateWithoutFetch)
+{
+    CacheHierarchy h(1, smallParams());
+    const auto res = h.access(0, 1, 0x4000, true);
+    EXPECT_FALSE(res.dramMiss);  // no fetch on store miss
+    EXPECT_EQ(h.l2MissesOf(1), 1u);  // still an L2 miss statistically
+    // The stored line is now cached.
+    EXPECT_TRUE(h.access(0, 1, 0x4000, false).latency == 2u);
+}
+
+TEST(CacheHierarchyTest, L2HitAfterL1Eviction)
+{
+    CacheHierarchy h(1, smallParams());
+    // Fill L1 set 0 (2 ways) plus one more to evict the first line.
+    // L1 has 8 sets: same-set addresses differ by 8*64 = 512 bytes.
+    h.access(0, 1, 0 * 512, false);
+    h.access(0, 1, 1 * 512, false);
+    h.access(0, 1, 2 * 512, false);  // evicts line 0 from L1
+    const auto res = h.access(0, 1, 0 * 512, false);
+    EXPECT_FALSE(res.dramMiss);      // still in L2
+    EXPECT_EQ(res.latency, 22u);
+}
+
+TEST(CacheHierarchyTest, DirtyL1VictimLandsInL2)
+{
+    CacheHierarchy h(1, smallParams());
+    h.access(0, 1, 0 * 512, true);   // dirty in L1
+    h.access(0, 1, 1 * 512, false);
+    h.access(0, 1, 2 * 512, false);  // evicts dirty line 0 into L2
+
+    // Push the line out of L2 too: its L2 set now holds it dirty.
+    // L2 has 32 sets, 4 ways: same-set step is 32*64 = 2 KiB.
+    int wbTotal = 0;
+    for (int i = 1; i <= 4; ++i) {
+        const auto res =
+            h.access(0, 1, static_cast<Addr>(i) * 2048, false);
+        wbTotal += res.writebackCount;
+    }
+    EXPECT_GE(wbTotal, 1);  // the dirty victim reached DRAM
+}
+
+TEST(CacheHierarchyTest, SeparateL1PerCoreSharedL2)
+{
+    CacheHierarchy h(2, smallParams());
+    h.access(0, 1, 0x2000, false);   // core 0 installs in L1(0) + L2
+    const auto res = h.access(1, 2, 0x2000, false);
+    EXPECT_FALSE(res.dramMiss);      // L2 is shared
+    EXPECT_EQ(res.latency, 22u);     // but core 1's L1 missed
+}
+
+TEST(CacheHierarchyTest, PerPidMissAccounting)
+{
+    CacheHierarchy h(1, smallParams());
+    h.access(0, 7, 0x10000, false);
+    h.access(0, 7, 0x20000, false);
+    h.access(0, 9, 0x30000, false);
+    EXPECT_EQ(h.l2MissesOf(7), 2u);
+    EXPECT_EQ(h.l2MissesOf(9), 1u);
+    EXPECT_EQ(h.l2MissesOf(42), 0u);
+}
+
+TEST(CacheHierarchyTest, ResetStatsKeepsContents)
+{
+    CacheHierarchy h(1, smallParams());
+    h.access(0, 1, 0x1000, false);
+    h.resetStats();
+    EXPECT_EQ(h.l2MissesOf(1), 0u);
+    // Contents survive: this is a hit, not a DRAM miss.
+    EXPECT_FALSE(h.access(0, 1, 0x1000, false).dramMiss);
+}
+
+TEST(CacheHierarchyTest, ResetClearsContents)
+{
+    CacheHierarchy h(1, smallParams());
+    h.access(0, 1, 0x1000, false);
+    h.reset();
+    EXPECT_TRUE(h.access(0, 1, 0x1000, false).dramMiss);
+}
+
+TEST(CacheHierarchyTest, MismatchedLineSizesAreFatal)
+{
+    HierarchyParams p = smallParams();
+    p.l1.lineBytes = 32;
+    EXPECT_THROW(CacheHierarchy(1, p), FatalError);
+    EXPECT_THROW(CacheHierarchy(0, smallParams()), FatalError);
+}
+
+} // namespace
+} // namespace refsched::cache

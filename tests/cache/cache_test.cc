@@ -1,0 +1,185 @@
+/** @file Tests for the set-associative cache tag store. */
+
+#include "cache/cache.hh"
+
+#include <gtest/gtest.h>
+
+#include "simcore/logging.hh"
+
+namespace refsched::cache
+{
+namespace
+{
+
+CacheParams
+tiny()
+{
+    // 4 sets x 2 ways x 64 B lines = 512 B.
+    CacheParams p;
+    p.sizeBytes = 512;
+    p.associativity = 2;
+    p.lineBytes = 64;
+    p.hitLatency = 2;
+    return p;
+}
+
+/** Address for (set, tag) in the tiny cache. */
+Addr
+at(std::uint64_t set, std::uint64_t tag)
+{
+    return (tag * 4 + set) * 64;
+}
+
+TEST(CacheTest, MissThenHit)
+{
+    Cache c(tiny());
+    EXPECT_FALSE(c.access(at(0, 1), false).hit);
+    EXPECT_TRUE(c.access(at(0, 1), false).hit);
+    EXPECT_EQ(c.accesses(), 2u);
+    EXPECT_EQ(c.misses(), 1u);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.5);
+}
+
+TEST(CacheTest, DifferentOffsetsSameLineHit)
+{
+    Cache c(tiny());
+    c.access(at(0, 1), false);
+    EXPECT_TRUE(c.access(at(0, 1) + 8, false).hit);
+    EXPECT_TRUE(c.access(at(0, 1) + 63, true).hit);
+}
+
+TEST(CacheTest, LruEviction)
+{
+    Cache c(tiny());
+    c.access(at(2, 1), false);
+    c.access(at(2, 2), false);  // set 2 now full
+    c.access(at(2, 1), false);  // touch tag 1: tag 2 becomes LRU
+    const auto out = c.access(at(2, 3), false);
+    EXPECT_FALSE(out.hit);
+    EXPECT_TRUE(out.victimValid);
+    EXPECT_EQ(out.victimAddr, at(2, 2));
+    EXPECT_TRUE(c.contains(at(2, 1)));
+    EXPECT_FALSE(c.contains(at(2, 2)));
+    EXPECT_TRUE(c.contains(at(2, 3)));
+}
+
+TEST(CacheTest, DirtyVictimReported)
+{
+    Cache c(tiny());
+    c.access(at(1, 1), true);   // dirty
+    c.access(at(1, 2), false);  // clean
+    const auto out = c.access(at(1, 3), false);  // evicts tag 1 (LRU)
+    EXPECT_TRUE(out.victimValid);
+    EXPECT_TRUE(out.victimDirty);
+    EXPECT_EQ(out.victimAddr, at(1, 1));
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(CacheTest, CleanVictimNotDirty)
+{
+    Cache c(tiny());
+    c.access(at(1, 1), false);
+    c.access(at(1, 2), false);
+    const auto out = c.access(at(1, 3), false);
+    EXPECT_TRUE(out.victimValid);
+    EXPECT_FALSE(out.victimDirty);
+    EXPECT_EQ(c.writebacks(), 0u);
+}
+
+TEST(CacheTest, WriteMarksLineDirtyLater)
+{
+    Cache c(tiny());
+    c.access(at(3, 1), false);  // allocate clean
+    c.access(at(3, 1), true);   // dirty it on a hit
+    c.access(at(3, 2), false);
+    const auto out = c.access(at(3, 3), false);
+    EXPECT_TRUE(out.victimDirty);
+}
+
+TEST(CacheTest, InsertWithoutDemandAccess)
+{
+    Cache c(tiny());
+    c.insert(at(0, 5), true);
+    EXPECT_TRUE(c.contains(at(0, 5)));
+    // insert() is not a demand access.
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_EQ(c.misses(), 0u);
+}
+
+TEST(CacheTest, InsertOnPresentLineMergesDirty)
+{
+    Cache c(tiny());
+    c.access(at(0, 5), false);
+    c.insert(at(0, 5), true);
+    c.access(at(0, 6), false);
+    const auto out = c.access(at(0, 7), false);  // evicts tag 5
+    EXPECT_TRUE(out.victimDirty);
+}
+
+TEST(CacheTest, InvalidateDropsLine)
+{
+    Cache c(tiny());
+    c.access(at(0, 1), true);
+    EXPECT_TRUE(c.invalidate(at(0, 1)));   // was dirty
+    EXPECT_FALSE(c.contains(at(0, 1)));
+    EXPECT_FALSE(c.invalidate(at(0, 1)));  // already gone
+}
+
+TEST(CacheTest, ResetClearsContents)
+{
+    Cache c(tiny());
+    c.access(at(0, 1), false);
+    c.reset();
+    EXPECT_FALSE(c.contains(at(0, 1)));
+}
+
+TEST(CacheTest, ProbeDoesNotDisturbLru)
+{
+    Cache c(tiny());
+    c.access(at(2, 1), false);
+    c.access(at(2, 2), false);
+    // Probing tag 1 must not make it MRU.
+    EXPECT_TRUE(c.contains(at(2, 1)));
+    const auto out = c.access(at(2, 3), false);
+    EXPECT_EQ(out.victimAddr, at(2, 1));
+}
+
+TEST(CacheTest, FullCoverageOfAllSets)
+{
+    Cache c(tiny());
+    for (std::uint64_t set = 0; set < 4; ++set) {
+        for (std::uint64_t tag = 0; tag < 2; ++tag)
+            EXPECT_FALSE(c.access(at(set, tag), false).hit);
+    }
+    for (std::uint64_t set = 0; set < 4; ++set) {
+        for (std::uint64_t tag = 0; tag < 2; ++tag)
+            EXPECT_TRUE(c.access(at(set, tag), false).hit);
+    }
+}
+
+TEST(CacheTest, Table1Geometry)
+{
+    CacheParams l1{32 * kKiB, 4, 64, 2};
+    EXPECT_EQ(l1.numSets(), 128u);
+    CacheParams l2{2 * kMiB, 16, 64, 20};
+    EXPECT_EQ(l2.numSets(), 2048u);
+    Cache c1(l1), c2(l2);  // construct without error
+}
+
+TEST(CacheTest, BadParamsAreFatal)
+{
+    CacheParams p = tiny();
+    p.lineBytes = 65;
+    EXPECT_THROW(Cache{p}, FatalError);
+
+    p = tiny();
+    p.associativity = 0;
+    EXPECT_THROW(Cache{p}, FatalError);
+
+    p = tiny();
+    p.sizeBytes = 384;  // 3 sets: not a power of two
+    EXPECT_THROW(Cache{p}, FatalError);
+}
+
+} // namespace
+} // namespace refsched::cache

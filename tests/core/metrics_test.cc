@@ -1,0 +1,56 @@
+/** @file Tests for the Metrics value type. */
+
+#include "core/metrics.hh"
+
+#include <gtest/gtest.h>
+
+namespace refsched::core
+{
+namespace
+{
+
+TEST(MetricsTest, SpeedupOverBaseline)
+{
+    Metrics base, fast;
+    base.harmonicMeanIpc = 0.5;
+    fast.harmonicMeanIpc = 0.6;
+    EXPECT_DOUBLE_EQ(fast.speedupOver(base), 1.2);
+    EXPECT_DOUBLE_EQ(base.speedupOver(fast), 0.5 / 0.6);
+
+    Metrics zero;
+    EXPECT_DOUBLE_EQ(fast.speedupOver(zero), 0.0);
+}
+
+TEST(MetricsTest, AvgMpki)
+{
+    Metrics m;
+    EXPECT_DOUBLE_EQ(m.avgMpki(), 0.0);
+    TaskMetrics a, b;
+    a.mpki = 10.0;
+    b.mpki = 20.0;
+    m.tasks = {a, b};
+    EXPECT_DOUBLE_EQ(m.avgMpki(), 15.0);
+}
+
+TEST(MetricsTest, SummaryMentionsKeyNumbers)
+{
+    Metrics m;
+    m.harmonicMeanIpc = 0.75;
+    m.avgReadLatencyMemCycles = 42.0;
+    m.refreshCommands = 128;
+    const auto s = m.summary();
+    EXPECT_NE(s.find("0.75"), std::string::npos);
+    EXPECT_NE(s.find("42"), std::string::npos);
+    EXPECT_NE(s.find("128"), std::string::npos);
+}
+
+TEST(MetricsTest, EnergyDefaultsToZero)
+{
+    Metrics m;
+    EXPECT_DOUBLE_EQ(m.energy.totalPj(), 0.0);
+    EXPECT_DOUBLE_EQ(m.energy.refreshShare(), 0.0);
+    EXPECT_DOUBLE_EQ(m.energyPerInstructionPj, 0.0);
+}
+
+} // namespace
+} // namespace refsched::core

@@ -1,0 +1,68 @@
+/** @file Tests for the report/table rendering helpers. */
+
+#include "core/report.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace refsched::core
+{
+namespace
+{
+
+TEST(TableTest, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+    EXPECT_NE(out.find("|--------|-------|"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, RowWidthMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), PanicError);
+}
+
+TEST(TableTest, RowCount)
+{
+    Table t({"x"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(ReportTest, PctImprovement)
+{
+    EXPECT_EQ(pctImprovement(1.162), "+16.2%");
+    EXPECT_EQ(pctImprovement(1.0), "+0.0%");
+    EXPECT_EQ(pctImprovement(0.95), "-5.0%");
+}
+
+TEST(ReportTest, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159), "3.142");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace refsched::core

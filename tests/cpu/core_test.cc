@@ -1,0 +1,314 @@
+/** @file Tests for the trace-driven out-of-order core model. */
+
+#include "cpu/core.hh"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "simcore/logging.hh"
+
+namespace refsched::cpu
+{
+namespace
+{
+
+/** An InstructionSource driven by a lambda. */
+class ScriptedSource : public InstructionSource
+{
+  public:
+    explicit ScriptedSource(std::function<TraceEntry()> fn,
+                            double cpi = 0.5)
+        : fn_(std::move(fn)), cpi_(cpi)
+    {
+    }
+
+    TraceEntry next() override { return fn_(); }
+    double baseCpi() const override { return cpi_; }
+
+  private:
+    std::function<TraceEntry()> fn_;
+    double cpi_;
+};
+
+struct Fixture
+{
+    explicit Fixture(CoreParams params = {},
+                     dram::RefreshPolicy policy =
+                         dram::RefreshPolicy::NoRefresh)
+        : dev(dram::makeDdr3_1600(dram::DensityGb::d32,
+                                  milliseconds(64.0), 256)),
+          mc(eq, dev, dram::makeRefreshScheduler(policy, dev)),
+          buddy(mc.mapping()),
+          vm(mc.mapping(), buddy),
+          caches(1, smallCaches()),
+          core(eq, 0, params, caches, mc, vm),
+          task(1, "test", mc.mapping().totalBanks())
+    {
+    }
+
+    static cache::HierarchyParams
+    smallCaches()
+    {
+        cache::HierarchyParams p;
+        p.l1 = cache::CacheParams{1 * kKiB, 2, 64, 2};
+        p.l2 = cache::CacheParams{8 * kKiB, 4, 64, 20};
+        return p;
+    }
+
+    /** Pre-fault [0, bytes) so page faults don't pollute timing. */
+    void
+    preTouch(std::uint64_t bytes)
+    {
+        for (Addr a = 0; a < bytes; a += mc.mapping().pageBytes())
+            vm.translate(task, a);
+    }
+
+    void
+    attachAndRun(InstructionSource *src, Tick duration)
+    {
+        task.source = src;
+        core.setTask(&task, duration);
+        eq.runUntil(duration);
+    }
+
+    EventQueue eq;
+    dram::DramDeviceConfig dev;
+    memctrl::MemoryController mc;
+    os::BuddyAllocator buddy;
+    os::VirtualMemory vm;
+    cache::CacheHierarchy caches;
+    cpu::Core core;
+    os::Task task;
+};
+
+TEST(CoreTest, CacheResidentCodeRunsAtBaseCpi)
+{
+    Fixture f;
+    f.preTouch(4 * kKiB);
+    // gap 99 + 1 memory op to a single hot line = 100 instructions
+    // per entry, all cache hits after the first.
+    ScriptedSource src([] {
+        TraceEntry e;
+        e.gap = 99;
+        e.vaddr = 0;
+        return e;
+    });
+    const Tick duration = microseconds(20.0);
+    f.attachAndRun(&src, duration);
+
+    const double cpiTicks = 0.5 * 312.0;
+    const double expected = static_cast<double>(duration) / cpiTicks;
+    EXPECT_NEAR(static_cast<double>(f.task.instrsRetired), expected,
+                expected * 0.05);
+    // At most the single cold miss for the hot line itself.
+    EXPECT_LE(f.core.dramReads.value(), 1.0);
+}
+
+TEST(CoreTest, IssueWidthBoundsCpi)
+{
+    CoreParams p;
+    p.issueWidth = 2;
+    Fixture f(p);
+    f.preTouch(4 * kKiB);
+    // baseCpi 0.1 would exceed the 2-wide issue limit of 0.5.
+    ScriptedSource src(
+        [] {
+            TraceEntry e;
+            e.gap = 99;
+            e.vaddr = 0;
+            return e;
+        },
+        0.1);
+    const Tick duration = microseconds(10.0);
+    f.attachAndRun(&src, duration);
+    const double expected = static_cast<double>(duration) / (0.5 * 312.0);
+    EXPECT_NEAR(static_cast<double>(f.task.instrsRetired), expected,
+                expected * 0.05);
+}
+
+TEST(CoreTest, IndependentMissesOverlap)
+{
+    // Random independent misses: ROB-limited MLP makes throughput
+    // much higher than serial latency would allow.
+    Fixture fIndep;
+    fIndep.preTouch(256 * kKiB);
+    std::uint64_t n1 = 0;
+    ScriptedSource indep([&n1] {
+        TraceEntry e;
+        e.gap = 4;
+        e.vaddr = (n1++ * 64) % (256 * kKiB);
+        return e;
+    });
+    fIndep.attachAndRun(&indep, microseconds(50.0));
+
+    Fixture fDep;
+    fDep.preTouch(256 * kKiB);
+    std::uint64_t n2 = 0;
+    ScriptedSource dep([&n2] {
+        TraceEntry e;
+        e.gap = 4;
+        e.vaddr = (n2++ * 64) % (256 * kKiB);
+        e.dependent = true;
+        return e;
+    });
+    fDep.attachAndRun(&dep, microseconds(50.0));
+
+    // Both make progress; the dependent chain is much slower.
+    EXPECT_GT(fDep.task.instrsRetired, 0u);
+    EXPECT_GT(fIndep.task.instrsRetired,
+              fDep.task.instrsRetired * 3 / 2);
+    EXPECT_GT(fDep.core.robStallTicks.value(), 0.0);
+}
+
+TEST(CoreTest, PrefetchCoveredStreamsDontStall)
+{
+    CoreParams blocking;
+    CoreParams prefetching;
+    prefetching.prefetchSequential = true;
+
+    std::uint64_t instrs[2];
+    int idx = 0;
+    for (const auto &params : {blocking, prefetching}) {
+        Fixture f(params);
+        f.preTouch(512 * kKiB);
+        std::uint64_t n = 0;
+        ScriptedSource src([&n] {
+            TraceEntry e;
+            e.gap = 20;
+            e.vaddr = (n++ * 64) % (512 * kKiB);
+            e.sequential = true;
+            return e;
+        });
+        f.attachAndRun(&src, microseconds(50.0));
+        instrs[idx++] = f.task.instrsRetired;
+    }
+    EXPECT_GT(instrs[1], instrs[0]);
+}
+
+TEST(CoreTest, MshrLimitBoundsInFlightReads)
+{
+    CoreParams p;
+    p.mshrCount = 2;
+    p.prefetchSequential = true;
+    Fixture f(p);
+    f.preTouch(512 * kKiB);
+    std::uint64_t n = 0;
+    ScriptedSource src([&n] {
+        TraceEntry e;
+        e.gap = 0;
+        e.vaddr = (n++ * 64) % (512 * kKiB);
+        e.sequential = true;
+        return e;
+    });
+    f.attachAndRun(&src, microseconds(20.0));
+    // The MC queue never sees more than mshrCount reads from us.
+    EXPECT_LE(f.mc.readQueueSize(0), 2u);
+    EXPECT_GT(f.core.mshrStallTicks.value(), 0.0);
+}
+
+TEST(CoreTest, DirtyEvictionsReachDram)
+{
+    Fixture f;
+    f.preTouch(128 * kKiB);
+    std::uint64_t n = 0;
+    ScriptedSource src([&n] {
+        TraceEntry e;
+        e.gap = 2;
+        e.vaddr = (n++ * 64) % (128 * kKiB);
+        e.isWrite = true;
+        return e;
+    });
+    f.attachAndRun(&src, microseconds(100.0));
+    EXPECT_GT(f.core.dramWrites.value(), 0.0);
+    // Stores write-validate: no DRAM reads needed.
+    EXPECT_EQ(f.core.dramReads.value(), 0.0);
+}
+
+TEST(CoreTest, StopsAtRunUntil)
+{
+    Fixture f;
+    f.preTouch(4 * kKiB);
+    ScriptedSource src([] {
+        TraceEntry e;
+        e.gap = 9;
+        e.vaddr = 0;
+        return e;
+    });
+    f.task.source = &src;
+    f.core.setTask(&f.task, microseconds(5.0));
+    f.eq.runUntil(microseconds(5.0));
+    const auto atQuantum = f.task.instrsRetired;
+    EXPECT_GT(atQuantum, 0u);
+    // No more events: the core idles past its quantum.
+    f.eq.runUntil(microseconds(50.0));
+    EXPECT_EQ(f.task.instrsRetired, atQuantum);
+}
+
+TEST(CoreTest, ContextSwitchSwapsAccounting)
+{
+    Fixture f;
+    f.preTouch(4 * kKiB);
+    os::Task other(2, "other", f.mc.mapping().totalBanks());
+    for (Addr a = 0; a < 4 * kKiB; a += f.mc.mapping().pageBytes())
+        f.vm.translate(other, a);
+
+    ScriptedSource src([] {
+        TraceEntry e;
+        e.gap = 9;
+        e.vaddr = 0;
+        return e;
+    });
+    f.task.source = &src;
+    other.source = &src;
+
+    f.core.setTask(&f.task, microseconds(5.0));
+    f.eq.runUntil(microseconds(5.0));
+    f.core.setTask(&other, microseconds(10.0));
+    f.eq.runUntil(microseconds(10.0));
+
+    EXPECT_GT(f.task.instrsRetired, 0u);
+    EXPECT_GT(other.instrsRetired, 0u);
+    EXPECT_EQ(f.core.contextSwitches.value(), 2.0);
+    EXPECT_EQ(f.core.currentTask(), &other);
+}
+
+TEST(CoreTest, ResumingSameTaskKeepsState)
+{
+    Fixture f;
+    f.preTouch(4 * kKiB);
+    ScriptedSource src([] {
+        TraceEntry e;
+        e.gap = 9;
+        e.vaddr = 0;
+        return e;
+    });
+    f.task.source = &src;
+    f.core.setTask(&f.task, microseconds(5.0));
+    f.eq.runUntil(microseconds(5.0));
+    f.core.setTask(&f.task, microseconds(10.0));  // same task again
+    f.eq.runUntil(microseconds(10.0));
+    // Only the initial switch counted.
+    EXPECT_EQ(f.core.contextSwitches.value(), 1.0);
+}
+
+TEST(CoreTest, NullTaskIdles)
+{
+    Fixture f;
+    f.core.setTask(nullptr, microseconds(5.0));
+    f.eq.runUntil(microseconds(5.0));
+    EXPECT_EQ(f.core.instrsIssued.value(), 0.0);
+}
+
+TEST(CoreTest, BadParamsAreFatal)
+{
+    Fixture f;  // reuse its components
+    CoreParams p;
+    p.issueWidth = 0;
+    EXPECT_THROW(cpu::Core(f.eq, 1, p, f.caches, f.mc, f.vm),
+                 FatalError);
+}
+
+} // namespace
+} // namespace refsched::cpu

@@ -1,0 +1,188 @@
+/** @file Tests for the physical address <-> DRAM coordinate mapping. */
+
+#include "dram/address_mapping.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "simcore/rng.hh"
+
+namespace refsched::dram
+{
+namespace
+{
+
+DramOrganization
+tableOneOrg()
+{
+    const auto cfg = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 64);
+    return cfg.org;
+}
+
+TEST(AddressMappingTest, RoundTripRandomAddresses)
+{
+    const AddressMapping map(tableOneOrg());
+    Rng rng(11);
+    const auto total = map.organization().totalBytes();
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = (rng.below(total / 64)) * 64;
+        const auto coord = map.decompose(a);
+        EXPECT_EQ(map.compose(coord), a & ~63ULL)
+            << "address 0x" << std::hex << a;
+    }
+}
+
+TEST(AddressMappingTest, CoordinatesStayInRange)
+{
+    const AddressMapping map(tableOneOrg());
+    const auto &org = map.organization();
+    Rng rng(12);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = rng.below(org.totalBytes());
+        const auto c = map.decompose(a);
+        EXPECT_LT(c.channel, org.channels);
+        EXPECT_LT(c.rank, org.ranksPerChannel);
+        EXPECT_LT(c.bank, org.banksPerRank);
+        EXPECT_LT(c.row, org.rowsPerBank);
+        EXPECT_LT(c.column, org.columnsPerRow());
+    }
+}
+
+TEST(AddressMappingTest, PageMapsToSingleBankAndRow)
+{
+    // The property Algorithm 2 relies on: a 4 KB OS page never
+    // straddles banks or rows.
+    const AddressMapping map(tableOneOrg());
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        const std::uint64_t pfn = rng.below(map.totalFrames());
+        const Addr base = pfn << map.pageShift();
+        const auto first = map.decompose(base);
+        for (Addr off = 64; off < map.pageBytes(); off += 64) {
+            const auto c = map.decompose(base + off);
+            ASSERT_EQ(c.channel, first.channel);
+            ASSERT_EQ(c.rank, first.rank);
+            ASSERT_EQ(c.bank, first.bank);
+            ASSERT_EQ(c.row, first.row);
+        }
+        EXPECT_EQ(map.bankOfFrame(pfn), map.globalBank(base));
+    }
+}
+
+TEST(AddressMappingTest, ConsecutivePagesRotateBanks)
+{
+    const AddressMapping map(tableOneOrg());
+    const int banks = map.totalBanks();
+    std::set<int> seen;
+    for (int p = 0; p < banks; ++p)
+        seen.insert(map.bankOfFrame(static_cast<std::uint64_t>(p)));
+    // One full sweep of consecutive pages covers every global bank.
+    EXPECT_EQ(static_cast<int>(seen.size()), banks);
+}
+
+TEST(AddressMappingTest, GlobalBankDecomposition)
+{
+    const AddressMapping map(tableOneOrg());
+    for (int g = 0; g < map.totalBanks(); ++g) {
+        const int ch = map.channelOf(g);
+        const int rank = map.rankOf(g);
+        const int bank = map.bankInRank(g);
+        DramCoord c;
+        c.channel = ch;
+        c.rank = rank;
+        c.bank = bank;
+        EXPECT_EQ(map.globalBank(c), g);
+    }
+}
+
+TEST(AddressMappingTest, MultiChannelRoundTrip)
+{
+    auto org = tableOneOrg();
+    org.channels = 4;
+    const AddressMapping map(org);
+    Rng rng(14);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = (rng.below(org.totalBytes() / 64)) * 64;
+        EXPECT_EQ(map.compose(map.decompose(a)), a);
+    }
+    EXPECT_EQ(map.totalBanks(), 64);
+}
+
+TEST(AddressMappingTest, TotalFramesMatchesCapacity)
+{
+    const AddressMapping map(tableOneOrg());
+    EXPECT_EQ(map.totalFrames(),
+              map.organization().totalBytes() / map.pageBytes());
+}
+
+TEST(AddressMappingTest, NonPowerOfTwoRowCount)
+{
+    // 24 Gb devices have 384K rows/bank -- not a power of two.
+    const auto cfg =
+        makeDdr3_1600(DensityGb::d24, milliseconds(64.0), 64);
+    const AddressMapping map(cfg.org);
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const Addr a = (rng.below(cfg.org.totalBytes() / 64)) * 64;
+        const auto c = map.decompose(a);
+        EXPECT_LT(c.row, cfg.org.rowsPerBank);
+        EXPECT_EQ(map.compose(c), a);
+    }
+}
+
+TEST(AddressMappingTest, XorBankHashRoundTrips)
+{
+    auto org = tableOneOrg();
+    org.xorBankHash = true;
+    const AddressMapping map(org);
+    Rng rng(22);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr a = (rng.below(org.totalBytes() / 64)) * 64;
+        const auto c = map.decompose(a);
+        EXPECT_LT(c.bank, org.banksPerRank);
+        EXPECT_EQ(map.compose(c), a);
+    }
+}
+
+TEST(AddressMappingTest, XorBankHashDealiasesBankStride)
+{
+    // Addresses exactly one bank-interleave period apart land in the
+    // SAME bank without hashing, but spread with it.
+    auto org = tableOneOrg();
+    const AddressMapping plain(org);
+    org.xorBankHash = true;
+    const AddressMapping hashed(org);
+
+    // Stride of one full bank x channel x rank rotation of pages:
+    // consecutive samples differ only in row.
+    const Addr stride = static_cast<Addr>(plain.totalBanks())
+        * plain.pageBytes();
+    std::set<int> plainBanks, hashedBanks;
+    for (int i = 0; i < 8; ++i) {
+        plainBanks.insert(
+            plain.globalBank(static_cast<Addr>(i) * stride));
+        hashedBanks.insert(
+            hashed.globalBank(static_cast<Addr>(i) * stride));
+    }
+    EXPECT_EQ(plainBanks.size(), 1u);
+    EXPECT_EQ(hashedBanks.size(), 8u);
+}
+
+TEST(AddressMappingTest, XorBankHashKeepsPageInOneBank)
+{
+    auto org = tableOneOrg();
+    org.xorBankHash = true;
+    const AddressMapping map(org);
+    Rng rng(23);
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t pfn = rng.below(map.totalFrames());
+        const int bank = map.bankOfFrame(pfn);
+        const Addr base = pfn << map.pageShift();
+        for (Addr off = 0; off < map.pageBytes(); off += 64)
+            ASSERT_EQ(map.globalBank(base + off), bank);
+    }
+}
+
+} // namespace
+} // namespace refsched::dram

@@ -1,0 +1,188 @@
+/** @file Tests for the bank/rank timing state machines. */
+
+#include "dram/bank.hh"
+
+#include <gtest/gtest.h>
+
+#include "simcore/logging.hh"
+
+namespace refsched::dram
+{
+namespace
+{
+
+DramTimings
+timings()
+{
+    return makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 64).timings;
+}
+
+DramOrganization
+org()
+{
+    return makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 64).org;
+}
+
+TEST(BankTest, ActivateOpensRowAndSetsConstraints)
+{
+    Bank b;
+    const auto t = timings();
+    b.activate(1000, 42, t);
+    EXPECT_TRUE(b.isOpen());
+    EXPECT_EQ(b.openRow, 42);
+    EXPECT_EQ(b.rdAllowedAt, 1000 + t.tRCD);
+    EXPECT_EQ(b.wrAllowedAt, 1000 + t.tRCD);
+    EXPECT_EQ(b.preAllowedAt, 1000 + t.tRAS);
+    EXPECT_EQ(b.actAllowedAt, 1000 + t.tRC);
+    EXPECT_EQ(b.activations, 1u);
+}
+
+TEST(BankTest, ReadReturnsDataTime)
+{
+    Bank b;
+    const auto t = timings();
+    b.activate(0, 7, t);
+    const Tick cas = t.tRCD;
+    EXPECT_EQ(b.read(cas, t), cas + t.tCL + t.tBURST);
+    // Read-to-precharge pushed out by tRTP.
+    EXPECT_GE(b.preAllowedAt, cas + t.tRTP);
+}
+
+TEST(BankTest, WriteSetsRecoveryConstraints)
+{
+    Bank b;
+    const auto t = timings();
+    b.activate(0, 7, t);
+    const Tick cas = t.tRCD;
+    const Tick done = b.write(cas, t);
+    EXPECT_EQ(done, cas + t.tCWL + t.tBURST);
+    EXPECT_GE(b.preAllowedAt, done + t.tWR);
+    EXPECT_GE(b.rdAllowedAt, done + t.tWTR);
+}
+
+TEST(BankTest, PrechargeClosesRow)
+{
+    Bank b;
+    const auto t = timings();
+    b.activate(0, 7, t);
+    b.precharge(t.tRAS, t);
+    EXPECT_FALSE(b.isOpen());
+    EXPECT_GE(b.actAllowedAt, t.tRAS + t.tRP);
+}
+
+TEST(BankTest, ProtocolViolationsPanic)
+{
+    const auto t = timings();
+    {
+        Bank b;
+        b.activate(0, 1, t);
+        EXPECT_THROW(b.activate(t.tRC, 2, t), PanicError);  // still open
+    }
+    {
+        Bank b;
+        EXPECT_THROW(b.precharge(0, t), PanicError);  // closed
+    }
+    {
+        Bank b;
+        EXPECT_THROW(b.read(0, t), PanicError);  // closed
+    }
+    {
+        Bank b;
+        b.activate(0, 1, t);
+        EXPECT_THROW(b.read(1, t), PanicError);  // violates tRCD
+    }
+    {
+        Bank b;
+        b.activate(0, 1, t);
+        EXPECT_THROW(b.precharge(1, t), PanicError);  // violates tRAS
+    }
+}
+
+TEST(BankTest, RefreshBlocksBank)
+{
+    Bank b;
+    const auto t = timings();
+    b.startRefresh(100, t.tRFCpb);
+    EXPECT_TRUE(b.underRefresh(100));
+    EXPECT_TRUE(b.underRefresh(100 + t.tRFCpb - 1));
+    EXPECT_FALSE(b.underRefresh(100 + t.tRFCpb));
+    EXPECT_GE(b.actAllowedAt, 100 + t.tRFCpb);
+    EXPECT_EQ(b.refreshes, 1u);
+}
+
+TEST(BankTest, RefreshRequiresClosedIdleBank)
+{
+    const auto t = timings();
+    {
+        Bank b;
+        b.activate(0, 1, t);
+        EXPECT_THROW(b.startRefresh(t.tRAS, t.tRFCpb), PanicError);
+    }
+    {
+        Bank b;
+        b.startRefresh(0, t.tRFCpb);
+        EXPECT_THROW(b.startRefresh(1, t.tRFCpb), PanicError);
+    }
+}
+
+TEST(RankTest, TrrdSpacesActivates)
+{
+    Rank r(org());
+    const auto t = timings();
+    r.noteActivate(1000, t);
+    EXPECT_EQ(r.actAllowedAt, 1000 + t.tRRD);
+}
+
+TEST(RankTest, FawLimitsFourActivates)
+{
+    Rank r(org());
+    const auto t = timings();
+    // Four back-to-back ACTs separated by tRRD.
+    Tick when = 0;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_FALSE(r.fawBlocked(when, t));
+        r.noteActivate(when, t);
+        when += t.tRRD;
+    }
+    // A fifth within tFAW of the first is blocked.
+    EXPECT_TRUE(r.fawBlocked(when, t));
+    EXPECT_FALSE(r.fawBlocked(t.tFAW, t));
+}
+
+TEST(RankTest, AllBanksIdleTracksOpenAndRefreshing)
+{
+    Rank r(org());
+    const auto t = timings();
+    EXPECT_TRUE(r.allBanksIdle(0));
+    r.banks[3].activate(0, 5, t);
+    EXPECT_FALSE(r.allBanksIdle(1));
+    r.banks[3].precharge(t.tRAS, t);
+    EXPECT_TRUE(r.allBanksIdle(t.tRAS));
+    r.banks[2].startRefresh(t.tRAS, t.tRFCpb);
+    EXPECT_FALSE(r.allBanksIdle(t.tRAS + 1));
+}
+
+TEST(RankTest, AllBankRefreshBlocksEveryBank)
+{
+    Rank r(org());
+    const auto t = timings();
+    r.startAllBankRefresh(500, t.tRFCab);
+    EXPECT_TRUE(r.underRefresh(500 + t.tRFCab - 1));
+    EXPECT_FALSE(r.underRefresh(500 + t.tRFCab));
+    for (const auto &b : r.banks) {
+        EXPECT_TRUE(b.underRefresh(500 + 1));
+        EXPECT_GE(b.actAllowedAt, 500 + t.tRFCab);
+    }
+    EXPECT_EQ(r.allBankRefreshes, 1u);
+}
+
+TEST(RankTest, AllBankRefreshWithOpenBankPanics)
+{
+    Rank r(org());
+    const auto t = timings();
+    r.banks[0].activate(0, 1, t);
+    EXPECT_THROW(r.startAllBankRefresh(10, t.tRFCab), PanicError);
+}
+
+} // namespace
+} // namespace refsched::dram

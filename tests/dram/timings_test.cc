@@ -1,0 +1,185 @@
+/** @file Tests for DRAM timing parameter derivation (Table 1). */
+
+#include "dram/timings.hh"
+
+#include <gtest/gtest.h>
+
+#include "simcore/logging.hh"
+
+namespace refsched::dram
+{
+namespace
+{
+
+TEST(TimingsTest, JedecValuesAtScaleOne)
+{
+    const auto cfg = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1);
+    const auto &t = cfg.timings;
+    EXPECT_EQ(t.tCK, 1250u);
+    EXPECT_EQ(t.tREFW, milliseconds(64.0));
+    EXPECT_EQ(t.refreshCommandsPerWindow, 8192u);
+    EXPECT_EQ(t.tREFIab, microseconds(7.8125));
+    EXPECT_EQ(t.tRFCab, nanoseconds(890.0));
+    EXPECT_EQ(t.tRFCpb, nanoseconds(890.0 / 2.3));
+    EXPECT_EQ(cfg.org.rowsPerBank, 512u * 1024u);
+    EXPECT_EQ(t.rowsPerRefresh, 64u);
+}
+
+class DensityTest : public ::testing::TestWithParam<DensityGb>
+{
+};
+
+TEST_P(DensityTest, Table1RowsAndTrfc)
+{
+    const auto d = GetParam();
+    const auto cfg = makeDdr3_1600(d, milliseconds(64.0), 1);
+    switch (d) {
+      case DensityGb::d8:
+        EXPECT_EQ(cfg.org.rowsPerBank, 128u * 1024u);
+        EXPECT_EQ(cfg.timings.tRFCab, nanoseconds(350.0));
+        break;
+      case DensityGb::d16:
+        EXPECT_EQ(cfg.org.rowsPerBank, 256u * 1024u);
+        EXPECT_EQ(cfg.timings.tRFCab, nanoseconds(530.0));
+        break;
+      case DensityGb::d24:
+        EXPECT_EQ(cfg.org.rowsPerBank, 384u * 1024u);
+        EXPECT_EQ(cfg.timings.tRFCab, nanoseconds(710.0));
+        break;
+      case DensityGb::d32:
+        EXPECT_EQ(cfg.org.rowsPerBank, 512u * 1024u);
+        EXPECT_EQ(cfg.timings.tRFCab, nanoseconds(890.0));
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDensities, DensityTest,
+                         ::testing::Values(DensityGb::d8, DensityGb::d16,
+                                           DensityGb::d24,
+                                           DensityGb::d32));
+
+class ScaleInvarianceTest : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ScaleInvarianceTest, RatiosPreserved)
+{
+    const unsigned scale = GetParam();
+    const auto base = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1);
+    const auto scaled =
+        makeDdr3_1600(DensityGb::d32, milliseconds(64.0), scale);
+
+    // tREFI and tRFC are physical constants: unchanged.
+    EXPECT_EQ(scaled.timings.tREFIab, base.timings.tREFIab);
+    EXPECT_EQ(scaled.timings.tRFCab, base.timings.tRFCab);
+    EXPECT_EQ(scaled.timings.rowsPerRefresh, base.timings.rowsPerRefresh);
+
+    // Window, command count and rows shrink together.
+    EXPECT_EQ(scaled.timings.tREFW, base.timings.tREFW / scale);
+    EXPECT_EQ(scaled.timings.refreshCommandsPerWindow,
+              base.timings.refreshCommandsPerWindow / scale);
+    EXPECT_EQ(scaled.org.rowsPerBank, base.org.rowsPerBank / scale);
+
+    // The refresh duty cycle -- the behaviour-determining ratio --
+    // is identical.
+    EXPECT_DOUBLE_EQ(scaled.timings.allBankDutyCycle(),
+                     base.timings.allBankDutyCycle());
+
+    // Full coverage: commands * rows/command == rows/bank.
+    EXPECT_EQ(scaled.timings.refreshCommandsPerWindow
+                  * scaled.timings.rowsPerRefresh,
+              scaled.org.rowsPerBank);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ScaleInvarianceTest,
+                         ::testing::Values(1u, 2u, 8u, 64u, 256u));
+
+TEST(TimingsTest, PerBankIntervalDividesByTotalBanks)
+{
+    const auto cfg = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1);
+    EXPECT_EQ(cfg.timings.tREFIpb(16), cfg.timings.tREFIab / 16);
+}
+
+TEST(TimingsTest, LowRetentionHalvesWindow)
+{
+    const auto cfg = makeDdr3_1600(DensityGb::d32, milliseconds(32.0), 1);
+    EXPECT_EQ(cfg.timings.tREFW, milliseconds(32.0));
+    // Same 8192 commands in half the window: tREFI halves.
+    EXPECT_EQ(cfg.timings.tREFIab, microseconds(7.8125) / 2);
+}
+
+TEST(TimingsTest, Ddr4FgrModes)
+{
+    const auto x1 = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1,
+                                  FgrMode::x1);
+    const auto x2 = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1,
+                                  FgrMode::x2);
+    const auto x4 = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1,
+                                  FgrMode::x4);
+
+    EXPECT_EQ(x2.timings.tREFIab, x1.timings.tREFIab / 2);
+    EXPECT_EQ(x4.timings.tREFIab, x1.timings.tREFIab / 4);
+
+    // Section 6.3: tRFC shrinks by only 1.35x / 1.63x.
+    EXPECT_EQ(x2.timings.tRFCab, nanoseconds(890.0 / 1.35));
+    EXPECT_EQ(x4.timings.tRFCab, nanoseconds(890.0 / 1.63));
+
+    // 2x/4x therefore spend MORE total time refreshing.
+    const double duty1 = x1.timings.allBankDutyCycle();
+    const double duty2 = x2.timings.allBankDutyCycle();
+    const double duty4 = x4.timings.allBankDutyCycle();
+    EXPECT_GT(duty2, duty1);
+    EXPECT_GT(duty4, duty2);
+}
+
+TEST(TimingsTest, OrganizationCapacity)
+{
+    const auto cfg = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1);
+    // 512K rows * 4KB * 8 banks * 2 ranks = 32 GB per channel.
+    EXPECT_EQ(cfg.org.bankBytes(), 2u * kGiB);
+    EXPECT_EQ(cfg.org.channelBytes(), 32u * kGiB);
+    EXPECT_EQ(cfg.org.columnsPerRow(), 64u);
+    EXPECT_EQ(cfg.org.banksTotal(), 16);
+}
+
+TEST(TimingsTest, InvalidConfigsAreFatal)
+{
+    EXPECT_THROW(makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 0),
+                 FatalError);
+    EXPECT_THROW(makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 3),
+                 FatalError);
+    EXPECT_THROW(makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 16384),
+                 FatalError);
+
+    // Non-power-of-two rows are legal (24 Gb devices), zero is not.
+    DramOrganization org;
+    org.rowsPerBank = 1000;
+    EXPECT_NO_THROW(org.check());
+    org.rowsPerBank = 0;
+    EXPECT_THROW(org.check(), FatalError);
+
+    DramOrganization bad;
+    bad.channels = 3;
+    EXPECT_THROW(bad.check(), FatalError);
+}
+
+TEST(TimingsTest, ConsistencyCheckCatchesBrokenRefresh)
+{
+    auto cfg = makeDdr3_1600(DensityGb::d32, milliseconds(64.0), 1);
+    auto t = cfg.timings;
+    t.tRFCab = t.tREFIab + 1;  // refresh longer than its interval
+    EXPECT_THROW(t.check(cfg.org), FatalError);
+
+    auto t2 = cfg.timings;
+    t2.rowsPerRefresh = 63;  // no longer covers the bank exactly
+    EXPECT_THROW(t2.check(cfg.org), FatalError);
+}
+
+TEST(TimingsTest, ToStringNames)
+{
+    EXPECT_EQ(toString(DensityGb::d8), "8Gb");
+    EXPECT_EQ(toString(DensityGb::d32), "32Gb");
+}
+
+} // namespace
+} // namespace refsched::dram

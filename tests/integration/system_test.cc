@@ -1,0 +1,193 @@
+/** @file End-to-end System integration tests. */
+
+#include "core/system.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "simcore/logging.hh"
+
+namespace refsched::core
+{
+namespace
+{
+
+SystemConfig
+miniConfig(Policy policy = Policy::AllBank)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.tasksPerCore = 2;
+    cfg.timeScale = 512;
+    cfg.applyPolicy(policy);
+    cfg.benchmarks = {"mcf", "povray", "GemsFDTD", "h264ref"};
+    return cfg;
+}
+
+TEST(SystemTest, BuildsAndRunsProducingMetrics)
+{
+    System sys(miniConfig());
+    const auto m = sys.run(4, 8);
+
+    ASSERT_EQ(m.tasks.size(), 4u);
+    EXPECT_GT(m.harmonicMeanIpc, 0.0);
+    EXPECT_GT(m.avgReadLatencyMemCycles, 0.0);
+    EXPECT_GT(m.dramReads, 0u);
+    EXPECT_GT(m.refreshCommands, 0u);
+    EXPECT_EQ(m.measuredTicks, 8 * sys.config().effectiveQuantum());
+    for (const auto &t : m.tasks) {
+        EXPECT_GT(t.instructions, 0u) << t.benchmark;
+        EXPECT_GT(t.ipc, 0.0) << t.benchmark;
+    }
+}
+
+TEST(SystemTest, DeterministicAcrossRuns)
+{
+    System a(miniConfig());
+    System b(miniConfig());
+    const auto ma = a.run(4, 8);
+    const auto mb = b.run(4, 8);
+    EXPECT_DOUBLE_EQ(ma.harmonicMeanIpc, mb.harmonicMeanIpc);
+    EXPECT_EQ(ma.dramReads, mb.dramReads);
+    EXPECT_EQ(ma.dramWrites, mb.dramWrites);
+    for (std::size_t i = 0; i < ma.tasks.size(); ++i)
+        EXPECT_EQ(ma.tasks[i].instructions, mb.tasks[i].instructions);
+}
+
+TEST(SystemTest, SeedChangesTraces)
+{
+    auto cfg = miniConfig();
+    System a(cfg);
+    cfg.seed = 999;
+    System b(cfg);
+    const auto ma = a.run(4, 8);
+    const auto mb = b.run(4, 8);
+    // Different seeds produce different instruction streams; the
+    // per-task progress must differ somewhere.
+    bool anyDiffer = false;
+    for (std::size_t i = 0; i < ma.tasks.size(); ++i)
+        anyDiffer |= ma.tasks[i].instructions != mb.tasks[i].instructions;
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(SystemTest, BaselineSchedulesTasksEqually)
+{
+    System sys(miniConfig());
+    const auto m = sys.run(4, 8);
+    for (const auto &t : m.tasks)
+        EXPECT_EQ(t.quantaRun, 4u) << t.benchmark;
+}
+
+TEST(SystemTest, MeasuredMpkiMatchesClasses)
+{
+    System sys(miniConfig());
+    const auto m = sys.run(4, 8);
+    double mcf = 0, povray = 1e9;
+    for (const auto &t : m.tasks) {
+        if (t.benchmark == "mcf")
+            mcf = t.mpki;
+        if (t.benchmark == "povray")
+            povray = t.mpki;
+    }
+    EXPECT_GT(mcf, 10.0);   // H class
+    EXPECT_LT(povray, 1.5); // L class (some consolidation noise)
+}
+
+TEST(SystemTest, PartitioningConfinesResidentPages)
+{
+    System sys(miniConfig(Policy::CoDesign));
+    sys.run(4, 8);
+    for (auto *task : sys.tasks()) {
+        ASSERT_GT(task->residentPages(), 0u);
+        if (task->fallbackAllocs > 0)
+            continue;  // section 5.4.1 spill is allowed
+        for (std::size_t b = 0; b < task->possibleBanksVector.size();
+             ++b) {
+            if (!task->possibleBanksVector[b]) {
+                EXPECT_EQ(task->residentPagesPerBank[b], 0u)
+                    << task->name() << " bank " << b;
+            }
+        }
+    }
+}
+
+TEST(SystemTest, SoftPartitionMaskShapes)
+{
+    auto cfg = miniConfig(Policy::CoDesign);
+    System sys(cfg);
+    // 1:2 consolidation: each task is allowed 4 banks per rank
+    // (section 6.6), mirrored over 2 ranks = 8 global banks.
+    for (auto *task : sys.tasks()) {
+        EXPECT_EQ(task->allowedBankCount(), 4 * 2)
+            << task->name();
+    }
+    // Every bank-id is excluded by some task on each core, so the
+    // refresh-aware scheduler can always find a clean candidate.
+    for (int core = 0; core < cfg.numCores; ++core) {
+        for (int bankId = 0; bankId < cfg.banksPerRank; ++bankId) {
+            bool someoneExcludes = false;
+            for (int j = 0; j < cfg.tasksPerCore; ++j) {
+                const auto *t =
+                    sys.tasks()[static_cast<std::size_t>(
+                        j * cfg.numCores + core)];
+                if (!t->possibleBanksVector[static_cast<std::size_t>(
+                        bankId)]) {
+                    someoneExcludes = true;
+                }
+            }
+            EXPECT_TRUE(someoneExcludes)
+                << "core " << core << " bank-id " << bankId;
+        }
+    }
+}
+
+TEST(SystemTest, StatsDumpContainsComponentStats)
+{
+    System sys(miniConfig());
+    sys.run(2, 4);
+    std::ostringstream os;
+    sys.dumpStats(os);
+    const auto out = os.str();
+    EXPECT_NE(out.find("mc.ch0.reads"), std::string::npos);
+    EXPECT_NE(out.find("core0.instrsIssued"), std::string::npos);
+    EXPECT_NE(out.find("sched.quantaScheduled"), std::string::npos);
+    EXPECT_NE(out.find("caches.l2Misses"), std::string::npos);
+}
+
+TEST(SystemTest, RunTwiceIsAnError)
+{
+    System sys(miniConfig());
+    sys.run(1, 2);
+    EXPECT_THROW(sys.run(1, 2), PanicError);
+}
+
+TEST(SystemTest, RefreshRowCoverageOverMeasuredWindow)
+{
+    // One full refresh window of measurement: the controller must
+    // have refreshed every row of every bank exactly once.
+    auto cfg = miniConfig(Policy::PerBank);
+    System sys(cfg);
+    const auto m = sys.run(16, 16);  // warmup 1 window, measure 1
+    const auto dev = cfg.deviceConfig();
+    const auto expected = dev.timings.refreshCommandsPerWindow
+        * static_cast<std::uint64_t>(dev.org.banksTotal());
+    // Elastic postponement can shift a few commands across the
+    // measurement boundary (JEDEC allows a backlog of 8).
+    EXPECT_GE(m.refreshCommands, expected - 8);
+    EXPECT_LE(m.refreshCommands, expected + 8);
+}
+
+TEST(SystemTest, MakeConfigBuildsTable2Workloads)
+{
+    const auto cfg = makeConfig("WL-6", Policy::CoDesign,
+                                dram::DensityGb::d16);
+    EXPECT_EQ(cfg.benchmarks.size(), 8u);
+    EXPECT_EQ(cfg.density, dram::DensityGb::d16);
+    EXPECT_EQ(cfg.policy, Policy::CoDesign);
+    EXPECT_EQ(cfg.partitioning, Partitioning::Soft);
+}
+
+} // namespace
+} // namespace refsched::core

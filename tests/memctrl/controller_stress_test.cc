@@ -1,0 +1,151 @@
+/** @file
+ * Randomized stress properties of the memory controller: under
+ * arbitrary mixed traffic and any refresh policy, every accepted
+ * read completes exactly once, latencies are physically sane, and
+ * the protocol assertions in the bank state machines never fire.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "memctrl/memory_controller.hh"
+#include "simcore/rng.hh"
+
+namespace refsched::memctrl
+{
+namespace
+{
+
+using dram::RefreshPolicy;
+
+class ControllerStressTest
+    : public ::testing::TestWithParam<RefreshPolicy>
+{
+};
+
+TEST_P(ControllerStressTest, RandomTrafficInvariants)
+{
+    const auto dev = dram::makeDdr3_1600(
+        dram::DensityGb::d32, milliseconds(64.0), 128);
+    EventQueue eq;
+    MemoryController mc(eq, dev,
+                        dram::makeRefreshScheduler(GetParam(), dev));
+    Rng rng(2024);
+
+    std::uint64_t acceptedReads = 0;
+    std::uint64_t rejectedReads = 0;
+    std::uint64_t acceptedWrites = 0;
+    std::uint64_t completions = 0;
+    std::map<std::uint64_t, int> completionsPerRead;
+    Tick minLatency = kMaxTick;
+    Tick maxLatency = 0;
+
+    // Bursty injector: alternates hot phases (every ~6 ns) and idle
+    // gaps, mixing reads and writes over random and repeated rows.
+    std::uint64_t readId = 0;
+    std::function<void(Tick)> inject = [&](Tick t) {
+        const bool isWrite = rng.bernoulli(0.3);
+        Addr addr;
+        if (rng.bernoulli(0.4)) {
+            // Row-hit-friendly: a small set of hot rows.
+            addr = (rng.below(32) * dev.org.rowBytes)
+                + rng.below(64) * 64;
+        } else {
+            addr = rng.below(dev.org.totalBytes() / 64) * 64;
+        }
+
+        Request r;
+        r.paddr = addr;
+        if (isWrite) {
+            r.type = Request::Type::Write;
+            acceptedWrites += mc.enqueue(std::move(r)) ? 1 : 0;
+        } else {
+            r.type = Request::Type::Read;
+            const auto id = readId++;
+            const Tick sent = t;
+            r.onComplete = [&, id, sent](Tick done) {
+                ++completions;
+                ++completionsPerRead[id];
+                const Tick lat = done - sent;
+                minLatency = std::min(minLatency, lat);
+                maxLatency = std::max(maxLatency, lat);
+            };
+            if (mc.enqueue(std::move(r)))
+                ++acceptedReads;
+            else
+                ++rejectedReads;
+        }
+
+        const Tick gap = rng.bernoulli(0.02)
+            ? nanoseconds(400.0)         // idle period
+            : nanoseconds(4.0) + rng.below(nanoseconds(6.0));
+        const Tick cutoff = dev.timings.tREFW / 4;
+        if (t + gap < cutoff) {
+            eq.schedule(t + gap,
+                        [&inject, t, gap] { inject(t + gap); });
+        }
+    };
+    eq.schedule(0, [&] { inject(0); });
+
+    eq.runUntil(dev.timings.tREFW / 4);
+    // Injection has stopped; drain everything still queued.
+    eq.runUntil(eq.now() + microseconds(50.0));
+
+    EXPECT_GT(acceptedReads, 1000u);
+    EXPECT_EQ(completions, acceptedReads);
+    for (const auto &[id, count] : completionsPerRead)
+        ASSERT_EQ(count, 1) << "read " << id;
+
+    // Physical floor: a forwarded read takes one clock; anything
+    // else at least a CAS+burst.
+    EXPECT_GE(minLatency, dev.timings.tCK);
+    // Sanity ceiling: queue depth * worst-case row cycle plus a few
+    // refreshes; generous but finite.
+    EXPECT_LT(maxLatency, microseconds(20.0));
+
+    EXPECT_EQ(mc.readQueueSize(0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ControllerStressTest,
+    ::testing::Values(RefreshPolicy::NoRefresh, RefreshPolicy::AllBank,
+                      RefreshPolicy::PerBankRoundRobin,
+                      RefreshPolicy::SequentialPerBank,
+                      RefreshPolicy::OooPerBank,
+                      RefreshPolicy::Adaptive));
+
+TEST(ControllerStressTest, BackToBackRowHitsSaturateBus)
+{
+    // 64 row hits to one open row: the data bus becomes the
+    // bottleneck, so completions are tBURST apart.
+    const auto dev = dram::makeDdr3_1600(
+        dram::DensityGb::d32, milliseconds(64.0), 128);
+    EventQueue eq;
+    MemoryController mc(
+        eq, dev,
+        dram::makeRefreshScheduler(RefreshPolicy::NoRefresh, dev));
+
+    std::vector<Tick> doneAt;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        Request r;
+        r.paddr = i * 64;  // same row, consecutive columns
+        r.type = Request::Type::Read;
+        r.onComplete = [&](Tick t) { doneAt.push_back(t); };
+        ASSERT_TRUE(mc.enqueue(std::move(r)));
+    }
+    eq.runUntil(microseconds(2.0));
+    ASSERT_EQ(doneAt.size(), 64u);
+    for (std::size_t i = 1; i < doneAt.size(); ++i) {
+        EXPECT_GE(doneAt[i] - doneAt[i - 1], dev.timings.tBURST)
+            << "completion " << i;
+    }
+    // Full pipeline: total time ~ tRCD + tCL + 64 bursts, far below
+    // 64 serial accesses.
+    EXPECT_LT(doneAt.back(),
+              dev.timings.tRCD + dev.timings.tCL
+                  + 66 * dev.timings.tBURST);
+}
+
+} // namespace
+} // namespace refsched::memctrl

@@ -1,0 +1,191 @@
+/** @file Property and unit tests for the red-black tree. */
+
+#include "os/rbtree.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "simcore/rng.hh"
+
+namespace refsched::os
+{
+namespace
+{
+
+using Tree = RbTree<int, int>;
+
+TEST(RbTreeTest, EmptyTree)
+{
+    Tree t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.leftmost(), nullptr);
+    EXPECT_EQ(t.rightmost(), nullptr);
+    EXPECT_EQ(t.find(5), nullptr);
+    EXPECT_TRUE(t.validate());
+}
+
+TEST(RbTreeTest, SingleInsert)
+{
+    Tree t;
+    auto *n = t.insert(10, 100);
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.leftmost(), n);
+    EXPECT_EQ(t.rightmost(), n);
+    EXPECT_EQ(n->key, 10);
+    EXPECT_EQ(n->value, 100);
+    EXPECT_TRUE(t.validate());
+    t.erase(n);
+    EXPECT_TRUE(t.empty());
+    EXPECT_TRUE(t.validate());
+}
+
+TEST(RbTreeTest, InOrderTraversal)
+{
+    Tree t;
+    for (int k : {5, 3, 9, 1, 7, 11, 4})
+        t.insert(k, k * 10);
+    std::vector<int> keys;
+    for (auto *n = t.leftmost(); n; n = t.next(n))
+        keys.push_back(n->key);
+    EXPECT_EQ(keys, (std::vector<int>{1, 3, 4, 5, 7, 9, 11}));
+    EXPECT_TRUE(t.validate());
+}
+
+TEST(RbTreeTest, DuplicateKeysKeepInsertionOrder)
+{
+    Tree t;
+    t.insert(5, 1);
+    t.insert(5, 2);
+    t.insert(5, 3);
+    std::vector<int> values;
+    for (auto *n = t.leftmost(); n; n = t.next(n))
+        values.push_back(n->value);
+    EXPECT_EQ(values, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RbTreeTest, FindReturnsLeftmostMatch)
+{
+    Tree t;
+    t.insert(3, 30);
+    auto *first = t.insert(5, 50);
+    t.insert(5, 51);
+    t.insert(8, 80);
+    EXPECT_EQ(t.find(5), first);
+    EXPECT_EQ(t.find(4), nullptr);
+    EXPECT_EQ(t.find(8)->value, 80);
+}
+
+TEST(RbTreeTest, EraseMiddleNode)
+{
+    Tree t;
+    std::vector<Tree::Node *> nodes;
+    for (int k : {4, 2, 6, 1, 3, 5, 7})
+        nodes.push_back(t.insert(k, 0));
+    t.erase(nodes[0]);  // erase the root-ish key 4
+    std::vector<int> keys;
+    for (auto *n = t.leftmost(); n; n = t.next(n))
+        keys.push_back(n->key);
+    EXPECT_EQ(keys, (std::vector<int>{1, 2, 3, 5, 6, 7}));
+    EXPECT_TRUE(t.validate());
+}
+
+TEST(RbTreeTest, ClearEmptiesTree)
+{
+    Tree t;
+    for (int i = 0; i < 100; ++i)
+        t.insert(i, i);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    EXPECT_TRUE(t.validate());
+    t.insert(1, 1);  // usable after clear
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RbTreeTest, AscendingInsertStaysBalanced)
+{
+    // The classic BST killer: monotone insertion.
+    Tree t;
+    for (int i = 0; i < 4096; ++i) {
+        t.insert(i, i);
+        if (i % 256 == 0) {
+            std::string why;
+            ASSERT_TRUE(t.validate(&why)) << why << " at " << i;
+        }
+    }
+    std::string why;
+    EXPECT_TRUE(t.validate(&why)) << why;
+    EXPECT_EQ(t.leftmost()->key, 0);
+    EXPECT_EQ(t.rightmost()->key, 4095);
+}
+
+TEST(RbTreeTest, CustomComparator)
+{
+    RbTree<int, int, std::greater<int>> t;
+    for (int k : {1, 5, 3})
+        t.insert(k, 0);
+    EXPECT_EQ(t.leftmost()->key, 5);  // descending order
+    EXPECT_EQ(t.rightmost()->key, 1);
+}
+
+/** Randomised differential test against std::multimap. */
+class RbTreeOracleTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RbTreeOracleTest, MatchesMultimapUnderRandomOps)
+{
+    Rng rng(GetParam());
+    Tree tree;
+    // Oracle: key -> multiset of values, plus the node handles so we
+    // can erase specific nodes.
+    std::multimap<int, int> oracle;
+    std::vector<Tree::Node *> live;
+
+    for (int op = 0; op < 5000; ++op) {
+        const bool doInsert =
+            live.empty() || rng.bernoulli(0.6);
+        if (doInsert) {
+            const int key = static_cast<int>(rng.below(200));
+            const int val = op;
+            live.push_back(tree.insert(key, val));
+            oracle.emplace(key, val);
+        } else {
+            const std::size_t pick =
+                static_cast<std::size_t>(rng.below(live.size()));
+            Tree::Node *victim = live[pick];
+            // Remove the matching (key, value) pair from the oracle.
+            auto range = oracle.equal_range(victim->key);
+            for (auto it = range.first; it != range.second; ++it) {
+                if (it->second == victim->value) {
+                    oracle.erase(it);
+                    break;
+                }
+            }
+            tree.erase(victim);
+            live[pick] = live.back();
+            live.pop_back();
+        }
+
+        ASSERT_EQ(tree.size(), oracle.size());
+        if (op % 97 == 0) {
+            std::string why;
+            ASSERT_TRUE(tree.validate(&why)) << why << " op " << op;
+            // Full in-order comparison of keys.
+            auto oit = oracle.begin();
+            for (auto *n = tree.leftmost(); n; n = tree.next(n), ++oit) {
+                ASSERT_NE(oit, oracle.end());
+                ASSERT_EQ(n->key, oit->first);
+            }
+            ASSERT_EQ(oit, oracle.end());
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RbTreeOracleTest,
+                         ::testing::Values(1u, 2u, 3u, 42u, 1337u));
+
+} // namespace
+} // namespace refsched::os

@@ -1,0 +1,94 @@
+/** @file Unit tests for the Task value type. */
+
+#include "os/task.hh"
+
+#include <gtest/gtest.h>
+
+#include "simcore/logging.hh"
+
+namespace refsched::os
+{
+namespace
+{
+
+TEST(TaskTest, ConstructionDefaults)
+{
+    Task t(7, "mcf", 16);
+    EXPECT_EQ(t.pid(), 7);
+    EXPECT_EQ(t.name(), "mcf");
+    EXPECT_EQ(t.state, TaskState::Runnable);
+    EXPECT_EQ(t.vruntime, 0u);
+    EXPECT_EQ(t.weight, Task::kDefaultWeight);
+    EXPECT_EQ(t.allowedBankCount(), 16);  // all banks by default
+    EXPECT_EQ(t.lastAllocedBank, -1);
+    EXPECT_EQ(t.residentPages(), 0u);
+}
+
+TEST(TaskTest, BankMaskHelpers)
+{
+    Task t(1, "t", 8);
+    t.allowBank(3, false);
+    t.allowBank(5, false);
+    EXPECT_EQ(t.allowedBankCount(), 6);
+    EXPECT_FALSE(t.allowsBank(3));
+    EXPECT_TRUE(t.allowsBank(4));
+
+    t.allowAllBanks();
+    EXPECT_EQ(t.allowedBankCount(), 8);
+    EXPECT_TRUE(t.allowsBank(3));
+}
+
+TEST(TaskTest, ResidentFractions)
+{
+    Task t(1, "t", 4);
+    EXPECT_DOUBLE_EQ(t.residentFractionIn(0), 0.0);
+    t.residentPagesPerBank[0] = 30;
+    t.residentPagesPerBank[2] = 10;
+    EXPECT_EQ(t.residentPages(), 40u);
+    EXPECT_DOUBLE_EQ(t.residentFractionIn(0), 0.75);
+    EXPECT_DOUBLE_EQ(t.residentFractionIn(2), 0.25);
+    EXPECT_DOUBLE_EQ(t.residentFractionIn(1), 0.0);
+}
+
+TEST(TaskTest, IpcComputation)
+{
+    Task t(1, "t", 4);
+    EXPECT_DOUBLE_EQ(t.ipc(312), 0.0);  // never scheduled
+    t.instrsRetired = 1000;
+    t.scheduledTicks = 312 * 2000;  // 2000 CPU cycles
+    EXPECT_DOUBLE_EQ(t.ipc(312), 0.5);
+}
+
+TEST(TaskTest, ResetAccountingKeepsIdentityAndMemory)
+{
+    Task t(1, "t", 4);
+    t.instrsRetired = 5;
+    t.memOps = 3;
+    t.scheduledTicks = 100;
+    t.quantaRun = 2;
+    t.pageFaults = 4;
+    t.fallbackAllocs = 1;
+    t.dramReads = 9;
+    t.vruntime = 777;
+    t.residentPagesPerBank[1] = 12;
+
+    t.resetAccounting();
+    EXPECT_EQ(t.instrsRetired, 0u);
+    EXPECT_EQ(t.memOps, 0u);
+    EXPECT_EQ(t.scheduledTicks, 0u);
+    EXPECT_EQ(t.quantaRun, 0u);
+    EXPECT_EQ(t.pageFaults, 0u);
+    EXPECT_EQ(t.fallbackAllocs, 0u);
+    EXPECT_EQ(t.dramReads, 0u);
+    // Identity and memory state survive a stats reset.
+    EXPECT_EQ(t.vruntime, 777u);
+    EXPECT_EQ(t.residentPagesPerBank[1], 12u);
+}
+
+TEST(TaskTest, ZeroBanksIsABug)
+{
+    EXPECT_THROW(Task(1, "t", 0), PanicError);
+}
+
+} // namespace
+} // namespace refsched::os

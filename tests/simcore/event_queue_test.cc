@@ -1,0 +1,163 @@
+/** @file Unit tests for the discrete-event kernel. */
+
+#include "simcore/event_queue.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simcore/logging.hh"
+
+namespace refsched
+{
+namespace
+{
+
+TEST(EventQueueTest, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.nextEventTick(), kMaxTick);
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueueTest, SameTickFifoWithinPriority)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(42, [&order, i] { order.push_back(i); });
+    eq.runUntil(42);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PriorityOrdersSameTick)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); },
+                EventPriority::Scheduler);
+    eq.schedule(5, [&] { order.push_back(0); },
+                EventPriority::ClockEdge);
+    eq.schedule(5, [&] { order.push_back(3); },
+                EventPriority::StatDump);
+    eq.schedule(5, [&] { order.push_back(1); },
+                EventPriority::Default);
+    eq.runUntil(5);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueueTest, RunUntilIsInclusiveAndAdvancesTime)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(100, [&] { ++fired; });
+    eq.schedule(101, [&] { ++fired; });
+    EXPECT_EQ(eq.runUntil(100), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 100u);
+    EXPECT_EQ(eq.runUntil(200), 1u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
+TEST(EventQueueTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(50, [] {});
+    eq.runUntil(60);
+    EXPECT_THROW(eq.schedule(10, [] {}), PanicError);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto handle = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(handle.pending());
+    handle.cancel();
+    EXPECT_FALSE(handle.pending());
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 0);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire)
+{
+    EventQueue eq;
+    auto handle = eq.schedule(10, [] {});
+    eq.runUntil(10);
+    EXPECT_FALSE(handle.pending());
+    handle.cancel();  // no-op
+    handle.cancel();
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    std::vector<Tick> at;
+    std::function<void()> chain = [&] {
+        at.push_back(eq.now());
+        if (at.size() < 4)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.runUntil(1000);
+    EXPECT_EQ(at, (std::vector<Tick>{0, 10, 20, 30}));
+}
+
+TEST(EventQueueTest, NextEventTickSkipsCancelled)
+{
+    EventQueue eq;
+    auto h = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    h.cancel();
+    EXPECT_EQ(eq.nextEventTick(), 20u);
+}
+
+TEST(EventQueueTest, RunOneExecutesSingleEvent)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { ++fired; });
+    eq.schedule(6, [&] { ++fired; });
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueueTest, ExecutedCountAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(static_cast<Tick>(i), [] {});
+    eq.runUntil(100);
+    EXPECT_EQ(eq.executedCount(), 7u);
+}
+
+TEST(EventQueueTest, ScheduleAtCurrentTickRuns)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runUntil(10);
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+}
+
+} // namespace
+} // namespace refsched

@@ -1,0 +1,132 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include "simcore/rng.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace refsched
+{
+namespace
+{
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence)
+{
+    Rng a(77);
+    const auto first = a.next();
+    a.next();
+    a.reseed(77);
+    EXPECT_EQ(a.next(), first);
+}
+
+TEST(RngTest, BelowStaysInBounds)
+{
+    Rng r(9);
+    for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+        for (int i = 0; i < 200; ++i)
+            ASSERT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(RngTest, BelowCoversSmallRange)
+{
+    Rng r(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i)
+        seen.insert(r.below(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, InRangeInclusive)
+{
+    Rng r(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 200; ++i) {
+        const auto v = r.inRange(10, 12);
+        ASSERT_GE(v, 10u);
+        ASSERT_LE(v, 12u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, RealInUnitInterval)
+{
+    Rng r(5);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.real();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+class RngBernoulliTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngBernoulliTest, MatchesProbability)
+{
+    const double p = GetParam();
+    Rng r(42);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RngBernoulliTest,
+                         ::testing::Values(0.0, 0.1, 0.35, 0.5, 0.9,
+                                           1.0));
+
+class RngGeometricTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngGeometricTest, MeanMatchesTheory)
+{
+    const double p = GetParam();
+    Rng r(7);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / n, expected, expected * 0.1 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RngGeometricTest,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.9));
+
+TEST(RngTest, GeometricEdgeCases)
+{
+    Rng r(8);
+    EXPECT_EQ(r.geometric(1.0), 0u);
+    EXPECT_EQ(r.geometric(0.0, 500), 500u);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_LE(r.geometric(0.001, 50), 50u);
+}
+
+} // namespace
+} // namespace refsched

@@ -1,0 +1,146 @@
+/** @file Unit tests for the statistics framework. */
+
+#include "simcore/stats.hh"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "simcore/logging.hh"
+
+namespace refsched
+{
+namespace
+{
+
+TEST(ScalarTest, AccumulatesAndResets)
+{
+    Scalar s;
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    s += 2.5;
+    ++s;
+    s++;
+    EXPECT_DOUBLE_EQ(s.value(), 4.5);
+    s.set(10.0);
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(AverageTest, MeanAndCount)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(10.0);
+    a.sample(20.0);
+    a.sample(30.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+    EXPECT_EQ(a.samples(), 3u);
+    EXPECT_DOUBLE_EQ(a.total(), 60.0);
+    a.reset();
+    EXPECT_EQ(a.samples(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(DistributionTest, BucketsAndOutliers)
+{
+    Distribution d(0.0, 100.0, 10);
+    d.sample(5.0);    // bucket 0
+    d.sample(15.0);   // bucket 1
+    d.sample(95.0);   // bucket 9
+    d.sample(-1.0);   // underflow
+    d.sample(100.0);  // overflow (hi is exclusive)
+    d.sample(150.0);  // overflow
+
+    EXPECT_EQ(d.samples(), 6u);
+    EXPECT_EQ(d.bucketCounts()[0], 1u);
+    EXPECT_EQ(d.bucketCounts()[1], 1u);
+    EXPECT_EQ(d.bucketCounts()[9], 1u);
+    EXPECT_EQ(d.underflowCount(), 1u);
+    EXPECT_EQ(d.overflowCount(), 2u);
+    EXPECT_DOUBLE_EQ(d.minValue(), -1.0);
+    EXPECT_DOUBLE_EQ(d.maxValue(), 150.0);
+}
+
+TEST(DistributionTest, MeanTracksAllSamples)
+{
+    Distribution d(0.0, 10.0, 5);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(100.0);  // overflow still counted in the mean
+    EXPECT_DOUBLE_EQ(d.mean(), (2.0 + 4.0 + 100.0) / 3.0);
+}
+
+TEST(DistributionTest, QuantileApproximation)
+{
+    Distribution d(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        d.sample(static_cast<double>(i));
+    EXPECT_NEAR(d.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(d.quantile(0.9), 90.0, 1.5);
+    EXPECT_NEAR(d.quantile(0.99), 99.0, 1.5);
+}
+
+TEST(DistributionTest, ResetClearsEverything)
+{
+    Distribution d(0.0, 10.0, 2);
+    d.sample(5.0);
+    d.reset();
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.bucketCounts()[1], 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(DistributionTest, BadBoundsPanic)
+{
+    EXPECT_THROW(Distribution(10.0, 10.0, 4), PanicError);
+    EXPECT_THROW(Distribution(0.0, 10.0, 0), PanicError);
+}
+
+TEST(StatRegistryTest, AddFindAndDump)
+{
+    StatRegistry reg;
+    Scalar a, b;
+    a += 3;
+    b += 7;
+    reg.add("mc.reads", &a);
+    reg.add("mc.writes", &b);
+    EXPECT_EQ(reg.size(), 2u);
+    EXPECT_EQ(reg.find("mc.reads"), &a);
+    EXPECT_EQ(reg.find("nope"), nullptr);
+
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_EQ(os.str(), "mc.reads 3\nmc.writes 7\n");
+}
+
+TEST(StatRegistryTest, DuplicateNameIsFatal)
+{
+    StatRegistry reg;
+    Scalar a, b;
+    reg.add("x", &a);
+    EXPECT_THROW(reg.add("x", &b), FatalError);
+}
+
+TEST(StatRegistryTest, NullStatPanics)
+{
+    StatRegistry reg;
+    EXPECT_THROW(reg.add("x", nullptr), PanicError);
+}
+
+TEST(StatRegistryTest, ResetAllResetsEveryStat)
+{
+    StatRegistry reg;
+    Scalar s;
+    Average a;
+    s += 5;
+    a.sample(1.0);
+    reg.add("s", &s);
+    reg.add("a", &a);
+    reg.resetAll();
+    EXPECT_DOUBLE_EQ(s.value(), 0.0);
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+} // namespace
+} // namespace refsched

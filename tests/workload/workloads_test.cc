@@ -1,0 +1,102 @@
+/** @file Tests for the Table 2 workload definitions. */
+
+#include "workload/workloads.hh"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace refsched::workload
+{
+namespace
+{
+
+int
+countOf(const std::vector<std::string> &tasks, const std::string &name)
+{
+    return static_cast<int>(
+        std::count(tasks.begin(), tasks.end(), name));
+}
+
+TEST(WorkloadsTest, TenWorkloadsDefined)
+{
+    const auto &wls = table2Workloads();
+    ASSERT_EQ(wls.size(), 10u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(wls[static_cast<std::size_t>(i)].name,
+                  "WL-" + std::to_string(i + 1));
+    }
+}
+
+TEST(WorkloadsTest, EveryMixSumsToEightTasks)
+{
+    for (const auto &wl : table2Workloads())
+        EXPECT_EQ(wl.baseTaskCount(), 8) << wl.name;
+}
+
+TEST(WorkloadsTest, Table2Composition)
+{
+    const auto wl1 = workloadByName("WL-1").taskList(8);
+    EXPECT_EQ(countOf(wl1, "mcf"), 8);
+
+    const auto wl7 = workloadByName("WL-7").taskList(8);
+    EXPECT_EQ(countOf(wl7, "stream"), 4);
+    EXPECT_EQ(countOf(wl7, "h264ref"), 4);
+
+    const auto wl10 = workloadByName("WL-10").taskList(8);
+    EXPECT_EQ(countOf(wl10, "mcf"), 4);
+    EXPECT_EQ(countOf(wl10, "bwaves"), 2);
+    EXPECT_EQ(countOf(wl10, "povray"), 2);
+}
+
+TEST(WorkloadsTest, EveryBenchmarkHasAProfile)
+{
+    for (const auto &wl : table2Workloads()) {
+        for (const auto &[bench, count] : wl.mix) {
+            EXPECT_NO_THROW(profileByName(bench))
+                << wl.name << " references " << bench;
+            EXPECT_GT(count, 0);
+        }
+    }
+}
+
+TEST(WorkloadsTest, ScalesToQuadCore)
+{
+    // Fig. 15: quad-core 1:4 runs 16 tasks with doubled counts.
+    const auto wl10 = workloadByName("WL-10").taskList(16);
+    EXPECT_EQ(wl10.size(), 16u);
+    EXPECT_EQ(countOf(wl10, "mcf"), 8);
+    EXPECT_EQ(countOf(wl10, "bwaves"), 4);
+    EXPECT_EQ(countOf(wl10, "povray"), 4);
+}
+
+TEST(WorkloadsTest, ScalesDownProportionally)
+{
+    // Dual-core 1:2 runs 4 tasks.
+    const auto wl6 = workloadByName("WL-6").taskList(4);
+    EXPECT_EQ(wl6.size(), 4u);
+    EXPECT_EQ(countOf(wl6, "mcf"), 2);
+    EXPECT_EQ(countOf(wl6, "povray"), 2);
+
+    const auto wl10 = workloadByName("WL-10").taskList(4);
+    EXPECT_EQ(wl10.size(), 4u);
+    EXPECT_GE(countOf(wl10, "mcf"), 2);
+    EXPECT_GE(countOf(wl10, "bwaves"), 1);
+}
+
+TEST(WorkloadsTest, UnknownWorkloadIsFatal)
+{
+    EXPECT_THROW(workloadByName("WL-99"), FatalError);
+}
+
+TEST(WorkloadsTest, MpkiLabelsMatchTable2)
+{
+    EXPECT_EQ(workloadByName("WL-1").mpkiLabel, "H");
+    EXPECT_EQ(workloadByName("WL-5").mpkiLabel, "M");
+    EXPECT_EQ(workloadByName("WL-8").mpkiLabel, "H + L");
+}
+
+} // namespace
+} // namespace refsched::workload

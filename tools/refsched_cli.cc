@@ -1,0 +1,341 @@
+/**
+ * @file
+ * refsched command-line driver: run any single experiment the
+ * library supports without writing code.
+ *
+ *   refsched_cli --workload WL-8 --policy co-design --density 32
+ *   refsched_cli --benchmarks mcf,povray,mcf,povray --cores 2 \
+ *                --policy per-bank --dump-stats
+ *
+ * Prints the headline metrics, a per-task table, and (optionally)
+ * every registered statistic.  Exit code 0 on success, 2 on usage
+ * errors.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/report.hh"
+#include "core/system.hh"
+#include "workload/workloads.hh"
+
+using namespace refsched;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string workload;
+    std::vector<std::string> benchmarks;
+    core::Policy policy = core::Policy::CoDesign;
+    int densityGb = 32;
+    double retentionMs = 64.0;
+    int cores = 2;
+    int tasksPerCore = 4;
+    unsigned timeScale = 128;
+    int warmupQuanta = 8;
+    int measureQuanta = 16;
+    int etaThresh = 64;
+    int banksPerTask = -1;
+    std::string partition;  // "", "soft", "hard", "none"
+    std::uint64_t seed = 1;
+    bool dumpStats = false;
+    bool csv = false;
+    bool json = false;
+    bool verbose = false;
+};
+
+/** Minimal JSON rendering of the metrics (machine consumption). */
+void
+printJson(std::ostream &os, const core::SystemConfig &cfg,
+          const core::Metrics &m)
+{
+    os << "{\n"
+       << "  \"policy\": \"" << core::toString(cfg.policy) << "\",\n"
+       << "  \"density\": \"" << dram::toString(cfg.density)
+       << "\",\n"
+       << "  \"timeScale\": " << cfg.timeScale << ",\n"
+       << "  \"harmonicMeanIpc\": " << m.harmonicMeanIpc << ",\n"
+       << "  \"avgReadLatencyMemCycles\": "
+       << m.avgReadLatencyMemCycles << ",\n"
+       << "  \"rowHitRate\": " << m.rowHitRate << ",\n"
+       << "  \"dramReads\": " << m.dramReads << ",\n"
+       << "  \"dramWrites\": " << m.dramWrites << ",\n"
+       << "  \"refreshCommands\": " << m.refreshCommands << ",\n"
+       << "  \"blockedReadFraction\": " << m.blockedReadFraction
+       << ",\n"
+       << "  \"energyTotalPj\": " << m.energy.totalPj() << ",\n"
+       << "  \"energyRefreshShare\": " << m.energy.refreshShare()
+       << ",\n"
+       << "  \"energyPerInstructionPj\": "
+       << m.energyPerInstructionPj << ",\n"
+       << "  \"vruntimeSpreadQuanta\": " << m.vruntimeSpreadQuanta
+       << ",\n"
+       << "  \"scheduler\": {\"clean\": " << m.cleanPicks
+       << ", \"deferred\": " << m.deferredPicks
+       << ", \"bestEffort\": " << m.bestEffortPicks
+       << ", \"fallback\": " << m.fallbackPicks << "},\n"
+       << "  \"tasks\": [\n";
+    for (std::size_t i = 0; i < m.tasks.size(); ++i) {
+        const auto &t = m.tasks[i];
+        os << "    {\"pid\": " << t.pid << ", \"benchmark\": \""
+           << t.benchmark << "\", \"ipc\": " << t.ipc
+           << ", \"mpki\": " << t.mpki << ", \"quanta\": "
+           << t.quantaRun << ", \"dramReads\": " << t.dramReads
+           << ", \"residentPages\": " << t.residentPages
+           << ", \"fallbackPages\": " << t.fallbackAllocs << "}"
+           << (i + 1 < m.tasks.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+[[noreturn]] void
+usage(const char *argv0, const std::string &error = "")
+{
+    if (!error.empty())
+        std::cerr << "error: " << error << "\n\n";
+    std::cerr
+        << "usage: " << argv0 << " [options]\n\n"
+        << "workload selection (one of):\n"
+        << "  --workload NAME        Table 2 workload (WL-1..WL-10)\n"
+        << "  --benchmarks a,b,...   explicit per-task benchmark "
+           "list\n"
+        << "                         (mcf bwaves stream GemsFDTD "
+           "npb_ua povray h264ref)\n\n"
+        << "policy and hardware:\n"
+        << "  --policy P             all-bank | per-bank | "
+           "per-bank-ooo |\n"
+        << "                         ddr4-2x | ddr4-4x | adaptive | "
+           "co-design | no-refresh\n"
+        << "  --density G            8 | 16 | 24 | 32  (default 32)\n"
+        << "  --retention MS         64 or 32 (default 64)\n"
+        << "  --cores N              (default 2)\n"
+        << "  --tasks-per-core N     consolidation ratio (default 4)\n"
+        << "  --banks-per-task N     override the 8 - 8/ratio rule\n"
+        << "  --partition M          soft | hard | none (default: "
+           "policy's)\n"
+        << "  --eta N                Algorithm 3 fairness valve\n\n"
+        << "simulation control:\n"
+        << "  --scale N              ratio-preserving timeScale "
+           "(default 128)\n"
+        << "  --warmup N             warm-up quanta (default 8)\n"
+        << "  --measure N            measured quanta (default 16)\n"
+        << "  --seed S               trace RNG seed\n\n"
+        << "output:\n"
+        << "  --dump-stats           print every registered stat\n"
+        << "  --csv                  per-task table as CSV\n"
+        << "  --verbose              inform-level logging\n";
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+core::Policy
+parsePolicy(const std::string &s, const char *argv0)
+{
+    for (auto p : {core::Policy::AllBank, core::Policy::PerBank,
+                   core::Policy::PerBankOoo, core::Policy::Ddr4x2,
+                   core::Policy::Ddr4x4, core::Policy::Adaptive,
+                   core::Policy::CoDesign, core::Policy::NoRefresh}) {
+        if (core::toString(p) == s)
+            return p;
+    }
+    usage(argv0, "unknown policy: " + s);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions o;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0], std::string(argv[i]) + " needs a value");
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--workload") {
+            o.workload = need(i);
+        } else if (a == "--benchmarks") {
+            o.benchmarks = splitCsv(need(i));
+        } else if (a == "--policy") {
+            o.policy = parsePolicy(need(i), argv[0]);
+        } else if (a == "--density") {
+            o.densityGb = std::atoi(need(i));
+        } else if (a == "--retention") {
+            o.retentionMs = std::atof(need(i));
+        } else if (a == "--cores") {
+            o.cores = std::atoi(need(i));
+        } else if (a == "--tasks-per-core") {
+            o.tasksPerCore = std::atoi(need(i));
+        } else if (a == "--banks-per-task") {
+            o.banksPerTask = std::atoi(need(i));
+        } else if (a == "--partition") {
+            o.partition = need(i);
+        } else if (a == "--eta") {
+            o.etaThresh = std::atoi(need(i));
+        } else if (a == "--scale") {
+            o.timeScale = static_cast<unsigned>(std::atoi(need(i)));
+        } else if (a == "--warmup") {
+            o.warmupQuanta = std::atoi(need(i));
+        } else if (a == "--measure") {
+            o.measureQuanta = std::atoi(need(i));
+        } else if (a == "--seed") {
+            o.seed = static_cast<std::uint64_t>(
+                std::strtoull(need(i), nullptr, 10));
+        } else if (a == "--dump-stats") {
+            o.dumpStats = true;
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (a == "--csv") {
+            o.csv = true;
+        } else if (a == "--verbose") {
+            o.verbose = true;
+        } else if (a == "--help" || a == "-h") {
+            usage(argv[0]);
+        } else {
+            usage(argv[0], "unknown option: " + a);
+        }
+    }
+    if (o.workload.empty() && o.benchmarks.empty())
+        o.workload = "WL-5";
+    return o;
+}
+
+core::SystemConfig
+buildConfig(const CliOptions &o, const char *argv0)
+{
+    core::SystemConfig cfg;
+    cfg.numCores = o.cores;
+    cfg.tasksPerCore = o.tasksPerCore;
+    cfg.density = static_cast<dram::DensityGb>(o.densityGb);
+    cfg.tREFW = milliseconds(o.retentionMs);
+    cfg.timeScale = o.timeScale;
+    cfg.applyPolicy(o.policy);
+    cfg.etaThresh = o.etaThresh;
+    cfg.banksPerTaskPerRank = o.banksPerTask;
+    cfg.seed = o.seed;
+
+    if (!o.partition.empty()) {
+        if (o.partition == "soft")
+            cfg.partitioning = core::Partitioning::Soft;
+        else if (o.partition == "hard")
+            cfg.partitioning = core::Partitioning::Hard;
+        else if (o.partition == "none")
+            cfg.partitioning = core::Partitioning::None;
+        else
+            usage(argv0, "unknown partition mode: " + o.partition);
+    }
+
+    if (!o.benchmarks.empty()) {
+        if (static_cast<int>(o.benchmarks.size())
+            != cfg.totalTasks()) {
+            usage(argv0,
+                  "--benchmarks needs exactly cores*tasks-per-core "
+                  "entries ("
+                      + std::to_string(cfg.totalTasks()) + ")");
+        }
+        cfg.benchmarks = o.benchmarks;
+    } else {
+        cfg.benchmarks = workload::workloadByName(o.workload)
+                             .taskList(cfg.totalTasks());
+    }
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = parse(argc, argv);
+    if (opts.verbose)
+        setLogLevel(LogLevel::Inform);
+
+    try {
+        const auto cfg = buildConfig(opts, argv[0]);
+        core::System sys(cfg);
+        const auto m =
+            sys.run(opts.warmupQuanta, opts.measureQuanta);
+
+        if (opts.json) {
+            printJson(std::cout, cfg, m);
+            return 0;
+        }
+
+        std::cout << "policy=" << core::toString(cfg.policy)
+                  << " density=" << dram::toString(cfg.density)
+                  << " retention="
+                  << core::fmt(opts.retentionMs, 0) << "ms cores="
+                  << cfg.numCores << " ratio=1:" << cfg.tasksPerCore
+                  << " scale=" << cfg.timeScale << "\n\n";
+
+        std::cout << "harmonic-mean IPC   "
+                  << core::fmt(m.harmonicMeanIpc) << "\n"
+                  << "avg read latency    "
+                  << core::fmt(m.avgReadLatencyMemCycles, 1)
+                  << " memory cycles\n"
+                  << "row hit rate        "
+                  << core::fmt(m.rowHitRate * 100.0, 1) << "%\n"
+                  << "dram reads/writes   " << m.dramReads << " / "
+                  << m.dramWrites << "\n"
+                  << "refresh commands    " << m.refreshCommands
+                  << "\n"
+                  << "blocked reads       "
+                  << core::fmt(m.blockedReadFraction * 100.0, 3)
+                  << "%\n"
+                  << "energy              "
+                  << core::fmt(m.energy.totalPj() / 1e9, 3)
+                  << " mJ (refresh "
+                  << core::fmt(m.energy.refreshShare() * 100.0, 1)
+                  << "%), "
+                  << core::fmt(m.energyPerInstructionPj, 1)
+                  << " pJ/instr\n"
+                  << "scheduler picks     " << m.cleanPicks
+                  << " clean, " << m.deferredPicks << " deferred, "
+                  << m.bestEffortPicks << " best-effort, "
+                  << m.fallbackPicks << " fallback\n"
+                  << "fairness spread     "
+                  << core::fmt(m.vruntimeSpreadQuanta, 2)
+                  << " quanta\n\n";
+
+        core::Table tasks({"pid", "benchmark", "IPC", "MPKI",
+                           "quanta", "dram reads", "resident pages",
+                           "fallback pages"});
+        for (const auto &t : m.tasks) {
+            tasks.addRow({std::to_string(t.pid), t.benchmark,
+                          core::fmt(t.ipc, 3), core::fmt(t.mpki, 1),
+                          std::to_string(t.quantaRun),
+                          std::to_string(t.dramReads),
+                          std::to_string(t.residentPages),
+                          std::to_string(t.fallbackAllocs)});
+        }
+        if (opts.csv)
+            tasks.printCsv(std::cout);
+        else
+            tasks.print(std::cout);
+
+        if (opts.dumpStats) {
+            std::cout << "\n";
+            sys.dumpStats(std::cout);
+        }
+    } catch (const FatalError &e) {
+        std::cerr << "fatal: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
