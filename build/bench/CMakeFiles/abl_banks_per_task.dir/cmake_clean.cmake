@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_banks_per_task.dir/abl_banks_per_task.cc.o"
+  "CMakeFiles/abl_banks_per_task.dir/abl_banks_per_task.cc.o.d"
+  "abl_banks_per_task"
+  "abl_banks_per_task.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_banks_per_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

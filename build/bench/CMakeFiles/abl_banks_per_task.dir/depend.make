@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_banks_per_task.
+# This may be replaced when dependencies are built.

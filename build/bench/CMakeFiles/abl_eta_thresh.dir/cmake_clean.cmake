@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eta_thresh.dir/abl_eta_thresh.cc.o"
+  "CMakeFiles/abl_eta_thresh.dir/abl_eta_thresh.cc.o.d"
+  "abl_eta_thresh"
+  "abl_eta_thresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eta_thresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

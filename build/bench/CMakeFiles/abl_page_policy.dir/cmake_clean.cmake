@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_page_policy.dir/abl_page_policy.cc.o"
+  "CMakeFiles/abl_page_policy.dir/abl_page_policy.cc.o.d"
+  "abl_page_policy"
+  "abl_page_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_page_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_partitioning.dir/abl_partitioning.cc.o"
+  "CMakeFiles/abl_partitioning.dir/abl_partitioning.cc.o.d"
+  "abl_partitioning"
+  "abl_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

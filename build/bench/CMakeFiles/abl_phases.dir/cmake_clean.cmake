@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_phases.dir/abl_phases.cc.o"
+  "CMakeFiles/abl_phases.dir/abl_phases.cc.o.d"
+  "abl_phases"
+  "abl_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

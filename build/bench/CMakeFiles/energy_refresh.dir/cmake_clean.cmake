@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_refresh.dir/energy_refresh.cc.o"
+  "CMakeFiles/energy_refresh.dir/energy_refresh.cc.o.d"
+  "energy_refresh"
+  "energy_refresh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_refresh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

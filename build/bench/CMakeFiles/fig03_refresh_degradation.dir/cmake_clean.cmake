@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_refresh_degradation.dir/fig03_refresh_degradation.cc.o"
+  "CMakeFiles/fig03_refresh_degradation.dir/fig03_refresh_degradation.cc.o.d"
+  "fig03_refresh_degradation"
+  "fig03_refresh_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_refresh_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

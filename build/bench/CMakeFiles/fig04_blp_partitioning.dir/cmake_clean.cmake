@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_blp_partitioning.dir/fig04_blp_partitioning.cc.o"
+  "CMakeFiles/fig04_blp_partitioning.dir/fig04_blp_partitioning.cc.o.d"
+  "fig04_blp_partitioning"
+  "fig04_blp_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_blp_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_capacity_feasibility.dir/fig05_capacity_feasibility.cc.o"
+  "CMakeFiles/fig05_capacity_feasibility.dir/fig05_capacity_feasibility.cc.o.d"
+  "fig05_capacity_feasibility"
+  "fig05_capacity_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_capacity_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_codesign_ipc.dir/fig10_codesign_ipc.cc.o"
+  "CMakeFiles/fig10_codesign_ipc.dir/fig10_codesign_ipc.cc.o.d"
+  "fig10_codesign_ipc"
+  "fig10_codesign_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_codesign_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_ddr4_fgr.dir/fig12_ddr4_fgr.cc.o"
+  "CMakeFiles/fig12_ddr4_fgr.dir/fig12_ddr4_fgr.cc.o.d"
+  "fig12_ddr4_fgr"
+  "fig12_ddr4_fgr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_ddr4_fgr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

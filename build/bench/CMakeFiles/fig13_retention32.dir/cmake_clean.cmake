@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_retention32.dir/fig13_retention32.cc.o"
+  "CMakeFiles/fig13_retention32.dir/fig13_retention32.cc.o.d"
+  "fig13_retention32"
+  "fig13_retention32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_retention32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

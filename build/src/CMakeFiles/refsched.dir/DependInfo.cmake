@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/refsched.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/refsched.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/cache_hierarchy.cc" "src/CMakeFiles/refsched.dir/cache/cache_hierarchy.cc.o" "gcc" "src/CMakeFiles/refsched.dir/cache/cache_hierarchy.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/refsched.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/refsched.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/CMakeFiles/refsched.dir/core/metrics.cc.o" "gcc" "src/CMakeFiles/refsched.dir/core/metrics.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/CMakeFiles/refsched.dir/core/report.cc.o" "gcc" "src/CMakeFiles/refsched.dir/core/report.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/CMakeFiles/refsched.dir/core/system.cc.o" "gcc" "src/CMakeFiles/refsched.dir/core/system.cc.o.d"
+  "/root/repo/src/core/system_config.cc" "src/CMakeFiles/refsched.dir/core/system_config.cc.o" "gcc" "src/CMakeFiles/refsched.dir/core/system_config.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/refsched.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/refsched.dir/cpu/core.cc.o.d"
+  "/root/repo/src/dram/address_mapping.cc" "src/CMakeFiles/refsched.dir/dram/address_mapping.cc.o" "gcc" "src/CMakeFiles/refsched.dir/dram/address_mapping.cc.o.d"
+  "/root/repo/src/dram/bank.cc" "src/CMakeFiles/refsched.dir/dram/bank.cc.o" "gcc" "src/CMakeFiles/refsched.dir/dram/bank.cc.o.d"
+  "/root/repo/src/dram/energy.cc" "src/CMakeFiles/refsched.dir/dram/energy.cc.o" "gcc" "src/CMakeFiles/refsched.dir/dram/energy.cc.o.d"
+  "/root/repo/src/dram/refresh_scheduler.cc" "src/CMakeFiles/refsched.dir/dram/refresh_scheduler.cc.o" "gcc" "src/CMakeFiles/refsched.dir/dram/refresh_scheduler.cc.o.d"
+  "/root/repo/src/dram/timings.cc" "src/CMakeFiles/refsched.dir/dram/timings.cc.o" "gcc" "src/CMakeFiles/refsched.dir/dram/timings.cc.o.d"
+  "/root/repo/src/memctrl/memory_controller.cc" "src/CMakeFiles/refsched.dir/memctrl/memory_controller.cc.o" "gcc" "src/CMakeFiles/refsched.dir/memctrl/memory_controller.cc.o.d"
+  "/root/repo/src/memctrl/request.cc" "src/CMakeFiles/refsched.dir/memctrl/request.cc.o" "gcc" "src/CMakeFiles/refsched.dir/memctrl/request.cc.o.d"
+  "/root/repo/src/os/buddy_allocator.cc" "src/CMakeFiles/refsched.dir/os/buddy_allocator.cc.o" "gcc" "src/CMakeFiles/refsched.dir/os/buddy_allocator.cc.o.d"
+  "/root/repo/src/os/cfs_runqueue.cc" "src/CMakeFiles/refsched.dir/os/cfs_runqueue.cc.o" "gcc" "src/CMakeFiles/refsched.dir/os/cfs_runqueue.cc.o.d"
+  "/root/repo/src/os/scheduler.cc" "src/CMakeFiles/refsched.dir/os/scheduler.cc.o" "gcc" "src/CMakeFiles/refsched.dir/os/scheduler.cc.o.d"
+  "/root/repo/src/os/task.cc" "src/CMakeFiles/refsched.dir/os/task.cc.o" "gcc" "src/CMakeFiles/refsched.dir/os/task.cc.o.d"
+  "/root/repo/src/os/virtual_memory.cc" "src/CMakeFiles/refsched.dir/os/virtual_memory.cc.o" "gcc" "src/CMakeFiles/refsched.dir/os/virtual_memory.cc.o.d"
+  "/root/repo/src/simcore/event_queue.cc" "src/CMakeFiles/refsched.dir/simcore/event_queue.cc.o" "gcc" "src/CMakeFiles/refsched.dir/simcore/event_queue.cc.o.d"
+  "/root/repo/src/simcore/logging.cc" "src/CMakeFiles/refsched.dir/simcore/logging.cc.o" "gcc" "src/CMakeFiles/refsched.dir/simcore/logging.cc.o.d"
+  "/root/repo/src/simcore/rng.cc" "src/CMakeFiles/refsched.dir/simcore/rng.cc.o" "gcc" "src/CMakeFiles/refsched.dir/simcore/rng.cc.o.d"
+  "/root/repo/src/simcore/stats.cc" "src/CMakeFiles/refsched.dir/simcore/stats.cc.o" "gcc" "src/CMakeFiles/refsched.dir/simcore/stats.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/refsched.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/refsched.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/refsched.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/refsched.dir/workload/trace_file.cc.o.d"
+  "/root/repo/src/workload/trace_generator.cc" "src/CMakeFiles/refsched.dir/workload/trace_generator.cc.o" "gcc" "src/CMakeFiles/refsched.dir/workload/trace_generator.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/refsched.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/refsched.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

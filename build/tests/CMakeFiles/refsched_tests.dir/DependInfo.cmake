@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/cache_hierarchy_test.cc" "tests/CMakeFiles/refsched_tests.dir/cache/cache_hierarchy_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/cache/cache_hierarchy_test.cc.o.d"
+  "/root/repo/tests/cache/cache_test.cc" "tests/CMakeFiles/refsched_tests.dir/cache/cache_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/cache/cache_test.cc.o.d"
+  "/root/repo/tests/core/metrics_test.cc" "tests/CMakeFiles/refsched_tests.dir/core/metrics_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/core/metrics_test.cc.o.d"
+  "/root/repo/tests/core/report_test.cc" "tests/CMakeFiles/refsched_tests.dir/core/report_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/core/report_test.cc.o.d"
+  "/root/repo/tests/core/system_config_test.cc" "tests/CMakeFiles/refsched_tests.dir/core/system_config_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/core/system_config_test.cc.o.d"
+  "/root/repo/tests/cpu/core_test.cc" "tests/CMakeFiles/refsched_tests.dir/cpu/core_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/cpu/core_test.cc.o.d"
+  "/root/repo/tests/dram/address_mapping_test.cc" "tests/CMakeFiles/refsched_tests.dir/dram/address_mapping_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/dram/address_mapping_test.cc.o.d"
+  "/root/repo/tests/dram/bank_test.cc" "tests/CMakeFiles/refsched_tests.dir/dram/bank_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/dram/bank_test.cc.o.d"
+  "/root/repo/tests/dram/energy_test.cc" "tests/CMakeFiles/refsched_tests.dir/dram/energy_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/dram/energy_test.cc.o.d"
+  "/root/repo/tests/dram/refresh_scheduler_test.cc" "tests/CMakeFiles/refsched_tests.dir/dram/refresh_scheduler_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/dram/refresh_scheduler_test.cc.o.d"
+  "/root/repo/tests/dram/timings_test.cc" "tests/CMakeFiles/refsched_tests.dir/dram/timings_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/dram/timings_test.cc.o.d"
+  "/root/repo/tests/integration/codesign_test.cc" "tests/CMakeFiles/refsched_tests.dir/integration/codesign_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/integration/codesign_test.cc.o.d"
+  "/root/repo/tests/integration/system_test.cc" "tests/CMakeFiles/refsched_tests.dir/integration/system_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/integration/system_test.cc.o.d"
+  "/root/repo/tests/integration/variants_test.cc" "tests/CMakeFiles/refsched_tests.dir/integration/variants_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/integration/variants_test.cc.o.d"
+  "/root/repo/tests/memctrl/controller_stress_test.cc" "tests/CMakeFiles/refsched_tests.dir/memctrl/controller_stress_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/memctrl/controller_stress_test.cc.o.d"
+  "/root/repo/tests/memctrl/memory_controller_test.cc" "tests/CMakeFiles/refsched_tests.dir/memctrl/memory_controller_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/memctrl/memory_controller_test.cc.o.d"
+  "/root/repo/tests/os/buddy_allocator_test.cc" "tests/CMakeFiles/refsched_tests.dir/os/buddy_allocator_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/os/buddy_allocator_test.cc.o.d"
+  "/root/repo/tests/os/cfs_runqueue_test.cc" "tests/CMakeFiles/refsched_tests.dir/os/cfs_runqueue_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/os/cfs_runqueue_test.cc.o.d"
+  "/root/repo/tests/os/rbtree_test.cc" "tests/CMakeFiles/refsched_tests.dir/os/rbtree_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/os/rbtree_test.cc.o.d"
+  "/root/repo/tests/os/scheduler_test.cc" "tests/CMakeFiles/refsched_tests.dir/os/scheduler_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/os/scheduler_test.cc.o.d"
+  "/root/repo/tests/os/task_test.cc" "tests/CMakeFiles/refsched_tests.dir/os/task_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/os/task_test.cc.o.d"
+  "/root/repo/tests/os/virtual_memory_test.cc" "tests/CMakeFiles/refsched_tests.dir/os/virtual_memory_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/os/virtual_memory_test.cc.o.d"
+  "/root/repo/tests/simcore/event_queue_test.cc" "tests/CMakeFiles/refsched_tests.dir/simcore/event_queue_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/simcore/event_queue_test.cc.o.d"
+  "/root/repo/tests/simcore/logging_test.cc" "tests/CMakeFiles/refsched_tests.dir/simcore/logging_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/simcore/logging_test.cc.o.d"
+  "/root/repo/tests/simcore/rng_test.cc" "tests/CMakeFiles/refsched_tests.dir/simcore/rng_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/simcore/rng_test.cc.o.d"
+  "/root/repo/tests/simcore/stats_test.cc" "tests/CMakeFiles/refsched_tests.dir/simcore/stats_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/simcore/stats_test.cc.o.d"
+  "/root/repo/tests/simcore/types_test.cc" "tests/CMakeFiles/refsched_tests.dir/simcore/types_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/simcore/types_test.cc.o.d"
+  "/root/repo/tests/workload/profile_test.cc" "tests/CMakeFiles/refsched_tests.dir/workload/profile_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/workload/profile_test.cc.o.d"
+  "/root/repo/tests/workload/trace_file_test.cc" "tests/CMakeFiles/refsched_tests.dir/workload/trace_file_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/workload/trace_file_test.cc.o.d"
+  "/root/repo/tests/workload/trace_generator_test.cc" "tests/CMakeFiles/refsched_tests.dir/workload/trace_generator_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/workload/trace_generator_test.cc.o.d"
+  "/root/repo/tests/workload/workloads_test.cc" "tests/CMakeFiles/refsched_tests.dir/workload/workloads_test.cc.o" "gcc" "tests/CMakeFiles/refsched_tests.dir/workload/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/refsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

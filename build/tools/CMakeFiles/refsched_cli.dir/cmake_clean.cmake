@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refsched_cli.dir/refsched_cli.cc.o"
+  "CMakeFiles/refsched_cli.dir/refsched_cli.cc.o.d"
+  "refsched_cli"
+  "refsched_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refsched_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
