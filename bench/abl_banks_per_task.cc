@@ -18,31 +18,42 @@ main(int argc, char **argv)
     const auto opts = parseArgs(argc, argv);
     const auto workloads = workloadNames(opts);
     const auto density = dram::DensityGb::d32;
+    const std::vector<int> bankCounts{2, 4, 6, 7};
 
     std::cout << "Ablation: banks/task (per rank) under the "
                  "co-design, vs all-bank (32Gb)\n\n";
 
-    core::Table table({"banks/task", "geomean vs all-bank"});
-    for (int banks : {2, 4, 6, 7}) {
-        std::vector<double> speedups;
+    GridRunner grid(opts);
+    // The all-bank baseline does not depend on banks/task: run it
+    // once per workload and reuse it across the sweep.
+    std::vector<std::size_t> baseCells;
+    for (const auto &wl : workloads)
+        baseCells.push_back(grid.add(wl, Policy::AllBank, density));
+    // cdCells[bankCount][workload]
+    std::vector<std::vector<std::size_t>> cdCells(bankCounts.size());
+    for (std::size_t b = 0; b < bankCounts.size(); ++b) {
         for (const auto &wl : workloads) {
-            const auto base =
-                runCell(opts, wl, Policy::AllBank, density);
             auto cfg = core::makeConfig(wl, Policy::CoDesign, density,
                                         milliseconds(64.0), 2, 4,
                                         opts.timeScale);
-            cfg.banksPerTaskPerRank = banks;
-            core::RunOptions run;
-            run.warmupQuanta = opts.warmupQuanta;
-            run.measureQuanta = opts.measureQuanta;
-            const auto cd = core::runOnce(cfg, run);
-            speedups.push_back(cd.speedupOver(base));
+            cfg.banksPerTaskPerRank = bankCounts[b];
+            cdCells[b].push_back(grid.add(std::move(cfg)));
         }
-        table.addRow({std::to_string(banks),
+    }
+    grid.run();
+
+    core::Table table({"banks/task", "geomean vs all-bank"});
+    for (std::size_t b = 0; b < bankCounts.size(); ++b) {
+        std::vector<double> speedups;
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            speedups.push_back(
+                grid[cdCells[b][w]].speedupOver(grid[baseCells[w]]));
+        }
+        table.addRow({std::to_string(bankCounts[b]),
                       core::pctImprovement(geomean(speedups))});
     }
 
-    emit(opts, table);
+    emit(opts, table, "abl_banks_per_task");
     std::cout << "\nPaper reference: 6 banks/task is the sweet spot "
                  "at 1:4 consolidation\n(footnote 11).\n";
     return 0;

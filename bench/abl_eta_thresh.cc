@@ -21,25 +21,30 @@ main(int argc, char **argv)
 {
     const auto opts = parseArgs(argc, argv);
     const std::string wl = "WL-5";
+    const std::vector<int> etas{1, 2, 3, 4, 8, 64};
 
     std::cout << "Ablation: eta_thresh sweep under the co-design ("
               << wl << ", 32Gb)\n\n";
 
-    core::Table table({"eta", "hmean IPC", "blocked reads", "clean",
-                       "deferred", "best-effort", "fallback",
-                       "vruntime spread (quanta)"});
-    for (int eta : {1, 2, 3, 4, 8, 64}) {
+    GridRunner grid(opts);
+    std::vector<std::size_t> cells;
+    for (int eta : etas) {
         auto cfg = core::makeConfig(wl, Policy::CoDesign,
                                     dram::DensityGb::d32,
                                     milliseconds(64.0), 2, 4,
                                     opts.timeScale);
         cfg.etaThresh = eta;
         cfg.bestEffort = (eta > 1);
-        core::RunOptions run;
-        run.warmupQuanta = opts.warmupQuanta;
-        run.measureQuanta = opts.measureQuanta;
-        const auto m = core::runOnce(cfg, run);
-        table.addRow({std::to_string(eta),
+        cells.push_back(grid.add(std::move(cfg)));
+    }
+    grid.run();
+
+    core::Table table({"eta", "hmean IPC", "blocked reads", "clean",
+                       "deferred", "best-effort", "fallback",
+                       "vruntime spread (quanta)"});
+    for (std::size_t i = 0; i < etas.size(); ++i) {
+        const auto &m = grid[cells[i]];
+        table.addRow({std::to_string(etas[i]),
                       core::fmt(m.harmonicMeanIpc),
                       core::fmt(m.blockedReadFraction * 100.0, 2) + "%",
                       std::to_string(m.cleanPicks),
@@ -49,7 +54,7 @@ main(int argc, char **argv)
                       core::fmt(m.vruntimeSpreadQuanta, 2)});
     }
 
-    emit(opts, table);
+    emit(opts, table, "abl_eta_thresh");
     std::cout << "\nExpectation: IPC and refresh avoidance grow with "
                  "eta while fairness (spread)\nstays bounded -- the "
                  "aligned rotation keeps the schedule fair even with "

@@ -19,18 +19,15 @@ using core::Policy;
 namespace
 {
 
-core::Metrics
-runWith(const BenchOptions &opts, const std::string &wl, Policy policy,
-        memctrl::PagePolicy page)
+core::SystemConfig
+pagedConfig(const BenchOptions &opts, const std::string &wl,
+            Policy policy, memctrl::PagePolicy page)
 {
     auto cfg = core::makeConfig(wl, policy, dram::DensityGb::d32,
                                 milliseconds(64.0), 2, 4,
                                 opts.timeScale);
     cfg.mcParams.pagePolicy = page;
-    core::RunOptions run;
-    run.warmupQuanta = opts.warmupQuanta;
-    run.measureQuanta = opts.measureQuanta;
-    return core::runOnce(cfg, run);
+    return cfg;
 }
 
 } // namespace
@@ -44,21 +41,37 @@ main(int argc, char **argv)
     std::cout << "Ablation: open-page vs closed-page row policy "
                  "(32Gb)\n\n";
 
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t abOpen, abClosed, cdOpen, cdClosed;
+    };
+    std::vector<Cell> cells;
+    for (const auto &wl : workloads) {
+        cells.push_back(
+            {grid.add(pagedConfig(opts, wl, Policy::AllBank,
+                                  memctrl::PagePolicy::Open)),
+             grid.add(pagedConfig(opts, wl, Policy::AllBank,
+                                  memctrl::PagePolicy::Closed)),
+             grid.add(pagedConfig(opts, wl, Policy::CoDesign,
+                                  memctrl::PagePolicy::Open)),
+             grid.add(pagedConfig(opts, wl, Policy::CoDesign,
+                                  memctrl::PagePolicy::Closed))});
+    }
+    grid.run();
+
     core::Table table({"workload", "open row-hit", "open IPC",
                        "closed IPC", "closed vs open",
                        "co-design gain (open)",
                        "co-design gain (closed)"});
-    for (const auto &wl : workloads) {
-        const auto abOpen = runWith(opts, wl, Policy::AllBank,
-                                    memctrl::PagePolicy::Open);
-        const auto abClosed = runWith(opts, wl, Policy::AllBank,
-                                      memctrl::PagePolicy::Closed);
-        const auto cdOpen = runWith(opts, wl, Policy::CoDesign,
-                                    memctrl::PagePolicy::Open);
-        const auto cdClosed = runWith(opts, wl, Policy::CoDesign,
-                                      memctrl::PagePolicy::Closed);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &abOpen = grid[cells[w].abOpen];
+        const auto &abClosed = grid[cells[w].abClosed];
+        const auto &cdOpen = grid[cells[w].cdOpen];
+        const auto &cdClosed = grid[cells[w].cdClosed];
         table.addRow(
-            {wl, core::fmt(abOpen.rowHitRate * 100.0, 1) + "%",
+            {workloads[w],
+             core::fmt(abOpen.rowHitRate * 100.0, 1) + "%",
              core::fmt(abOpen.harmonicMeanIpc),
              core::fmt(abClosed.harmonicMeanIpc),
              core::pctImprovement(abClosed.speedupOver(abOpen)),
@@ -66,6 +79,6 @@ main(int argc, char **argv)
              core::pctImprovement(cdClosed.speedupOver(abClosed))});
     }
 
-    emit(opts, table);
+    emit(opts, table, "abl_page_policy");
     return 0;
 }

@@ -18,9 +18,9 @@ using core::Policy;
 namespace
 {
 
-core::Metrics
-runMode(const BenchOptions &opts, const std::string &wl,
-        core::Partitioning mode, bool prefetchSequential = false)
+core::SystemConfig
+modeConfig(const BenchOptions &opts, const std::string &wl,
+           core::Partitioning mode, bool prefetchSequential = false)
 {
     auto cfg = core::makeConfig(wl, Policy::CoDesign,
                                 dram::DensityGb::d32,
@@ -28,10 +28,7 @@ runMode(const BenchOptions &opts, const std::string &wl,
                                 opts.timeScale);
     cfg.partitioning = mode;
     cfg.coreParams.prefetchSequential = prefetchSequential;
-    core::RunOptions run;
-    run.warmupQuanta = opts.warmupQuanta;
-    run.measureQuanta = opts.measureQuanta;
-    return core::runOnce(cfg, run);
+    return cfg;
 }
 
 std::uint64_t
@@ -54,33 +51,48 @@ main(int argc, char **argv)
     std::cout << "Ablation: soft vs hard partitioning under the "
                  "co-design (32Gb)\n\n";
 
+    GridRunner grid(opts);
+    struct Cell
+    {
+        // soft doubles as the "blocking" cell of the secondary
+        // ablation (identical configuration, deterministic result).
+        std::size_t soft, hard, prefetch;
+    };
+    std::vector<Cell> cells;
+    for (const auto &wl : workloads) {
+        cells.push_back(
+            {grid.add(modeConfig(opts, wl, core::Partitioning::Soft)),
+             grid.add(modeConfig(opts, wl, core::Partitioning::Hard)),
+             grid.add(modeConfig(opts, wl, core::Partitioning::Soft,
+                                 true))});
+    }
+    grid.run();
+
     core::Table table({"workload", "soft IPC", "hard IPC",
                        "hard vs soft", "soft fallback pages",
                        "hard fallback pages"});
-    for (const auto &wl : workloads) {
-        const auto soft = runMode(opts, wl, core::Partitioning::Soft);
-        const auto hard = runMode(opts, wl, core::Partitioning::Hard);
-        table.addRow({wl, core::fmt(soft.harmonicMeanIpc),
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &soft = grid[cells[w].soft];
+        const auto &hard = grid[cells[w].hard];
+        table.addRow({workloads[w], core::fmt(soft.harmonicMeanIpc),
                       core::fmt(hard.harmonicMeanIpc),
                       core::pctImprovement(hard.speedupOver(soft)),
                       std::to_string(fallbacks(soft)),
                       std::to_string(fallbacks(hard))});
     }
-    emit(opts, table);
+    emit(opts, table, "abl_partitioning");
 
     std::cout << "\nSecondary ablation: prefetch-covered sequential "
                  "streams (bandwidth-bound core\nmodel) under the "
                  "co-design\n\n";
     core::Table table2(
         {"workload", "blocking IPC", "prefetch-covered IPC"});
-    for (const auto &wl : workloads) {
-        const auto blocking =
-            runMode(opts, wl, core::Partitioning::Soft, false);
-        const auto prefetch =
-            runMode(opts, wl, core::Partitioning::Soft, true);
-        table2.addRow({wl, core::fmt(blocking.harmonicMeanIpc),
-                       core::fmt(prefetch.harmonicMeanIpc)});
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        table2.addRow(
+            {workloads[w],
+             core::fmt(grid[cells[w].soft].harmonicMeanIpc),
+             core::fmt(grid[cells[w].prefetch].harmonicMeanIpc)});
     }
-    emit(opts, table2);
+    emit(opts, table2, "abl_prefetch");
     return 0;
 }

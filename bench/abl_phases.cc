@@ -22,10 +22,9 @@ using core::Policy;
 namespace
 {
 
-/** Run 8 copies of @p prof under @p policy; returns metrics. */
+/** Run 8 copies of GemsFDTD under @p policy; returns metrics. */
 core::Metrics
-runProfile(const BenchOptions &opts, const workload::BenchmarkProfile &,
-           Policy policy, bool phased)
+runProfile(const BenchOptions &opts, Policy policy, bool phased)
 {
     core::SystemConfig cfg;
     cfg.numCores = 2;
@@ -65,25 +64,40 @@ int
 main(int argc, char **argv)
 {
     const auto opts = parseArgs(argc, argv);
-    const auto &prof = workload::profileByName("GemsFDTD");
+    const std::vector<bool> behaviours{false, true};
+    const std::vector<Policy> policies{Policy::NoRefresh,
+                                       Policy::AllBank,
+                                       Policy::PerBank,
+                                       Policy::CoDesign};
 
     std::cout << "Ablation: steady vs phased GemsFDTD x8 (32Gb); "
                  "elastic deferral hides refresh\nin compute "
                  "phases\n\n";
 
+    // Each cell builds its own System (and swaps trace sources on
+    // it), so it is queued as a self-contained thunk.
+    GridRunner grid(opts);
+    // cells[behaviour][policy]
+    std::vector<std::vector<std::size_t>> cells(behaviours.size());
+    for (std::size_t b = 0; b < behaviours.size(); ++b) {
+        const bool phased = behaviours[b];
+        for (auto policy : policies) {
+            cells[b].push_back(grid.add([opts, policy, phased] {
+                return runProfile(opts, policy, phased);
+            }));
+        }
+    }
+    grid.run();
+
     core::Table table({"behaviour", "all-bank deg.", "per-bank deg.",
                        "co-design vs all-bank"});
-    for (const bool phased : {false, true}) {
-        const auto nr =
-            runProfile(opts, prof, Policy::NoRefresh, phased);
-        const auto ab =
-            runProfile(opts, prof, Policy::AllBank, phased);
-        const auto pb =
-            runProfile(opts, prof, Policy::PerBank, phased);
-        const auto cd =
-            runProfile(opts, prof, Policy::CoDesign, phased);
+    for (std::size_t b = 0; b < behaviours.size(); ++b) {
+        const auto &nr = grid[cells[b][0]];
+        const auto &ab = grid[cells[b][1]];
+        const auto &pb = grid[cells[b][2]];
+        const auto &cd = grid[cells[b][3]];
         table.addRow(
-            {phased ? "phased" : "steady",
+            {behaviours[b] ? "phased" : "steady",
              core::fmt((1.0 - ab.harmonicMeanIpc / nr.harmonicMeanIpc)
                            * 100.0,
                        1)
@@ -95,6 +109,6 @@ main(int argc, char **argv)
              core::pctImprovement(cd.speedupOver(ab))});
     }
 
-    emit(opts, table);
+    emit(opts, table, "abl_phases");
     return 0;
 }

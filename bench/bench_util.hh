@@ -7,9 +7,21 @@
  *                 representative five covering H/M/L classes)
  *   --scale N     ratio-preserving timeScale (default 128)
  *   --csv         emit CSV instead of an aligned table
+ *   --jobs N      worker threads for the experiment grid (default:
+ *                 all hardware threads; 1 = sequential)
+ *   --warmup Q    warm-up quanta before the statistics reset
+ *   --measure Q   measured quanta
+ *   --json FILE   additionally archive every emitted table as JSON
+ *                 (e.g. BENCH_fig10.json, for the perf trajectory)
  *
  * Runs are deterministic; the same invocation always reproduces the
- * same numbers.
+ * same numbers, regardless of --jobs (each cell is an independent
+ * deterministic simulation and results are ordered by submission).
+ *
+ * Bench structure: enumerate the full experiment grid first through
+ * GridRunner::add (recording cell indices), call run() once to fan
+ * the cells out across workers, then format tables from the
+ * submission-ordered results.
  */
 
 #ifndef REFSCHED_BENCH_BENCH_UTIL_HH
@@ -18,13 +30,17 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 #include "core/report.hh"
 #include "core/system.hh"
+#include "simcore/logging.hh"
 #include "workload/workloads.hh"
 
 namespace refsched::bench
@@ -37,26 +53,167 @@ struct BenchOptions
     unsigned timeScale = 128;
     int warmupQuanta = 8;
     int measureQuanta = 16;
+    /** Grid worker threads; 0 = hardware_concurrency. */
+    int jobs = 0;
+    /** When non-empty, archive emitted tables to this JSON file. */
+    std::string jsonPath;
+    /** argv[0], recorded for the JSON archive. */
+    std::string benchName;
 };
+
+namespace detail
+{
+
+/** Tables emitted so far, flushed to opts.jsonPath at exit. */
+struct JsonArchive
+{
+    std::string path;
+    std::string bench;
+    std::string options;
+    std::vector<std::pair<std::string, core::Table>> tables;
+
+    ~JsonArchive()
+    {
+        if (path.empty() || tables.empty())
+            return;
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "cannot write " << path << "\n";
+            return;
+        }
+        os << "{\n  \"bench\": \"" << escape(bench) << "\",\n"
+           << "  \"options\": " << options << ",\n"
+           << "  \"tables\": [\n";
+        for (std::size_t t = 0; t < tables.size(); ++t) {
+            const auto &[label, table] = tables[t];
+            os << "    {\"label\": \"" << escape(label)
+               << "\", \"headers\": ";
+            writeRow(os, table.headers());
+            os << ", \"rows\": [";
+            const auto &rows = table.rowData();
+            for (std::size_t r = 0; r < rows.size(); ++r) {
+                if (r > 0)
+                    os << ", ";
+                writeRow(os, rows[r]);
+            }
+            os << "]}" << (t + 1 < tables.size() ? "," : "") << "\n";
+        }
+        os << "  ]\n}\n";
+    }
+
+    static std::string
+    escape(const std::string &s)
+    {
+        std::string out;
+        out.reserve(s.size());
+        for (char ch : s) {
+            if (ch == '"' || ch == '\\')
+                out += '\\';
+            if (ch == '\n') {
+                out += "\\n";
+                continue;
+            }
+            out += ch;
+        }
+        return out;
+    }
+
+    static void
+    writeRow(std::ostream &os, const std::vector<std::string> &cells)
+    {
+        os << "[";
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << "\"" << escape(cells[i]) << "\"";
+        }
+        os << "]";
+    }
+};
+
+inline JsonArchive &
+jsonArchive()
+{
+    static JsonArchive archive;
+    return archive;
+}
+
+} // namespace detail
+
+[[noreturn]] inline void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--full] [--csv] [--scale N] [--jobs N]"
+           " [--warmup Q] [--measure Q] [--json FILE]\n"
+           "  --full       run all ten Table 2 workloads (default:"
+           " a representative five)\n"
+           "  --csv        emit CSV instead of aligned tables\n"
+           "  --scale N    ratio-preserving timeScale divisor"
+           " (default 128)\n"
+           "  --jobs N     worker threads for the experiment grid\n"
+           "               (default: all hardware threads;"
+           " 1 = sequential)\n"
+           "  --warmup Q   warm-up quanta before the stats reset"
+           " (default 8)\n"
+           "  --measure Q  measured quanta (default 16)\n"
+           "  --json FILE  archive emitted tables as JSON"
+           " (e.g. BENCH_fig10.json)\n";
+    std::exit(2);
+}
 
 inline BenchOptions
 parseArgs(int argc, char **argv)
 {
     BenchOptions opts;
+    opts.benchName = argc > 0 ? argv[0] : "bench";
+
+    auto intArg = [&](int &i) {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return std::atoi(argv[++i]);
+    };
+
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--full") == 0) {
             opts.full = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opts.csv = true;
-        } else if (std::strcmp(argv[i], "--scale") == 0
-                   && i + 1 < argc) {
-            opts.timeScale =
-                static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--scale") == 0) {
+            opts.timeScale = static_cast<unsigned>(intArg(i));
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            opts.jobs = intArg(i);
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            opts.warmupQuanta = intArg(i);
+        } else if (std::strcmp(argv[i], "--measure") == 0) {
+            opts.measureQuanta = intArg(i);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opts.jsonPath = argv[++i];
         } else {
-            std::cerr << "usage: " << argv[0]
-                      << " [--full] [--csv] [--scale N]\n";
-            std::exit(2);
+            usage(argv[0]);
         }
+    }
+
+    // Reject values the simulator would only panic on later.
+    if (opts.timeScale < 1 || opts.warmupQuanta < 0
+        || opts.measureQuanta < 1) {
+        std::cerr << "invalid --scale/--warmup/--measure value\n";
+        usage(argv[0]);
+    }
+
+    if (!opts.jsonPath.empty()) {
+        auto &archive = detail::jsonArchive();
+        archive.path = opts.jsonPath;
+        archive.bench = opts.benchName;
+        archive.options = "{\"full\": "
+            + std::string(opts.full ? "true" : "false")
+            + ", \"scale\": " + std::to_string(opts.timeScale)
+            + ", \"warmup\": " + std::to_string(opts.warmupQuanta)
+            + ", \"measure\": " + std::to_string(opts.measureQuanta)
+            + ", \"jobs\": " + std::to_string(opts.jobs) + "}";
     }
     return opts;
 }
@@ -74,41 +231,124 @@ workloadNames(const BenchOptions &opts)
     return {"WL-1", "WL-2", "WL-5", "WL-8", "WL-10"};
 }
 
-/** Run one experiment cell with the bench's standard lengths. */
-inline core::Metrics
-runCell(const BenchOptions &opts, const std::string &workload,
-        core::Policy policy, dram::DensityGb density,
-        Tick tREFW = milliseconds(64.0), int numCores = 2,
-        int tasksPerCore = 4)
+/**
+ * Deferred experiment grid: benches enumerate every cell up front
+ * (add returns the cell's index), run() fans the whole grid out over
+ * a work-stealing thread pool, and operator[] retrieves the metrics
+ * afterwards in submission order.
+ */
+class GridRunner
 {
-    auto cfg = core::makeConfig(workload, policy, density, tREFW,
-                                numCores, tasksPerCore,
-                                opts.timeScale);
-    core::RunOptions run;
-    run.warmupQuanta = opts.warmupQuanta;
-    run.measureQuanta = opts.measureQuanta;
-    return core::runOnce(cfg, run);
-}
+  public:
+    explicit GridRunner(const BenchOptions &opts) : opts_(opts) {}
 
+    /** Queue a standard Table 1 cell; returns its result index. */
+    std::size_t
+    add(const std::string &workload, core::Policy policy,
+        dram::DensityGb density, Tick tREFW = milliseconds(64.0),
+        int numCores = 2, int tasksPerCore = 4)
+    {
+        return add(core::makeConfig(workload, policy, density, tREFW,
+                                    numCores, tasksPerCore,
+                                    opts_.timeScale));
+    }
+
+    /** Queue a custom-configured cell (ablations). */
+    std::size_t
+    add(core::SystemConfig cfg)
+    {
+        core::CellSpec cell;
+        cell.cfg = std::move(cfg);
+        cell.opts = runOptions();
+        cells_.push_back(std::move(cell));
+        return cells_.size() - 1;
+    }
+
+    /** Queue a fully custom cell (must be self-contained). */
+    std::size_t
+    add(std::function<core::Metrics()> custom)
+    {
+        core::CellSpec cell;
+        cell.custom = std::move(custom);
+        cells_.push_back(std::move(cell));
+        return cells_.size() - 1;
+    }
+
+    /** The bench's standard warm-up/measure lengths. */
+    core::RunOptions
+    runOptions() const
+    {
+        core::RunOptions run;
+        run.warmupQuanta = opts_.warmupQuanta;
+        run.measureQuanta = opts_.measureQuanta;
+        return run;
+    }
+
+    /** Run every queued cell across --jobs workers. */
+    void
+    run()
+    {
+        results_ =
+            core::ParallelRunner(opts_.jobs).runCells(cells_);
+        ran_ = true;
+    }
+
+    const core::Metrics &
+    operator[](std::size_t i) const
+    {
+        REFSCHED_ASSERT(ran_, "GridRunner::run() not called");
+        return results_[i];
+    }
+
+    std::size_t size() const { return cells_.size(); }
+
+  private:
+    BenchOptions opts_;
+    std::vector<core::CellSpec> cells_;
+    std::vector<core::Metrics> results_;
+    bool ran_ = false;
+};
+
+/**
+ * Emit @p table to stdout (aligned or CSV per @p opts) and, when
+ * --json is active, record it for the archive written at exit.
+ */
 inline void
-emit(const BenchOptions &opts, const core::Table &table)
+emit(const BenchOptions &opts, const core::Table &table,
+     const std::string &label = "")
 {
     if (opts.csv)
         table.printCsv(std::cout);
     else
         table.print(std::cout);
+
+    if (!opts.jsonPath.empty()) {
+        auto &archive = detail::jsonArchive();
+        const std::string name = !label.empty()
+            ? label
+            : "table" + std::to_string(archive.tables.size());
+        archive.tables.emplace_back(name, table);
+    }
 }
 
-/** Geometric mean of a vector of ratios. */
+/**
+ * Geometric mean of a vector of ratios, accumulated in log space so
+ * long products of small ratios cannot underflow (a 10-cell product
+ * of 1e-40s is zero in double arithmetic, but fine as a log sum).
+ * Non-positive inputs have no geometric mean; they yield 0.0.
+ */
 inline double
 geomean(const std::vector<double> &xs)
 {
     if (xs.empty())
         return 0.0;
-    double product = 1.0;
-    for (double x : xs)
-        product *= x;
-    return std::pow(product, 1.0 / static_cast<double>(xs.size()));
+    double logSum = 0.0;
+    for (double x : xs) {
+        if (!(x > 0.0))
+            return 0.0;
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
 }
 
 } // namespace refsched::bench

@@ -24,22 +24,32 @@ main(int argc, char **argv)
     const auto opts = parseArgs(argc, argv);
     const auto workloads = workloadNames(opts);
     const auto density = dram::DensityGb::d32;
+    const std::vector<Policy> policies{Policy::AllBank,
+                                       Policy::PerBank,
+                                       Policy::CoDesign,
+                                       Policy::NoRefresh};
 
     std::cout << "DRAM energy by refresh policy (32Gb, measured "
                  "window)\n\n";
 
+    GridRunner grid(opts);
+    // cells[workload][policy]; policies[0] doubles as the baseline.
+    std::vector<std::vector<std::size_t>> cells(workloads.size());
+    for (std::size_t w = 0; w < workloads.size(); ++w)
+        for (auto policy : policies)
+            cells[w].push_back(
+                grid.add(workloads[w], policy, density));
+    grid.run();
+
     core::Table table({"workload", "policy", "total (mJ)",
                        "refresh share", "pJ/instr",
                        "EPI vs all-bank"});
-    for (const auto &wl : workloads) {
-        const auto base = runCell(opts, wl, Policy::AllBank, density);
-        for (auto policy : {Policy::AllBank, Policy::PerBank,
-                            Policy::CoDesign, Policy::NoRefresh}) {
-            const auto m = policy == Policy::AllBank
-                ? base
-                : runCell(opts, wl, policy, density);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &base = grid[cells[w][0]];
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &m = grid[cells[w][p]];
             table.addRow(
-                {wl, toString(policy),
+                {workloads[w], toString(policies[p]),
                  core::fmt(m.energy.totalPj() / 1e9, 3),
                  core::fmt(m.energy.refreshShare() * 100.0, 1) + "%",
                  core::fmt(m.energyPerInstructionPj, 1),
@@ -48,7 +58,7 @@ main(int argc, char **argv)
         }
     }
 
-    emit(opts, table);
+    emit(opts, table, "energy_refresh");
     std::cout << "\nExpectation: total refresh picojoules are nearly "
                  "identical across refreshing\npolicies (row "
                  "coverage is fixed); the co-design's EPI advantage "

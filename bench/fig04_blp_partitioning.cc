@@ -20,9 +20,9 @@ using core::Policy;
 namespace
 {
 
-core::Metrics
-runConfined(const BenchOptions &opts, const std::string &wl,
-            dram::DensityGb density, int banksPerTask)
+core::SystemConfig
+confinedConfig(const BenchOptions &opts, const std::string &wl,
+               dram::DensityGb density, int banksPerTask)
 {
     auto cfg = core::makeConfig(wl, Policy::NoRefresh, density,
                                 milliseconds(64.0), 2, 4,
@@ -31,10 +31,7 @@ runConfined(const BenchOptions &opts, const std::string &wl,
         cfg.partitioning = core::Partitioning::Soft;
         cfg.banksPerTaskPerRank = banksPerTask;
     }
-    core::RunOptions run;
-    run.warmupQuanta = opts.warmupQuanta;
-    run.measureQuanta = opts.measureQuanta;
-    return core::runOnce(cfg, run);
+    return cfg;
 }
 
 } // namespace
@@ -48,26 +45,47 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads =
         opts.full ? workloadNames(opts)
                   : std::vector<std::string>{"WL-1", "WL-5", "WL-8"};
+    const std::vector<dram::DensityGb> densities{
+        dram::DensityGb::d8, dram::DensityGb::d16,
+        dram::DensityGb::d24, dram::DensityGb::d32};
+    const std::vector<int> bankCounts{8, 6, 4, 2, 1};
 
     std::cout << "Figure 4: IPC with k banks/task per rank and all "
                  "refresh eliminated,\nnormalized to the all-bank "
                  "refresh baseline (average over "
               << workloads.size() << " workloads)\n\n";
 
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t base, confined;
+    };
+    // cells[density][bankCount][workload]
+    std::vector<std::vector<std::vector<Cell>>> cells(
+        densities.size(),
+        std::vector<std::vector<Cell>>(bankCounts.size()));
+    for (std::size_t d = 0; d < densities.size(); ++d) {
+        for (std::size_t b = 0; b < bankCounts.size(); ++b) {
+            for (const auto &wl : workloads) {
+                cells[d][b].push_back(
+                    {grid.add(wl, Policy::AllBank, densities[d]),
+                     grid.add(confinedConfig(opts, wl, densities[d],
+                                             bankCounts[b]))});
+            }
+        }
+    }
+    grid.run();
+
     core::Table table({"density", "8 banks", "6 banks", "4 banks",
                        "2 banks", "1 bank"});
 
-    for (auto density :
-         {dram::DensityGb::d8, dram::DensityGb::d16,
-          dram::DensityGb::d24, dram::DensityGb::d32}) {
-        std::vector<std::string> row{dram::toString(density)};
-        for (int banks : {8, 6, 4, 2, 1}) {
+    for (std::size_t d = 0; d < densities.size(); ++d) {
+        std::vector<std::string> row{dram::toString(densities[d])};
+        for (std::size_t b = 0; b < bankCounts.size(); ++b) {
             std::vector<double> speedups;
-            for (const auto &wl : workloads) {
-                const auto base =
-                    runCell(opts, wl, Policy::AllBank, density);
-                const auto confined =
-                    runConfined(opts, wl, density, banks);
+            for (std::size_t w = 0; w < workloads.size(); ++w) {
+                const auto &base = grid[cells[d][b][w].base];
+                const auto &confined = grid[cells[d][b][w].confined];
                 speedups.push_back(confined.speedupOver(base));
             }
             row.push_back(core::pctImprovement(geomean(speedups)));
@@ -75,7 +93,7 @@ main(int argc, char **argv)
         table.addRow(row);
     }
 
-    emit(opts, table);
+    emit(opts, table, "fig04");
     std::cout << "\nPaper reference: >= 4 banks/task still wins at "
                  "16/24/32 Gb once tRFC is\neliminated; at 8 Gb "
                  "confinement to few banks degrades (footnote 4).\n";

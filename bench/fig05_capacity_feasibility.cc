@@ -9,22 +9,20 @@
  * exhausted, the fall-back allocates elsewhere.  The reported value
  * is pages-on-bank-0 / footprint-pages.
  *
- * This experiment is untimed, so it runs at timeScale 1: real
+ * This experiment is untimed, so it always runs at timeScale 1: real
  * footprints against real bank capacities (2 GB/bank at 32 Gb).
- *
- * Paper shape: on average 68% of the footprint fits one bank at
- * 8 Gb, growing toward 100% with density.
+ * Each (benchmark, density) cell is independent, so the grid fans
+ * out across --jobs workers like the timed benches.
  */
 
-#include <iostream>
-
-#include "core/report.hh"
+#include "bench_util.hh"
 #include "dram/address_mapping.hh"
 #include "os/buddy_allocator.hh"
 #include "os/virtual_memory.hh"
 #include "workload/profile.hh"
 
 using namespace refsched;
+using namespace refsched::bench;
 
 namespace
 {
@@ -57,30 +55,40 @@ fractionOnOneBank(dram::DensityGb density,
 int
 main(int argc, char **argv)
 {
-    const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+    const auto opts = parseArgs(argc, argv);
+    const std::vector<dram::DensityGb> densities{
+        dram::DensityGb::d8, dram::DensityGb::d16,
+        dram::DensityGb::d24, dram::DensityGb::d32};
+    const auto names = workload::builtinProfileNames();
 
     std::cout << "Figure 5: fraction of footprint placeable on a "
                  "single bank (timeScale 1,\nreal capacities)\n\n";
 
+    // Fan the (benchmark x density) grid out over the worker pool.
+    std::vector<double> fracs(names.size() * densities.size());
+    core::ParallelRunner(opts.jobs).runIndexed(
+        fracs.size(), [&](std::size_t i) {
+            const auto &prof =
+                workload::profileByName(names[i / densities.size()]);
+            fracs[i] = fractionOnOneBank(
+                densities[i % densities.size()], prof);
+        });
+
     core::Table table({"benchmark", "footprint", "8Gb", "16Gb", "24Gb",
                        "32Gb"});
 
-    std::vector<double> avg(4, 0.0);
-    const auto names = workload::builtinProfileNames();
-    for (const auto &name : names) {
-        const auto &prof = workload::profileByName(name);
+    std::vector<double> avg(densities.size(), 0.0);
+    for (std::size_t n = 0; n < names.size(); ++n) {
+        const auto &prof = workload::profileByName(names[n]);
         std::vector<std::string> row{
-            name,
+            names[n],
             core::fmt(static_cast<double>(prof.footprintBytes)
                           / static_cast<double>(kMiB),
                       0)
                 + " MiB"};
-        int col = 0;
-        for (auto density :
-             {dram::DensityGb::d8, dram::DensityGb::d16,
-              dram::DensityGb::d24, dram::DensityGb::d32}) {
-            const double frac = fractionOnOneBank(density, prof);
-            avg[static_cast<std::size_t>(col++)] += frac;
+        for (std::size_t d = 0; d < densities.size(); ++d) {
+            const double frac = fracs[n * densities.size() + d];
+            avg[d] += frac;
             row.push_back(core::fmt(frac * 100.0, 1) + "%");
         }
         table.addRow(row);
@@ -94,10 +102,7 @@ main(int argc, char **argv)
     }
     table.addRow(avgRow);
 
-    if (csv)
-        table.printCsv(std::cout);
-    else
-        table.print(std::cout);
+    emit(opts, table, "fig05");
     std::cout << "\nPaper reference: ~68% average at 8Gb, growing "
                  "with density (Fig. 5).\n";
     return 0;

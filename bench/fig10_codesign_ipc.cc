@@ -20,20 +20,37 @@ main(int argc, char **argv)
 {
     const auto opts = parseArgs(argc, argv);
     const auto workloads = workloadNames(opts);
+    const std::vector<dram::DensityGb> densities{
+        dram::DensityGb::d16, dram::DensityGb::d24,
+        dram::DensityGb::d32};
 
-    for (auto density : {dram::DensityGb::d16, dram::DensityGb::d24,
-                         dram::DensityGb::d32}) {
-        std::cout << "Figure 10 (" << dram::toString(density)
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t base, pb, cd;
+    };
+    std::vector<std::vector<Cell>> cells(densities.size());
+    for (std::size_t d = 0; d < densities.size(); ++d) {
+        for (const auto &wl : workloads) {
+            cells[d].push_back(
+                {grid.add(wl, Policy::AllBank, densities[d]),
+                 grid.add(wl, Policy::PerBank, densities[d]),
+                 grid.add(wl, Policy::CoDesign, densities[d])});
+        }
+    }
+    grid.run();
+
+    for (std::size_t d = 0; d < densities.size(); ++d) {
+        std::cout << "Figure 10 (" << dram::toString(densities[d])
                   << "): IPC vs all-bank refresh\n\n";
         core::Table table({"workload", "class", "all-bank IPC",
                            "per-bank", "co-design"});
         std::vector<double> pbAll, cdAll;
-        for (const auto &wl : workloads) {
-            const auto base =
-                runCell(opts, wl, Policy::AllBank, density);
-            const auto pb = runCell(opts, wl, Policy::PerBank, density);
-            const auto cd =
-                runCell(opts, wl, Policy::CoDesign, density);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const auto &wl = workloads[w];
+            const auto &base = grid[cells[d][w].base];
+            const auto &pb = grid[cells[d][w].pb];
+            const auto &cd = grid[cells[d][w].cd];
             pbAll.push_back(pb.speedupOver(base));
             cdAll.push_back(cd.speedupOver(base));
             table.addRow({wl,
@@ -45,7 +62,7 @@ main(int argc, char **argv)
         table.addRow({"geomean", "", "",
                       core::pctImprovement(geomean(pbAll)),
                       core::pctImprovement(geomean(cdAll))});
-        emit(opts, table);
+        emit(opts, table, "fig10_" + dram::toString(densities[d]));
         std::cout << "\n";
     }
 

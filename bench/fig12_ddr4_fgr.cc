@@ -24,18 +24,32 @@ main(int argc, char **argv)
     std::cout << "Figure 12: DDR4 FGR modes vs co-design "
                  "(normalized to DDR4-1x all-bank), 32Gb\n\n";
 
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t x1, x2, x4, cd;
+    };
+    std::vector<Cell> cells;
+    for (const auto &wl : workloads) {
+        cells.push_back({grid.add(wl, Policy::AllBank, density),
+                         grid.add(wl, Policy::Ddr4x2, density),
+                         grid.add(wl, Policy::Ddr4x4, density),
+                         grid.add(wl, Policy::CoDesign, density)});
+    }
+    grid.run();
+
     core::Table table(
         {"workload", "1x IPC", "2x", "4x", "co-design"});
     std::vector<double> x2All, x4All, cdAll;
-    for (const auto &wl : workloads) {
-        const auto x1 = runCell(opts, wl, Policy::AllBank, density);
-        const auto x2 = runCell(opts, wl, Policy::Ddr4x2, density);
-        const auto x4 = runCell(opts, wl, Policy::Ddr4x4, density);
-        const auto cd = runCell(opts, wl, Policy::CoDesign, density);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &x1 = grid[cells[w].x1];
+        const auto &x2 = grid[cells[w].x2];
+        const auto &x4 = grid[cells[w].x4];
+        const auto &cd = grid[cells[w].cd];
         x2All.push_back(x2.speedupOver(x1));
         x4All.push_back(x4.speedupOver(x1));
         cdAll.push_back(cd.speedupOver(x1));
-        table.addRow({wl, core::fmt(x1.harmonicMeanIpc),
+        table.addRow({workloads[w], core::fmt(x1.harmonicMeanIpc),
                       core::pctImprovement(x2.speedupOver(x1)),
                       core::pctImprovement(x4.speedupOver(x1)),
                       core::pctImprovement(cd.speedupOver(x1))});
@@ -44,7 +58,7 @@ main(int argc, char **argv)
                   core::pctImprovement(geomean(x4All)),
                   core::pctImprovement(geomean(cdAll))});
 
-    emit(opts, table);
+    emit(opts, table, "fig12");
     std::cout << "\nPaper reference: DDR4-2x/4x fare worse than 1x "
                  "(more refresh commands, tRFC\nscaled only "
                  "1.35x/1.63x); the co-design masks the entire "

@@ -20,34 +20,51 @@ main(int argc, char **argv)
     const auto opts = parseArgs(argc, argv);
     const auto workloads = workloadNames(opts);
     const Tick tREFW = milliseconds(32.0);
+    const std::vector<dram::DensityGb> densities{
+        dram::DensityGb::d16, dram::DensityGb::d24,
+        dram::DensityGb::d32};
 
     std::cout << "Figure 13: 32 ms retention (beyond 85 degC), "
                  "2 ms quantum\n\n";
 
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t ab, pb, cd;
+    };
+    // cells[density][workload]
+    std::vector<std::vector<Cell>> cells(densities.size());
+    for (std::size_t d = 0; d < densities.size(); ++d) {
+        for (const auto &wl : workloads) {
+            cells[d].push_back(
+                {grid.add(wl, Policy::AllBank, densities[d], tREFW),
+                 grid.add(wl, Policy::PerBank, densities[d], tREFW),
+                 grid.add(wl, Policy::CoDesign, densities[d],
+                          tREFW)});
+        }
+    }
+    grid.run();
+
     core::Table table({"density", "per-bank vs all-bank",
                        "co-design vs all-bank",
                        "co-design vs per-bank"});
-    for (auto density : {dram::DensityGb::d16, dram::DensityGb::d24,
-                         dram::DensityGb::d32}) {
+    for (std::size_t d = 0; d < densities.size(); ++d) {
         std::vector<double> pbAll, cdAll, cdOverPb;
-        for (const auto &wl : workloads) {
-            const auto ab =
-                runCell(opts, wl, Policy::AllBank, density, tREFW);
-            const auto pb =
-                runCell(opts, wl, Policy::PerBank, density, tREFW);
-            const auto cd =
-                runCell(opts, wl, Policy::CoDesign, density, tREFW);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            const auto &ab = grid[cells[d][w].ab];
+            const auto &pb = grid[cells[d][w].pb];
+            const auto &cd = grid[cells[d][w].cd];
             pbAll.push_back(pb.speedupOver(ab));
             cdAll.push_back(cd.speedupOver(ab));
             cdOverPb.push_back(cd.speedupOver(pb));
         }
-        table.addRow({dram::toString(density),
+        table.addRow({dram::toString(densities[d]),
                       core::pctImprovement(geomean(pbAll)),
                       core::pctImprovement(geomean(cdAll)),
                       core::pctImprovement(geomean(cdOverPb))});
     }
 
-    emit(opts, table);
+    emit(opts, table, "fig13");
     std::cout << "\nPaper reference: co-design +34.1%/+23.4%/+16.4% "
                  "over all-bank and\n+6.7%/+6.3%/+3.9% over per-bank "
                  "at 32/24/16 Gb.\n";

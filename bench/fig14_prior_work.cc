@@ -16,6 +16,23 @@ using namespace refsched;
 using namespace refsched::bench;
 using core::Policy;
 
+namespace
+{
+
+/** Refresh Pausing (Nair et al.) on top of per-bank refresh. */
+core::SystemConfig
+pausingConfig(const BenchOptions &opts, const std::string &wl,
+              dram::DensityGb density)
+{
+    auto cfg = core::makeConfig(wl, Policy::PerBank, density,
+                                milliseconds(64.0), 2, 4,
+                                opts.timeScale);
+    cfg.mcParams.refreshPausing = true;
+    return cfg;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
@@ -26,32 +43,41 @@ main(int argc, char **argv)
     std::cout << "Figure 14: prior hardware-only proposals vs the "
                  "co-design (32Gb, vs all-bank)\n\n";
 
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t ab, pb, ooo, ar, rp, cd;
+    };
+    std::vector<Cell> cells;
+    for (const auto &wl : workloads) {
+        cells.push_back(
+            {grid.add(wl, Policy::AllBank, density),
+             grid.add(wl, Policy::PerBank, density),
+             grid.add(wl, Policy::PerBankOoo, density),
+             grid.add(wl, Policy::Adaptive, density),
+             grid.add(pausingConfig(opts, wl, density)),
+             grid.add(wl, Policy::CoDesign, density)});
+    }
+    grid.run();
+
     core::Table table({"workload", "per-bank", "OOO per-bank",
                        "adaptive refresh", "refresh pausing",
                        "co-design"});
     std::vector<double> pbAll, oooAll, arAll, rpAll, cdAll;
-    for (const auto &wl : workloads) {
-        const auto ab = runCell(opts, wl, Policy::AllBank, density);
-        const auto pb = runCell(opts, wl, Policy::PerBank, density);
-        const auto ooo =
-            runCell(opts, wl, Policy::PerBankOoo, density);
-        const auto ar = runCell(opts, wl, Policy::Adaptive, density);
-        // Refresh Pausing (Nair et al.) on top of per-bank refresh.
-        auto rpCfg = core::makeConfig(wl, Policy::PerBank, density,
-                                      milliseconds(64.0), 2, 4,
-                                      opts.timeScale);
-        rpCfg.mcParams.refreshPausing = true;
-        core::RunOptions rpRun;
-        rpRun.warmupQuanta = opts.warmupQuanta;
-        rpRun.measureQuanta = opts.measureQuanta;
-        const auto rp = core::runOnce(rpCfg, rpRun);
-        const auto cd = runCell(opts, wl, Policy::CoDesign, density);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const auto &ab = grid[cells[w].ab];
+        const auto &pb = grid[cells[w].pb];
+        const auto &ooo = grid[cells[w].ooo];
+        const auto &ar = grid[cells[w].ar];
+        const auto &rp = grid[cells[w].rp];
+        const auto &cd = grid[cells[w].cd];
         pbAll.push_back(pb.speedupOver(ab));
         oooAll.push_back(ooo.speedupOver(ab));
         arAll.push_back(ar.speedupOver(ab));
         rpAll.push_back(rp.speedupOver(ab));
         cdAll.push_back(cd.speedupOver(ab));
-        table.addRow({wl, core::pctImprovement(pb.speedupOver(ab)),
+        table.addRow({workloads[w],
+                      core::pctImprovement(pb.speedupOver(ab)),
                       core::pctImprovement(ooo.speedupOver(ab)),
                       core::pctImprovement(ar.speedupOver(ab)),
                       core::pctImprovement(rp.speedupOver(ab)),
@@ -63,7 +89,7 @@ main(int argc, char **argv)
                   core::pctImprovement(geomean(rpAll)),
                   core::pctImprovement(geomean(cdAll))});
 
-    emit(opts, table);
+    emit(opts, table, "fig14");
     std::cout << "\nPaper reference: OOO per-bank ~+9.5%, AR ~+1.9% "
                  "over all-bank; co-design\n+6.1% over OOO per-bank "
                  "and +14.6% over AR.\n"

@@ -24,41 +24,62 @@ main(int argc, char **argv)
     const std::vector<std::string> workloads =
         opts.full ? workloadNames(opts)
                   : std::vector<std::string>{"WL-5", "WL-8"};
+    const std::vector<std::pair<int, int>> configs{
+        {2, 2}, {2, 4}, {4, 2}, {4, 4}};
+    const std::vector<dram::DensityGb> densities{
+        dram::DensityGb::d16, dram::DensityGb::d24,
+        dram::DensityGb::d32};
 
     std::cout << "Figure 15: sensitivity to cores x consolidation "
                  "(average over " << workloads.size()
               << " workloads, vs all-bank)\n\n";
 
-    core::Table table({"config", "density", "per-bank", "co-design"});
-    for (const auto &[cores, tpc] :
-         std::vector<std::pair<int, int>>{
-             {2, 2}, {2, 4}, {4, 2}, {4, 4}}) {
-        for (auto density :
-             {dram::DensityGb::d16, dram::DensityGb::d24,
-              dram::DensityGb::d32}) {
-            std::vector<double> pbAll, cdAll;
+    GridRunner grid(opts);
+    struct Cell
+    {
+        std::size_t ab, pb, cd;
+    };
+    // cells[config][density][workload]
+    std::vector<std::vector<std::vector<Cell>>> cells(
+        configs.size(),
+        std::vector<std::vector<Cell>>(densities.size()));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto [cores, tpc] = configs[c];
+        for (std::size_t d = 0; d < densities.size(); ++d) {
             for (const auto &wl : workloads) {
-                const auto ab =
-                    runCell(opts, wl, Policy::AllBank, density,
-                            milliseconds(64.0), cores, tpc);
-                const auto pb =
-                    runCell(opts, wl, Policy::PerBank, density,
-                            milliseconds(64.0), cores, tpc);
-                const auto cd =
-                    runCell(opts, wl, Policy::CoDesign, density,
-                            milliseconds(64.0), cores, tpc);
+                cells[c][d].push_back(
+                    {grid.add(wl, Policy::AllBank, densities[d],
+                              milliseconds(64.0), cores, tpc),
+                     grid.add(wl, Policy::PerBank, densities[d],
+                              milliseconds(64.0), cores, tpc),
+                     grid.add(wl, Policy::CoDesign, densities[d],
+                              milliseconds(64.0), cores, tpc)});
+            }
+        }
+    }
+    grid.run();
+
+    core::Table table({"config", "density", "per-bank", "co-design"});
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto [cores, tpc] = configs[c];
+        for (std::size_t d = 0; d < densities.size(); ++d) {
+            std::vector<double> pbAll, cdAll;
+            for (std::size_t w = 0; w < workloads.size(); ++w) {
+                const auto &ab = grid[cells[c][d][w].ab];
+                const auto &pb = grid[cells[c][d][w].pb];
+                const auto &cd = grid[cells[c][d][w].cd];
                 pbAll.push_back(pb.speedupOver(ab));
                 cdAll.push_back(cd.speedupOver(ab));
             }
             table.addRow({std::to_string(cores) + " cores, 1:"
                               + std::to_string(tpc),
-                          dram::toString(density),
+                          dram::toString(densities[d]),
                           core::pctImprovement(geomean(pbAll)),
                           core::pctImprovement(geomean(cdAll))});
         }
     }
 
-    emit(opts, table);
+    emit(opts, table, "fig15");
     std::cout << "\nPaper reference: co-design wins at every "
                  "consolidation point; dual-core 1:2\n(4 banks/task) "
                  "gives +14.2%/+11.2%/+8.9% over all-bank at "

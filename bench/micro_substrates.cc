@@ -79,6 +79,23 @@ BM_EventQueueScheduleRun(benchmark::State &state)
 BENCHMARK(BM_EventQueueScheduleRun);
 
 void
+BM_EventQueueScheduleCancel(benchmark::State &state)
+{
+    // Schedule/cancel churn against a standing population of pending
+    // events: exercises the O(1) generation-counter cancel and the
+    // slab free-list recycle path (steady state allocates nothing).
+    EventQueue eq;
+    std::vector<EventHandle> standing;
+    for (std::int64_t i = 0; i < state.range(0); ++i)
+        standing.push_back(eq.schedule(1'000'000 + i, [] {}));
+    for (auto _ : state) {
+        auto h = eq.schedule(eq.now() + 10, [] {});
+        h.cancel();
+    }
+}
+BENCHMARK(BM_EventQueueScheduleCancel)->Arg(0)->Arg(1024);
+
+void
 BM_CacheAccess(benchmark::State &state)
 {
     cache::Cache c(cache::CacheParams{2 * kMiB, 16, 64, 20});
@@ -144,6 +161,37 @@ BM_ControllerRandomReads(benchmark::State &state)
         static_cast<double>(completed);
 }
 BENCHMARK(BM_ControllerRandomReads);
+
+void
+BM_ControllerSaturatedPick(benchmark::State &state)
+{
+    // FR-FCFS pick cost with the read queue held at capacity: every
+    // controller tick scans for a row hit / ACT / PRE candidate over
+    // a full queue, so the per-bank request lists dominate.
+    const auto dev = dram::makeDdr3_1600(dram::DensityGb::d32,
+                                         milliseconds(64.0), 64);
+    EventQueue eq;
+    memctrl::MemoryController mc(
+        eq, dev,
+        dram::makeRefreshScheduler(
+            dram::RefreshPolicy::PerBankRoundRobin, dev));
+    Rng rng(4);
+    std::uint64_t completed = 0;
+    for (auto _ : state) {
+        while (mc.readQueueSize(0) < 64) {
+            memctrl::Request r;
+            r.paddr = rng.below(dev.org.totalBytes() / 64) * 64;
+            r.type = memctrl::Request::Type::Read;
+            r.onComplete = [&completed](Tick) { ++completed; };
+            if (!mc.enqueue(std::move(r)))
+                break;
+        }
+        eq.runUntil(eq.now() + dev.timings.tCK * 4);
+    }
+    state.counters["readsCompleted"] =
+        static_cast<double>(completed);
+}
+BENCHMARK(BM_ControllerSaturatedPick);
 
 void
 BM_CfsEnqueueDequeue(benchmark::State &state)

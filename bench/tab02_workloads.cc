@@ -14,33 +14,46 @@
 using namespace refsched;
 using namespace refsched::bench;
 
+namespace
+{
+
+core::SystemConfig
+standaloneConfig(const BenchOptions &opts, const std::string &name)
+{
+    core::SystemConfig cfg;
+    cfg.numCores = 1;
+    cfg.tasksPerCore = 1;
+    cfg.timeScale = opts.timeScale;
+    cfg.applyPolicy(core::Policy::NoRefresh);
+    cfg.benchmarks = {name};
+    return cfg;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     const auto opts = parseArgs(argc, argv);
+    const auto names = workload::builtinProfileNames();
 
     std::cout << "Benchmark profiles: measured vs intended MPKI\n\n";
+
+    GridRunner grid(opts);
+    std::vector<std::size_t> cells;
+    for (const auto &name : names)
+        cells.push_back(grid.add(standaloneConfig(opts, name)));
+    grid.run();
+
     core::Table profiles({"benchmark", "footprint (MiB)",
                           "analytic MPKI", "measured MPKI",
                           "measured class", "paper class"});
-
-    for (const auto &name : workload::builtinProfileNames()) {
-        const auto &prof = workload::profileByName(name);
-
-        core::SystemConfig cfg;
-        cfg.numCores = 1;
-        cfg.tasksPerCore = 1;
-        cfg.timeScale = opts.timeScale;
-        cfg.applyPolicy(core::Policy::NoRefresh);
-        cfg.benchmarks = {name};
-        core::RunOptions run;
-        run.warmupQuanta = opts.warmupQuanta;
-        run.measureQuanta = opts.measureQuanta;
-        const auto m = core::runOnce(cfg, run);
-        const double mpki = m.tasks.front().mpki;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &prof = workload::profileByName(names[i]);
+        const double mpki = grid[cells[i]].tasks.front().mpki;
 
         profiles.addRow(
-            {name,
+            {names[i],
              core::fmt(static_cast<double>(prof.footprintBytes)
                            / static_cast<double>(kMiB),
                        0),
@@ -49,7 +62,7 @@ main(int argc, char **argv)
                  workload::BenchmarkProfile::classify(mpki)),
              workload::toString(prof.paperClass)});
     }
-    emit(opts, profiles);
+    emit(opts, profiles, "tab02_profiles");
 
     std::cout << "\nTable 2: workload mixes (dual-core 1:4)\n\n";
     core::Table mixes({"workload", "composition", "class"});
@@ -62,6 +75,6 @@ main(int argc, char **argv)
         }
         mixes.addRow({wl.name, comp, wl.mpkiLabel});
     }
-    emit(opts, mixes);
+    emit(opts, mixes, "tab02_mixes");
     return 0;
 }

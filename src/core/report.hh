@@ -30,6 +30,16 @@ class Table
 
     std::size_t rows() const { return rows_.size(); }
 
+    /** Column headers (for structured emitters, e.g. JSON). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Row cells (for structured emitters, e.g. JSON). */
+    const std::vector<std::vector<std::string>> &
+    rowData() const
+    {
+        return rows_;
+    }
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -10,12 +10,13 @@ namespace refsched::memctrl
 using dram::Bank;
 using dram::RefreshCommand;
 
-MemoryController::Channel::Channel(const dram::DramDeviceConfig &cfg)
+MemoryController::Channel::Channel(const dram::DramDeviceConfig &cfg,
+                                   const ControllerParams &params)
+    : readQ(params.readQueueCapacity, cfg.org.banksTotal()),
+      writeQ(params.writeQueueCapacity, cfg.org.banksTotal())
 {
     ranks.assign(static_cast<std::size_t>(cfg.org.ranksPerChannel),
                  dram::Rank(cfg.org));
-    queuedPerBank.assign(static_cast<std::size_t>(cfg.org.banksTotal()),
-                         0);
     stats.readLatencyDist.init(
         0.0, 4.0e6 /* ps: 4 us */, 64);
 }
@@ -40,7 +41,7 @@ MemoryController::MemoryController(
 
     channels_.reserve(static_cast<std::size_t>(cfg_.org.channels));
     for (int ch = 0; ch < cfg_.org.channels; ++ch)
-        channels_.emplace_back(cfg_);
+        channels_.emplace_back(cfg_, params_);
 
     // Arm each channel for its first refresh command.
     for (int ch = 0; ch < cfg_.org.channels; ++ch) {
@@ -58,10 +59,16 @@ MemoryController::enqueue(Request req)
     auto &c = channels_[static_cast<std::size_t>(ch)];
     const Tick now = eq_.now();
 
+    const int bankIdx = bankIndex(req.coord.rank, req.coord.bank);
     if (req.isRead()) {
         // Forward from a queued write to the same line, if any.
+        // Same line implies same bank, so only that bank's write
+        // list needs scanning.
         const Addr line = req.paddr & ~(cfg_.org.lineBytes - 1);
-        for (const auto &w : c.writeQ) {
+        for (auto s = c.writeQ.bankFront(bankIdx);
+             s != BankedRequestQueue::kNone;
+             s = c.writeQ.nextInBank(s)) {
+            const auto &w = c.writeQ.request(s);
             if ((w.paddr & ~(cfg_.org.lineBytes - 1)) == line) {
                 ++c.stats.forwardedReads;
                 ++c.stats.reads;
@@ -76,19 +83,17 @@ MemoryController::enqueue(Request req)
                 return true;
             }
         }
-        if (c.readQ.size() >= params_.readQueueCapacity)
+        if (c.readQ.full())
             return false;
         req.enqueuedAt = now;
         req.seq = nextSeq_++;
-        ++c.queuedPerBank[static_cast<std::size_t>(
-            bankIndex(req.coord.rank, req.coord.bank))];
-        c.readQ.push_back(std::move(req));
+        c.readQ.push(std::move(req), bankIdx);
     } else {
-        if (c.writeQ.size() >= params_.writeQueueCapacity)
+        if (c.writeQ.full())
             return false;
         req.enqueuedAt = now;
         req.seq = nextSeq_++;
-        c.writeQ.push_back(std::move(req));
+        c.writeQ.push(std::move(req), bankIdx);
     }
 
     scheduleTick(ch, clock_.nextEdgeAtOrAfter(now));
@@ -116,8 +121,7 @@ int
 MemoryController::queuedToBank(int channel, int rank, int bank) const
 {
     const auto &c = channels_[static_cast<std::size_t>(channel)];
-    return c.queuedPerBank[static_cast<std::size_t>(
-        bankIndex(rank, bank))];
+    return c.readQ.bankCount(bankIndex(rank, bank));
 }
 
 double
@@ -212,16 +216,12 @@ MemoryController::demandQueuedForRefresh(
     if (cmd.isAllBank()) {
         const int base = cmd.rank * cfg_.org.banksPerRank;
         for (int b = 0; b < cfg_.org.banksPerRank; ++b) {
-            if (c.queuedPerBank[static_cast<std::size_t>(base + b)]
-                > 0) {
+            if (c.readQ.bankCount(base + b) > 0)
                 return true;
-            }
         }
         return false;
     }
-    return c.queuedPerBank[static_cast<std::size_t>(
-               bankIndex(cmd.rank, cmd.bank))]
-        > 0;
+    return c.readQ.bankCount(bankIndex(cmd.rank, cmd.bank)) > 0;
 }
 
 bool
@@ -326,85 +326,110 @@ MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
 }
 
 bool
-MemoryController::serveQueue(Channel &c, int ch, std::deque<Request> &q,
+MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
                              bool isWriteQueue)
 {
     if (q.empty())
         return false;
 
+    constexpr auto kNone = BankedRequestQueue::kNone;
     const Tick now = eq_.now();
     const auto &t = cfg_.timings;
+    const int banksPerRank = cfg_.org.banksPerRank;
 
-    auto bankOf = [&](const Request &r) -> Bank & {
-        return c.ranks[static_cast<std::size_t>(r.coord.rank)]
-            .banks[static_cast<std::size_t>(r.coord.bank)];
+    auto bankState = [&](int bankIdx) -> Bank & {
+        return c.ranks[static_cast<std::size_t>(bankIdx / banksPerRank)]
+            .banks[static_cast<std::size_t>(bankIdx % banksPerRank)];
     };
 
-    auto blocked = [&](const Request &r) {
-        const Bank &b = bankOf(r);
+    auto bankBlocked = [&](int bankIdx) {
+        const Bank &b = bankState(bankIdx);
         return b.underRefresh(now)
-            || frozenByRefresh(c, r.coord.rank, r.coord.bank);
+            || frozenByRefresh(c, bankIdx / banksPerRank,
+                               bankIdx % banksPerRank);
     };
 
     // Track refresh interference on the oldest request.
-    if (blocked(q.front())) {
-        q.front().blockedByRefresh = true;
-        c.stats.refreshBlockedTicks += static_cast<double>(t.tCK);
+    {
+        Request &front = q.request(q.front());
+        const int frontBank =
+            bankIndex(front.coord.rank, front.coord.bank);
+        if (bankBlocked(frontBank)) {
+            front.blockedByRefresh = true;
+            c.stats.refreshBlockedTicks += static_cast<double>(t.tCK);
 
-        // Refresh Pausing: free the bank at the next row boundary
-        // and re-queue the unfinished rows.
-        if (params_.refreshPausing && !isWriteQueue) {
-            const auto &coord = q.front().coord;
-            Bank &fb = bankOf(q.front());
-            const auto remaining = fb.pauseRefresh(now);
-            if (remaining > 0) {
-                fb.rowsRefreshedInWindow -= remaining;
-                c.stats.rowsRefreshed -=
-                    static_cast<double>(remaining);
-                c.stats.energyRefreshPj -= params_.energy.refreshRowPj
-                    * static_cast<double>(remaining);
-                ++c.stats.refreshPauses;
+            // Refresh Pausing: free the bank at the next row boundary
+            // and re-queue the unfinished rows.
+            if (params_.refreshPausing && !isWriteQueue) {
+                const auto &coord = front.coord;
+                Bank &fb = bankState(frontBank);
+                const auto remaining = fb.pauseRefresh(now);
+                if (remaining > 0) {
+                    fb.rowsRefreshedInWindow -= remaining;
+                    c.stats.rowsRefreshed -=
+                        static_cast<double>(remaining);
+                    c.stats.energyRefreshPj -=
+                        params_.energy.refreshRowPj
+                        * static_cast<double>(remaining);
+                    ++c.stats.refreshPauses;
 
-                dram::RefreshCommand resume;
-                resume.rank = coord.rank;
-                resume.bank = coord.bank;
-                resume.rows = remaining;
-                resume.tRFC = static_cast<Tick>(remaining)
-                    * (t.tRFCpb / t.rowsPerRefresh);
-                c.pendingRefreshes.push_back(resume);
+                    dram::RefreshCommand resume;
+                    resume.rank = coord.rank;
+                    resume.bank = coord.bank;
+                    resume.rows = remaining;
+                    resume.tRFC = static_cast<Tick>(remaining)
+                        * (t.tRFCpb / t.rowsPerRefresh);
+                    c.pendingRefreshes.push_back(resume);
+                }
             }
         }
     }
 
-    // Pass 1 (FR): oldest ready row hit.
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        Request &r = q[i];
-        Bank &b = bankOf(r);
-        if (blocked(r) || !b.isOpen()
-            || b.openRow != static_cast<std::int64_t>(r.coord.row)) {
-            continue;
-        }
+    // Each pass scans occupied banks (ready-bank bitmask) instead of
+    // the whole queue; FR-FCFS age order is preserved by taking the
+    // minimum request sequence number over per-bank candidates.
+    std::uint32_t best = kNone;
+    std::uint64_t bestSeq = ~std::uint64_t{0};
+
+    // Pass 1 (FR): oldest ready row hit.  All gating conditions are
+    // bank- or rank-level, so within a bank the candidate is simply
+    // the oldest request targeting the open row.
+    q.forEachOccupiedBank([&](int bankIdx) {
+        Bank &b = bankState(bankIdx);
+        if (!b.isOpen() || bankBlocked(bankIdx))
+            return;
         const Tick casAllowed =
             isWriteQueue ? b.wrAllowedAt : b.rdAllowedAt;
         // Bus constraints: burst spacing plus rank-to-rank switch
         // and read<->write turnaround penalties.
+        const int rank = bankIdx / banksPerRank;
         Tick busReady = c.nextCasAt;
-        if (c.lastCasRank >= 0 && c.lastCasRank != r.coord.rank)
+        if (c.lastCasRank >= 0 && c.lastCasRank != rank)
             busReady += t.tRTRS;
         if (c.lastCasRank >= 0 && c.lastCasWasWrite != isWriteQueue)
             busReady += t.tBusTurn;
         if (now < casAllowed || now < busReady)
-            continue;
+            return;
+        for (auto s = q.bankFront(bankIdx); s != kNone;
+             s = q.nextInBank(s)) {
+            const Request &r = q.request(s);
+            if (b.openRow == static_cast<std::int64_t>(r.coord.row)) {
+                if (r.seq < bestSeq) {
+                    bestSeq = r.seq;
+                    best = s;
+                }
+                return;
+            }
+        }
+    });
+    if (best != kNone) {
+        Request &r = q.request(best);
+        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
 
         if (!r.neededAct)
             ++c.stats.rowHits;
         else
             ++c.stats.rowMisses;
-
-        if (!isWriteQueue) {
-            --c.queuedPerBank[static_cast<std::size_t>(
-                bankIndex(r.coord.rank, r.coord.bank))];
-        }
 
         if (isWriteQueue) {
             b.write(now, t);
@@ -420,25 +445,39 @@ MemoryController::serveQueue(Channel &c, int ch, std::deque<Request> &q,
         c.lastCasRank = r.coord.rank;
         c.lastCasWasWrite = isWriteQueue;
         c.busyTicks += t.tBURST;
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        q.erase(best);
         notifyRetry();
         (void)ch;
         return true;
     }
 
     // Pass 2 (FCFS): oldest request needing an ACT on a closed bank.
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        Request &r = q[i];
-        Bank &b = bankOf(r);
-        if (blocked(r) || b.isOpen())
-            continue;
-        auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
+    // The gating conditions are request-independent, so the per-bank
+    // candidate is the bank's oldest request.
+    best = kNone;
+    bestSeq = ~std::uint64_t{0};
+    q.forEachOccupiedBank([&](int bankIdx) {
+        Bank &b = bankState(bankIdx);
+        if (b.isOpen() || bankBlocked(bankIdx))
+            return;
+        auto &rank =
+            c.ranks[static_cast<std::size_t>(bankIdx / banksPerRank)];
         if (rank.underRefresh(now))
-            continue;
+            return;
         if (now < b.actAllowedAt || now < rank.actAllowedAt
             || rank.fawBlocked(now, t)) {
-            continue;
+            return;
         }
+        const Request &r = q.request(q.bankFront(bankIdx));
+        if (r.seq < bestSeq) {
+            bestSeq = r.seq;
+            best = q.bankFront(bankIdx);
+        }
+    });
+    if (best != kNone) {
+        Request &r = q.request(best);
+        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
+        auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
         b.activate(now, static_cast<std::int64_t>(r.coord.row), t);
         rank.noteActivate(now, t);
         c.stats.energyActivatePj += params_.energy.actPrePj;
@@ -448,28 +487,34 @@ MemoryController::serveQueue(Channel &c, int ch, std::deque<Request> &q,
 
     // Pass 3: precharge a conflicting row for the oldest conflicting
     // request, but only when no queued request still wants that row
-    // (open-row policy).
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        Request &r = q[i];
-        Bank &b = bankOf(r);
-        if (blocked(r) || !b.isOpen()
-            || b.openRow == static_cast<std::int64_t>(r.coord.row)) {
-            continue;
-        }
+    // (open-row policy).  "Still wanted" is a property of the bank's
+    // open row, so a bank with any request for its open row is
+    // excluded outright.
+    best = kNone;
+    bestSeq = ~std::uint64_t{0};
+    q.forEachOccupiedBank([&](int bankIdx) {
+        Bank &b = bankState(bankIdx);
+        if (!b.isOpen() || bankBlocked(bankIdx))
+            return;
         if (now < b.preAllowedAt)
-            continue;
-        bool rowStillWanted = false;
-        for (const auto &other : q) {
-            if (other.coord.rank == r.coord.rank
-                && other.coord.bank == r.coord.bank
-                && static_cast<std::int64_t>(other.coord.row)
-                       == b.openRow) {
-                rowStillWanted = true;
-                break;
-            }
+            return;
+        std::uint32_t cand = kNone;
+        for (auto s = q.bankFront(bankIdx); s != kNone;
+             s = q.nextInBank(s)) {
+            const Request &r = q.request(s);
+            if (static_cast<std::int64_t>(r.coord.row) == b.openRow)
+                return;  // open row still wanted: bank excluded
+            if (cand == kNone)
+                cand = s;
         }
-        if (rowStillWanted)
-            continue;
+        if (cand != kNone && q.request(cand).seq < bestSeq) {
+            bestSeq = q.request(cand).seq;
+            best = cand;
+        }
+    });
+    if (best != kNone) {
+        const Request &r = q.request(best);
+        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
         b.precharge(now, t);
         return true;
     }
@@ -483,11 +528,12 @@ MemoryController::closedPagePrecharge(Channel &c)
     const Tick now = eq_.now();
     const auto &t = cfg_.timings;
 
-    auto rowWanted = [&](int rank, int bank, std::int64_t row) {
-        auto scan = [&](const std::deque<Request> &q) {
-            for (const auto &r : q) {
-                if (r.coord.rank == rank && r.coord.bank == bank
-                    && static_cast<std::int64_t>(r.coord.row) == row) {
+    auto rowWanted = [&](int bankIdx, std::int64_t row) {
+        auto scan = [&](const BankedRequestQueue &q) {
+            for (auto s = q.bankFront(bankIdx);
+                 s != BankedRequestQueue::kNone; s = q.nextInBank(s)) {
+                if (static_cast<std::int64_t>(
+                        q.request(s).coord.row) == row) {
                     return true;
                 }
             }
@@ -505,7 +551,7 @@ MemoryController::closedPagePrecharge(Channel &c)
                 || frozenByRefresh(c, rank, bank)) {
                 continue;
             }
-            if (rowWanted(rank, bank, b.openRow))
+            if (rowWanted(bankIndex(rank, bank), b.openRow))
                 continue;
             b.precharge(now, t);
             return true;

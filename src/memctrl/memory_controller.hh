@@ -33,6 +33,7 @@
 #include "dram/energy.hh"
 #include "dram/refresh_scheduler.hh"
 #include "dram/timings.hh"
+#include "memctrl/banked_request_queue.hh"
 #include "memctrl/request.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/stats.hh"
@@ -162,11 +163,12 @@ class MemoryController : public dram::McRefreshView
   private:
     struct Channel
     {
-        explicit Channel(const dram::DramDeviceConfig &cfg);
+        Channel(const dram::DramDeviceConfig &cfg,
+                const ControllerParams &params);
 
         std::vector<dram::Rank> ranks;
-        std::deque<Request> readQ;
-        std::deque<Request> writeQ;
+        BankedRequestQueue readQ;
+        BankedRequestQueue writeQ;
         std::deque<dram::RefreshCommand> pendingRefreshes;
 
         /** The front pending refresh is committed to issue: its
@@ -185,10 +187,6 @@ class MemoryController : public dram::McRefreshView
         bool lastCasWasWrite = false;
 
         bool draining = false;
-
-        /** Demand-read queue occupancy per (rank*banksPerRank+bank);
-         *  feeds OooPerBank's choice and refresh deferral. */
-        std::vector<int> queuedPerBank;
 
         // Utilization epoch accounting (feeds AdaptiveRefresh).
         Tick epochStart = 0;
@@ -216,7 +214,7 @@ class MemoryController : public dram::McRefreshView
     bool refreshEngineStep(Channel &c, int ch);
 
     /** Try to issue one request command from @p q; true on issue. */
-    bool serveQueue(Channel &c, int ch, std::deque<Request> &q,
+    bool serveQueue(Channel &c, int ch, BankedRequestQueue &q,
                     bool isWriteQueue);
 
     /** Closed-page policy: precharge one idle open row, if any. */

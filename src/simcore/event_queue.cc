@@ -5,31 +5,52 @@
 namespace refsched
 {
 
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead != kNoSlot) {
+        const std::uint32_t idx = freeHead;
+        freeHead = slotAt(idx).nextFree;
+        return idx;
+    }
+    if (slotCount % kSlabSize == 0)
+        slabs.push_back(std::make_unique<Slot[]>(kSlabSize));
+    return slotCount++;
+}
+
 EventHandle
 EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
 {
     REFSCHED_ASSERT(when >= curTick, "event scheduled in the past: ",
                     when, " < ", curTick);
-    auto alive = std::make_shared<bool>(true);
-    EventHandle handle;
-    handle.alive = alive;
-    pq.push(Record{when, static_cast<int>(prio), nextSeq++,
-                   std::move(cb), std::move(alive)});
-    return handle;
+    const std::uint32_t idx = allocSlot();
+    Slot &s = slotAt(idx);
+    s.cb = std::move(cb);
+    pq.push(Entry{when, static_cast<int>(prio), nextSeq++, idx, s.gen});
+    ++live;
+    return EventHandle(this, idx, s.gen);
+}
+
+void
+EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t gen)
+{
+    if (slotAt(slot).gen != gen)
+        return;  // already fired or cancelled
+    retireSlot(slot);
+    --live;
 }
 
 void
 EventQueue::skipDead() const
 {
-    while (!pq.empty() && !*pq.top().alive)
+    while (!pq.empty() && !entryLive(pq.top()))
         pq.pop();
 }
 
 bool
 EventQueue::empty() const
 {
-    skipDead();
-    return pq.empty();
+    return live == 0;
 }
 
 Tick
@@ -45,14 +66,17 @@ EventQueue::runOne()
     skipDead();
     if (pq.empty())
         return false;
-    // Copy out and pop before invoking: the callback may schedule
-    // new events (mutating pq) or even cancel itself harmlessly.
-    Record rec = pq.top();
+    const Entry e = pq.top();
     pq.pop();
-    curTick = rec.when;
-    *rec.alive = false;
+    curTick = e.when;
+    // Move the callback out and retire the slot before invoking: the
+    // callback may schedule new events (possibly reusing this very
+    // slot) or cancel its own, already-dead handle harmlessly.
+    Callback cb = std::move(slotAt(e.slot).cb);
+    retireSlot(e.slot);
+    --live;
     ++executed;
-    rec.cb();
+    cb();
     return true;
 }
 

@@ -6,8 +6,21 @@
  * Sequence numbers make scheduling deterministic: two events at the
  * same tick and priority fire in the order they were scheduled.
  * Events may be cancelled through the EventHandle returned at
- * scheduling time; cancellation is O(1) (the slot is tombstoned and
- * skipped when it reaches the head of the queue).
+ * scheduling time; cancellation is O(1).
+ *
+ * Storage: event callbacks live in slab-allocated slots that are
+ * recycled through a free list, so steady-state schedule/cancel/fire
+ * cycles perform no heap allocation (small callbacks reuse the
+ * std::function small-buffer storage of their recycled slot).  A
+ * per-slot generation counter makes EventHandle validity checks O(1)
+ * without per-event shared_ptr control blocks: a handle is pending
+ * iff its remembered generation still matches the slot's.  Cancelled
+ * slots are recycled immediately; their stale heap entries are
+ * skipped when they surface at the top of the priority queue.
+ *
+ * Handles must not outlive their EventQueue (they hold a plain
+ * back-pointer); in practice handles are owned by components that
+ * the queue outlives.
  */
 
 #ifndef REFSCHED_SIMCORE_EVENT_QUEUE_HH
@@ -23,6 +36,8 @@
 
 namespace refsched
 {
+
+class EventQueue;
 
 /**
  * Relative ordering of events scheduled for the same tick.  Lower
@@ -45,24 +60,21 @@ class EventHandle
     EventHandle() = default;
 
     /** Prevent the event from firing; idempotent. */
-    void
-    cancel()
-    {
-        if (auto p = alive.lock())
-            *p = false;
-    }
+    void cancel();
 
     /** True if the event is still pending (not fired, not cancelled). */
-    bool
-    pending() const
-    {
-        auto p = alive.lock();
-        return p && *p;
-    }
+    bool pending() const;
 
   private:
     friend class EventQueue;
-    std::weak_ptr<bool> alive;
+    EventHandle(EventQueue *q, std::uint32_t s, std::uint32_t g)
+        : queue_(q), slot_(s), gen_(g)
+    {
+    }
+
+    EventQueue *queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
 };
 
 /**
@@ -119,20 +131,41 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executedCount() const { return executed; }
 
+    /** Live (scheduled, not cancelled) events; O(1). */
+    std::size_t liveCount() const { return live; }
+
   private:
-    struct Record
+    friend class EventHandle;
+
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    static constexpr std::size_t kSlabSize = 256;
+
+    /**
+     * Pooled event storage.  The callback object is reused across
+     * recycles: assigning a new small callable into a moved-from
+     * std::function reuses its inline buffer, so no allocation.
+     */
+    struct Slot
+    {
+        Callback cb;
+        std::uint32_t gen = 0;
+        std::uint32_t nextFree = kNoSlot;
+    };
+
+    /** Heap entry; points into the slot pool, no owned resources. */
+    struct Entry
     {
         Tick when;
         int prio;
         std::uint64_t seq;
-        Callback cb;
-        std::shared_ptr<bool> alive;
+        std::uint32_t slot;
+        std::uint32_t gen;
     };
 
     struct Later
     {
         bool
-        operator()(const Record &a, const Record &b) const
+        operator()(const Entry &a, const Entry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -142,14 +175,65 @@ class EventQueue
         }
     };
 
-    /** Pop tombstoned (cancelled) entries off the top. */
+    Slot &
+    slotAt(std::uint32_t idx) const
+    {
+        return slabs[idx / kSlabSize][idx % kSlabSize];
+    }
+
+    std::uint32_t allocSlot();
+
+    /** An entry is live iff its generation still matches its slot. */
+    bool
+    entryLive(const Entry &e) const
+    {
+        return slotAt(e.slot).gen == e.gen;
+    }
+
+    void cancelSlot(std::uint32_t slot, std::uint32_t gen);
+
+    bool
+    slotPending(std::uint32_t slot, std::uint32_t gen) const
+    {
+        return slotAt(slot).gen == gen;
+    }
+
+    /** Retire @p slot: invalidate handles/entries and recycle. */
+    void
+    retireSlot(std::uint32_t idx)
+    {
+        Slot &s = slotAt(idx);
+        ++s.gen;
+        s.cb = nullptr;
+        s.nextFree = freeHead;
+        freeHead = idx;
+    }
+
+    /** Pop stale (cancelled) entries off the top. */
     void skipDead() const;
 
-    mutable std::priority_queue<Record, std::vector<Record>, Later> pq;
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> pq;
+    std::vector<std::unique_ptr<Slot[]>> slabs;
+    std::uint32_t freeHead = kNoSlot;
+    std::uint32_t slotCount = 0;
+    std::size_t live = 0;
     Tick curTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t executed = 0;
 };
+
+inline void
+EventHandle::cancel()
+{
+    if (queue_)
+        queue_->cancelSlot(slot_, gen_);
+}
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ && queue_->slotPending(slot_, gen_);
+}
 
 } // namespace refsched
 
