@@ -30,6 +30,7 @@ runProfile(const BenchOptions &opts, Policy policy, bool phased)
     cfg.numCores = 2;
     cfg.tasksPerCore = 4;
     cfg.timeScale = opts.timeScale;
+    cfg.validate = opts.validate;
     cfg.applyPolicy(policy);
     cfg.benchmarks.assign(8, "GemsFDTD");
     core::System sys(cfg);

@@ -59,6 +59,9 @@ struct BenchOptions
     std::string jsonPath;
     /** argv[0], recorded for the JSON archive. */
     std::string benchName;
+    /** Run the invariant checkers on every cell; any violation
+     *  fails the bench with a diagnostic. */
+    bool validate = false;
 };
 
 namespace detail
@@ -146,7 +149,7 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--full] [--csv] [--scale N] [--jobs N]"
-           " [--warmup Q] [--measure Q] [--json FILE]\n"
+           " [--warmup Q] [--measure Q] [--json FILE] [--validate]\n"
            "  --full       run all ten Table 2 workloads (default:"
            " a representative five)\n"
            "  --csv        emit CSV instead of aligned tables\n"
@@ -159,7 +162,9 @@ usage(const char *argv0)
            " (default 8)\n"
            "  --measure Q  measured quanta (default 16)\n"
            "  --json FILE  archive emitted tables as JSON"
-           " (e.g. BENCH_fig10.json)\n";
+           " (e.g. BENCH_fig10.json)\n"
+           "  --validate   run the invariant checkers on every cell"
+           " (fails on any violation)\n";
     std::exit(2);
 }
 
@@ -192,6 +197,8 @@ parseArgs(int argc, char **argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             opts.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--validate") == 0) {
+            opts.validate = true;
         } else {
             usage(argv[0]);
         }
@@ -258,6 +265,7 @@ class GridRunner
     add(core::SystemConfig cfg)
     {
         core::CellSpec cell;
+        cfg.validate = opts_.validate;
         cell.cfg = std::move(cfg);
         cell.opts = runOptions();
         cells_.push_back(std::move(cell));
@@ -291,6 +299,8 @@ class GridRunner
         results_ =
             core::ParallelRunner(opts_.jobs).runCells(cells_);
         ran_ = true;
+        if (opts_.validate)
+            reportValidation();
     }
 
     const core::Metrics &
@@ -303,6 +313,32 @@ class GridRunner
     std::size_t size() const { return cells_.size(); }
 
   private:
+    /** Aggregate checker results; exits non-zero on any violation. */
+    void
+    reportValidation() const
+    {
+        if (!validate::kValidateCompiledIn) {
+            std::cerr << "--validate requested but this build has "
+                         "REFSCHED_VALIDATE=0; checkers were inert\n";
+            return;
+        }
+        std::uint64_t violations = 0;
+        std::string first;
+        for (const auto &m : results_) {
+            violations += m.validationViolations;
+            if (first.empty() && !m.firstViolation.empty())
+                first = m.firstViolation;
+        }
+        if (violations == 0) {
+            std::cerr << "validation: clean (" << results_.size()
+                      << " cells)\n";
+            return;
+        }
+        std::cerr << "validation: " << violations
+                  << " violation(s); first: " << first << "\n";
+        std::exit(1);
+    }
+
     BenchOptions opts_;
     std::vector<core::CellSpec> cells_;
     std::vector<core::Metrics> results_;

@@ -71,6 +71,11 @@ struct Metrics
 
     Tick measuredTicks = 0;
 
+    /** Invariant-checker violations (cfg.validate runs only). */
+    std::uint64_t validationViolations = 0;
+    /** First (earliest-tick) violation report, empty when clean. */
+    std::string firstViolation;
+
     /** Relative performance vs a baseline (harmonic-mean IPC). */
     double
     speedupOver(const Metrics &base) const

@@ -3,6 +3,10 @@
 #include <algorithm>
 
 #include "simcore/logging.hh"
+#include "validate/checker.hh"
+#include "validate/os_auditor.hh"
+#include "validate/refresh_window_monitor.hh"
+#include "validate/timing_auditor.hh"
 #include "workload/profile.hh"
 
 namespace refsched::core
@@ -66,6 +70,28 @@ System::System(const SystemConfig &cfg)
         });
     }
 
+    // Install the invariant checkers BEFORE the tasks build so the
+    // OS auditor observes the pre-touch page allocations too.
+    if (cfg_.validate) {
+        if (!validate::kValidateCompiledIn) {
+            warn("cfg.validate requested but the build has "
+                 "REFSCHED_VALIDATE=0; checkers are inert");
+        } else {
+            enableProbeHub();
+            probeHub_->add(
+                std::make_unique<validate::TimingAuditor>(dev_));
+            probeHub_->add(
+                std::make_unique<validate::RefreshWindowMonitor>(
+                    dev_, cfg_.refreshPolicy(),
+                    cfg_.mcParams.maxPostponedRefreshes,
+                    cfg_.mcParams.refreshPausing));
+            probeHub_->add(std::make_unique<validate::OsAuditor>(
+                mc_->mapping(), buddy_.get(),
+                cfg_.refreshAwareScheduling, cfg_.etaThresh,
+                cfg_.bestEffort));
+        }
+    }
+
     buildTasks();
     assignBankMasks();
     if (cfg_.preTouchPages)
@@ -73,6 +99,24 @@ System::System(const SystemConfig &cfg)
 }
 
 System::~System() = default;
+
+void
+System::enableProbeHub()
+{
+    if (probeHub_)
+        return;
+    probeHub_ = std::make_unique<validate::CheckerSet>();
+    mc_->setProbe(probeHub_.get());
+    sched_->setProbe(probeHub_.get());
+    buddy_->setProbe(probeHub_.get(), &eq_);
+}
+
+void
+System::attachProbe(validate::Probe *probe)
+{
+    enableProbeHub();
+    probeHub_->attachExternal(probe);
+}
 
 std::vector<os::Task *>
 System::tasks()
@@ -247,6 +291,8 @@ System::run(int warmupQuanta, int measureQuanta)
 
     const Tick start = eq_.now();
     eq_.runUntil(static_cast<Tick>(warmupQuanta + measureQuanta) * q);
+    if (probeHub_)
+        probeHub_->finalize(eq_.now());
     return collectMetrics(eq_.now() - start);
 }
 
@@ -347,6 +393,14 @@ System::collectMetrics(Tick measuredTicks) const
     m.vruntimeSpreadQuanta =
         static_cast<double>(sched_->vruntimeSpread())
         / static_cast<double>(cfg_.effectiveQuantum());
+
+    if (probeHub_) {
+        m.validationViolations = probeHub_->violationCount();
+        if (const auto *v = probeHub_->firstViolation()) {
+            m.firstViolation = v->checker + " @" +
+                std::to_string(v->tick) + "ps: " + v->message;
+        }
+    }
 
     return m;
 }

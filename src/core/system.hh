@@ -31,8 +31,14 @@
 #include "os/task.hh"
 #include "os/virtual_memory.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/probe.hh"
 #include "simcore/stats.hh"
 #include "workload/trace_generator.hh"
+
+namespace refsched::validate
+{
+class CheckerSet;
+} // namespace refsched::validate
 
 namespace refsched::core
 {
@@ -71,7 +77,22 @@ class System
     /** Collect metrics for the interval since the last stat reset. */
     Metrics collectMetrics(Tick measuredTicks) const;
 
+    /**
+     * Route all component instrumentation events (DRAM commands,
+     * scheduler picks, runqueue churn, page alloc/free) to @p probe
+     * in addition to any checkers cfg.validate installed.  The probe
+     * must outlive the System.  Call before run().
+     */
+    void attachProbe(validate::Probe *probe);
+
+    /** The checkers installed by cfg.validate (null otherwise). */
+    const validate::CheckerSet *checkers() const
+    {
+        return probeHub_.get();
+    }
+
   private:
+    void enableProbeHub();
     void buildTasks();
     void assignBankMasks();
     void preTouchFootprints();
@@ -91,6 +112,9 @@ class System
     std::vector<std::unique_ptr<workload::SyntheticTraceGenerator>>
         sources_;
     std::vector<std::unique_ptr<os::Task>> tasks_;
+
+    /** Fan-out hub for checkers + externally attached probes. */
+    std::unique_ptr<validate::CheckerSet> probeHub_;
 
     bool ran_ = false;
 };

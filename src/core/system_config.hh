@@ -103,6 +103,14 @@ struct SystemConfig
      *  allocated their footprint before the region of interest). */
     bool preTouchPages = true;
 
+    /**
+     * Attach the invariant checkers (JEDEC timing auditor, refresh
+     * window monitor, OS auditor) for this run.  Requires the build
+     * to have REFSCHED_VALIDATE=1 (the default); with validation
+     * compiled out this flag warns and has no effect.
+     */
+    bool validate = false;
+
     // --- Components ---
     cpu::CoreParams coreParams;
     cache::HierarchyParams cacheParams;

@@ -47,6 +47,19 @@ AddressMapping::decompose(Addr paddr) const
 Addr
 AddressMapping::compose(const DramCoord &c) const
 {
+    // Cold path (tests, debugging): reject coordinates outside the
+    // organization rather than silently aliasing another address.
+    REFSCHED_ASSERT(c.channel >= 0 && c.channel < org_.channels,
+                    "compose: channel ", c.channel, " out of range");
+    REFSCHED_ASSERT(c.rank >= 0 && c.rank < org_.ranksPerChannel,
+                    "compose: rank ", c.rank, " out of range");
+    REFSCHED_ASSERT(c.bank >= 0 && c.bank < org_.banksPerRank,
+                    "compose: bank ", c.bank, " out of range");
+    REFSCHED_ASSERT(c.row < org_.rowsPerBank, "compose: row ", c.row,
+                    " out of range");
+    REFSCHED_ASSERT(c.column < org_.columnsPerRow(),
+                    "compose: column ", c.column, " out of range");
+
     Addr bankField = static_cast<Addr>(c.bank);
     if (org_.xorBankHash)
         bankField ^= c.row & ((1ULL << bankBits_) - 1);

@@ -250,13 +250,20 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
 
     const auto &t = cfg_.timings;
 
-    auto tryStep = [&](Bank &b) -> int {
+    auto tryStep = [&](Bank &b, int bankInRank) -> int {
         // Returns: 0 = ready, 1 = issued PRE (slot consumed),
         //          2 = waiting.
         if (b.underRefresh(now))
             return 2;
         if (b.isOpen()) {
             if (now >= b.preAllowedAt) {
+                REFSCHED_PROBE(
+                    probe_,
+                    onDramCommand({now, validate::DramOp::Pre, ch,
+                                   cmd.rank, bankInRank,
+                                   static_cast<std::uint64_t>(
+                                       b.openRow),
+                                   0}));
                 b.precharge(now, t);
                 return 1;
             }
@@ -267,8 +274,9 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
 
     if (cmd.isAllBank()) {
         bool allReady = true;
-        for (auto &b : rank.banks) {
-            const int s = tryStep(b);
+        for (std::size_t bi = 0; bi < rank.banks.size(); ++bi) {
+            const int s =
+                tryStep(rank.banks[bi], static_cast<int>(bi));
             if (s == 1)
                 return true;  // one PRE issued this cycle
             if (s == 2)
@@ -276,6 +284,11 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
         }
         if (!allReady || rank.underRefresh(now))
             return false;
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::RefAllBank, ch,
+                           cmd.rank, dram::RefreshCommand::kAllBanksInRank,
+                           cmd.rows, now + cmd.tRFC}));
         rank.startAllBankRefresh(now, cmd.tRFC);
         for (auto &b : rank.banks)
             b.rowsRefreshedInWindow += cmd.rows;
@@ -285,11 +298,16 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
             * static_cast<double>(cmd.rows * rank.banks.size());
     } else {
         auto &b = rank.banks[static_cast<std::size_t>(cmd.bank)];
-        const int s = tryStep(b);
+        const int s = tryStep(b, cmd.bank);
         if (s == 1)
             return true;
         if (s == 2)
             return false;
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::RefPerBank, ch,
+                           cmd.rank, cmd.bank, cmd.rows,
+                           now + cmd.tRFC}));
         b.startRefresh(now, cmd.tRFC, cmd.rows,
                        params_.refreshPausing && !c.refreshForced);
         b.rowsRefreshedInWindow += cmd.rows;
@@ -365,6 +383,13 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
                 Bank &fb = bankState(frontBank);
                 const auto remaining = fb.pauseRefresh(now);
                 if (remaining > 0) {
+                    REFSCHED_PROBE(
+                        probe_,
+                        onDramCommand({now, validate::DramOp::RefPause,
+                                       ch, coord.rank, coord.bank,
+                                       static_cast<std::uint64_t>(
+                                           remaining),
+                                       fb.refreshingUntil}));
                     fb.rowsRefreshedInWindow -= remaining;
                     c.stats.rowsRefreshed -=
                         static_cast<double>(remaining);
@@ -431,6 +456,13 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         else
             ++c.stats.rowMisses;
 
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now,
+                           isWriteQueue ? validate::DramOp::Write
+                                        : validate::DramOp::Read,
+                           ch, r.coord.rank, r.coord.bank,
+                           r.coord.row, 0}));
         if (isWriteQueue) {
             b.write(now, t);
             ++c.stats.writes;
@@ -478,6 +510,11 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         Request &r = q.request(best);
         Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
         auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::Act, ch,
+                           r.coord.rank, r.coord.bank, r.coord.row,
+                           0}));
         b.activate(now, static_cast<std::int64_t>(r.coord.row), t);
         rank.noteActivate(now, t);
         c.stats.energyActivatePj += params_.energy.actPrePj;
@@ -515,6 +552,11 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
     if (best != kNone) {
         const Request &r = q.request(best);
         Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::Pre, ch,
+                           r.coord.rank, r.coord.bank,
+                           static_cast<std::uint64_t>(b.openRow), 0}));
         b.precharge(now, t);
         return true;
     }
@@ -523,7 +565,7 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
 }
 
 bool
-MemoryController::closedPagePrecharge(Channel &c)
+MemoryController::closedPagePrecharge(Channel &c, int ch)
 {
     const Tick now = eq_.now();
     const auto &t = cfg_.timings;
@@ -553,6 +595,12 @@ MemoryController::closedPagePrecharge(Channel &c)
             }
             if (rowWanted(bankIndex(rank, bank), b.openRow))
                 continue;
+            REFSCHED_PROBE(
+                probe_,
+                onDramCommand({now, validate::DramOp::Pre, ch, rank,
+                               bank,
+                               static_cast<std::uint64_t>(b.openRow),
+                               0}));
             b.precharge(now, t);
             return true;
         }
@@ -595,7 +643,7 @@ MemoryController::tick(int ch)
             issued = serveQueue(c, ch, c.readQ, false);
     }
     if (!issued && params_.pagePolicy == PagePolicy::Closed)
-        issued = closedPagePrecharge(c);
+        issued = closedPagePrecharge(c, ch);
     (void)issued;
 
     // Re-arm.

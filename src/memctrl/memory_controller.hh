@@ -36,6 +36,7 @@
 #include "memctrl/banked_request_queue.hh"
 #include "memctrl/request.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/probe.hh"
 #include "simcore/stats.hh"
 #include "simcore/types.hh"
 
@@ -104,6 +105,10 @@ class MemoryController : public dram::McRefreshView
 
     /** Register this controller's stats under @p prefix. */
     void registerStats(StatRegistry &reg, const std::string &prefix);
+
+    /** Attach an instrumentation probe; every issued DRAM command is
+     *  reported through it (see simcore/probe.hh).  Null detaches. */
+    void setProbe(validate::Probe *probe) { probe_ = probe; }
 
     const dram::AddressMapping &mapping() const { return mapping_; }
     const dram::DramDeviceConfig &config() const { return cfg_; }
@@ -218,7 +223,7 @@ class MemoryController : public dram::McRefreshView
                     bool isWriteQueue);
 
     /** Closed-page policy: precharge one idle open row, if any. */
-    bool closedPagePrecharge(Channel &c);
+    bool closedPagePrecharge(Channel &c, int ch);
 
     /** True if the bank is frozen by an in-flight/pending refresh. */
     bool frozenByRefresh(const Channel &c, int rank, int bank) const;
@@ -246,6 +251,7 @@ class MemoryController : public dram::McRefreshView
     std::vector<std::function<void()>> retryWaiters_;
     std::uint64_t nextSeq_ = 0;
     Tick epochLength_;
+    validate::Probe *probe_ = nullptr;
 };
 
 } // namespace refsched::memctrl

@@ -113,6 +113,10 @@ BuddyAllocator::allocPage(Task &task)
             ++pagesAllocated_;
             freeFrames_ -= 1;  // cached pages count as free
             task.lastAllocedBank = allocBank;
+            REFSCHED_PROBE(probe_,
+                           onPageAlloc({clock_ ? clock_->now() : 0,
+                                        task.pid(), *pfn, false,
+                                        &task.possibleBanksVector}));
             return pfn;
         }
 
@@ -127,6 +131,11 @@ BuddyAllocator::allocPage(Task &task)
             if (bank == allocBank) {
                 ++pagesAllocated_;
                 task.lastAllocedBank = allocBank;
+                REFSCHED_PROBE(
+                    probe_,
+                    onPageAlloc({clock_ ? clock_->now() : 0,
+                                 task.pid(), *page, false,
+                                 &task.possibleBanksVector}));
                 return page;
             }
             // Maintaining a cache of per-bank free lists (line 33).
@@ -152,6 +161,12 @@ BuddyAllocator::allocPageAnyBank(Task *task)
             freeFrames_ -= 1;
             if (task)
                 task->lastAllocedBank = bank;
+            REFSCHED_PROBE(
+                probe_,
+                onPageAlloc({clock_ ? clock_->now() : 0,
+                             task ? task->pid() : -1, *pfn, true,
+                             task ? &task->possibleBanksVector
+                                  : nullptr}));
             return pfn;
         }
     }
@@ -160,6 +175,12 @@ BuddyAllocator::allocPageAnyBank(Task *task)
         ++pagesAllocated_;
         if (task)
             task->lastAllocedBank = mapping_.bankOfFrame(*page);
+        REFSCHED_PROBE(
+            probe_,
+            onPageAlloc({clock_ ? clock_->now() : 0,
+                         task ? task->pid() : -1, *page, true,
+                         task ? &task->possibleBanksVector
+                              : nullptr}));
         return page;
     }
     return std::nullopt;
@@ -172,6 +193,8 @@ BuddyAllocator::freePage(std::uint64_t pfn)
     const int bank = mapping_.bankOfFrame(pfn);
     perBankFree_[static_cast<std::size_t>(bank)].push_back(pfn);
     freeFrames_ += 1;
+    REFSCHED_PROBE(probe_,
+                   onPageFree({clock_ ? clock_->now() : 0, pfn}));
 }
 
 void

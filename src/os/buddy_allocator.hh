@@ -29,6 +29,8 @@
 
 #include "dram/address_mapping.hh"
 #include "os/task.hh"
+#include "simcore/event_queue.hh"
+#include "simcore/probe.hh"
 #include "simcore/stats.hh"
 
 namespace refsched::os
@@ -76,6 +78,19 @@ class BuddyAllocator
     /** Push per-bank cached pages back into the buddy lists (with
      *  coalescing), e.g. when tearing a workload down. */
     void drainBankCaches();
+
+    /**
+     * Attach an instrumentation probe; page-granularity alloc/free
+     * events are reported through it, timestamped from @p clock.
+     * Block-granularity allocBlock/freeBlock calls are not reported
+     * (the simulated OS only uses the page interface).
+     */
+    void
+    setProbe(validate::Probe *probe, const EventQueue *clock)
+    {
+        probe_ = probe;
+        clock_ = clock;
+    }
 
     // ------------------------------------------------------------------
     // Introspection
@@ -125,6 +140,9 @@ class BuddyAllocator
 
     /** Per-bank caches of order-0 pages (Algorithm 2). */
     std::vector<std::vector<std::uint64_t>> perBankFree_;
+
+    validate::Probe *probe_ = nullptr;
+    const EventQueue *clock_ = nullptr;
 
     std::uint64_t pagesAllocated_ = 0;
     std::uint64_t bankCacheHits_ = 0;

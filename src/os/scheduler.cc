@@ -35,6 +35,22 @@ Scheduler::setRefreshQuery(std::function<std::vector<int>(Tick)> query)
 }
 
 void
+Scheduler::emitRq(
+    void (validate::Probe::*hook)(const validate::RqEvent &), int cpu,
+    const Task *task)
+{
+#if REFSCHED_VALIDATE
+    if (probe_)
+        (probe_->*hook)(
+            {eq_.now(), cpu, task->pid(), task->vruntime});
+#else
+    (void)hook;
+    (void)cpu;
+    (void)task;
+#endif
+}
+
+void
 Scheduler::addTask(Task *task, int cpu)
 {
     REFSCHED_ASSERT(task != nullptr, "null task");
@@ -52,6 +68,7 @@ Scheduler::addTask(Task *task, int cpu)
         fatal("task assigned to nonexistent cpu ", cpu);
     task->state = TaskState::Runnable;
     queues_[static_cast<std::size_t>(cpu)].enqueue(task);
+    emitRq(&validate::Probe::onRqEnqueue, cpu, task);
     allTasks_.push_back(task);
 }
 
@@ -73,8 +90,10 @@ Scheduler::sleepTask(Task *task)
     const int cpu = cpuOf(task);
     REFSCHED_ASSERT(cpu >= 0, "sleepTask of unknown task");
     auto &rq = queues_[static_cast<std::size_t>(cpu)];
-    if (rq.contains(task))
+    if (rq.contains(task)) {
         rq.dequeue(task);
+        emitRq(&validate::Probe::onRqDequeue, cpu, task);
+    }
     // A currently-running task sleeps at the next boundary; mark it.
     task->state = TaskState::Sleeping;
 }
@@ -104,6 +123,8 @@ Scheduler::wakeTask(Task *task)
             best = i;
     }
     queues_[best].enqueue(task);
+    emitRq(&validate::Probe::onRqEnqueue, static_cast<int>(best),
+           task);
 }
 
 void
@@ -140,11 +161,41 @@ Task *
 Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
 {
     auto &rq = queues_[static_cast<std::size_t>(cpu)];
-    if (rq.empty())
-        return nullptr;
 
-    if (!params_.refreshAware || refreshBanks.empty())
-        return rq.first();
+    // When a probe is attached, capture the walk so the auditor can
+    // re-derive the decision; candidates are recorded during the
+    // real walk (not a replay) so a walk bug cannot hide itself.
+#if REFSCHED_VALIDATE
+    const bool capture = probe_ != nullptr;
+#else
+    constexpr bool capture = false;
+#endif
+    std::vector<validate::SchedCandidate> cand;
+    auto emitPick = [&](validate::PickKind kind, const Task *chosen) {
+        if (!capture)
+            return;
+        validate::SchedPickEvent ev;
+        ev.tick = eq_.now();
+        ev.cpu = cpu;
+        ev.kind = kind;
+        ev.chosen = chosen ? chosen->pid() : -1;
+        ev.etaThresh = params_.etaThresh;
+        ev.bestEffort = params_.bestEffort;
+        ev.refreshBanks = &refreshBanks;
+        ev.candidates = &cand;
+        probe_->onSchedPick(ev);
+    };
+
+    if (rq.empty()) {
+        emitPick(validate::PickKind::Idle, nullptr);
+        return nullptr;
+    }
+
+    if (!params_.refreshAware || refreshBanks.empty()) {
+        Task *first = rq.first();
+        emitPick(validate::PickKind::Baseline, first);
+        return first;
+    }
 
     // Algorithm 3: walk the red-black tree from the left, looking
     // for a task with no data in the bank(s) to be refreshed,
@@ -158,7 +209,11 @@ Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
         ++count;
         if (count == 1)
             firstSchedEntity = p;
-        if (cleanOf(*p, refreshBanks)) {
+        const bool clean = cleanOf(*p, refreshBanks);
+        if (capture)
+            cand.push_back({p->pid(), p->vruntime, clean,
+                            residentIn(*p, refreshBanks)});
+        if (clean) {
             found = p;
             return false;
         }
@@ -170,6 +225,7 @@ Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
         ++cleanPicks;
         if (found != firstSchedEntity)
             ++deferredPicks;
+        emitPick(validate::PickKind::Clean, found);
         return found;
     }
 
@@ -187,10 +243,12 @@ Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
             }
         }
         ++bestEffortPicks;
+        emitPick(validate::PickKind::BestEffort, best);
         return best;
     }
 
     ++fallbackPicks;
+    emitPick(validate::PickKind::Fallback, firstSchedEntity);
     return firstSchedEntity;
 }
 
@@ -212,6 +270,8 @@ Scheduler::onQuantumExpiry()
             continue;  // slept while running; stays dequeued
         cur->state = TaskState::Runnable;
         queues_[cpu].enqueue(cur);
+        emitRq(&validate::Probe::onRqEnqueue, static_cast<int>(cpu),
+               cur);
     }
 
     // The banks the hardware will refresh during the coming quantum.
@@ -223,6 +283,8 @@ Scheduler::onQuantumExpiry()
         Task *next = pickNextTask(static_cast<int>(cpu), refreshBanks);
         if (next) {
             queues_[cpu].dequeue(next);
+            emitRq(&validate::Probe::onRqDequeue,
+                   static_cast<int>(cpu), next);
             next->state = TaskState::Running;
             current_[cpu] = next;
             ++quantaScheduled;

@@ -33,6 +33,7 @@
 #include "os/cfs_runqueue.hh"
 #include "os/task.hh"
 #include "simcore/event_queue.hh"
+#include "simcore/probe.hh"
 #include "simcore/stats.hh"
 #include "simcore/types.hh"
 
@@ -115,6 +116,10 @@ class Scheduler
 
     void registerStats(StatRegistry &reg, const std::string &prefix);
 
+    /** Attach an instrumentation probe; runqueue churn and every
+     *  pick decision are reported through it.  Null detaches. */
+    void setProbe(validate::Probe *probe) { probe_ = probe; }
+
     // --- Statistics ---
     Scalar quantaScheduled;
     Scalar cleanPicks;      ///< eligible task found (Algorithm 3 hit)
@@ -125,6 +130,9 @@ class Scheduler
 
   private:
     void onQuantumExpiry();
+
+    void emitRq(void (validate::Probe::*hook)(const validate::RqEvent &),
+                int cpu, const Task *task);
 
     /** True iff @p t has no pages in any of @p banks. */
     static bool cleanOf(const Task &t, const std::vector<int> &banks);
@@ -141,6 +149,7 @@ class Scheduler
     std::vector<Task *> allTasks_;
     std::function<std::vector<int>(Tick)> refreshQuery_;
     bool started_ = false;
+    validate::Probe *probe_ = nullptr;
 };
 
 } // namespace refsched::os

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Golden-trace differential harness: a compact binary encoding of
+ * the probe event stream, a recorder, a decoder, and an event-wise
+ * differ with first-divergence reporting.
+ *
+ * Format: an 8-byte magic ("refsched"), a LEB128 version, a LEB128
+ * event count, then one record per event:
+ *
+ *   u8 kind | varint tick-delta | varint field[0..n)
+ *
+ * where n is fixed per kind (see traceFieldCount) and the tick delta
+ * is relative to the previous record, so a steady-state stream costs
+ * a few bytes per event.  Signed quantities that can be -1 (bank,
+ * pid) are stored biased by +1.
+ *
+ * Two runs of the same configuration must produce byte-identical
+ * traces; diffTraces pinpoints the first event where they do not.
+ */
+
+#ifndef REFSCHED_VALIDATE_GOLDEN_TRACE_HH
+#define REFSCHED_VALIDATE_GOLDEN_TRACE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/probe.hh"
+#include "simcore/types.hh"
+
+namespace refsched::validate
+{
+
+/** Record kinds; values are stable on-disk format. */
+enum class TraceKind : std::uint8_t {
+    DramAct = 1,
+    DramRead = 2,
+    DramWrite = 3,
+    DramPre = 4,
+    DramRefPb = 5,
+    DramRefAb = 6,
+    DramRefPause = 7,
+    SchedPick = 8,
+    PageAlloc = 9,
+    PageFree = 10,
+};
+
+/** Payload fields per kind (beyond kind + tick). */
+std::size_t traceFieldCount(TraceKind kind);
+
+/** One decoded trace record. */
+struct TraceEvent
+{
+    TraceKind kind = TraceKind::DramAct;
+    Tick tick = 0;
+    /** Payload, semantics per kind:
+     *  Dram*:       ch, rank, bank+1, row/rows [, busyUntil-tick]
+     *  SchedPick:   cpu, pick kind, chosen pid+1
+     *  PageAlloc:   pid+1, pfn, fallback
+     *  PageFree:    pfn */
+    std::array<std::uint64_t, 5> f{};
+
+    bool operator==(const TraceEvent &o) const;
+    bool operator!=(const TraceEvent &o) const { return !(*this == o); }
+};
+
+/** Human-readable one-liner for divergence reports. */
+std::string describe(const TraceEvent &ev);
+
+/**
+ * A probe that appends every event to an in-memory encoded trace.
+ * Scheduler runqueue churn is deliberately not recorded: picks,
+ * allocations, and DRAM commands already pin down the observable
+ * behaviour, and rq events would triple the trace size.
+ */
+class TraceRecorder final : public Probe
+{
+  public:
+    void onDramCommand(const DramCmdEvent &ev) override;
+    void onSchedPick(const SchedPickEvent &ev) override;
+    void onPageAlloc(const PageAllocEvent &ev) override;
+    void onPageFree(const PageFreeEvent &ev) override;
+
+    /** Encoded records only (no file header). */
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::uint64_t eventCount() const { return count_; }
+
+  private:
+    void put(TraceKind kind, Tick tick,
+             std::initializer_list<std::uint64_t> fields);
+
+    std::vector<std::uint8_t> buf_;
+    Tick lastTick_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Decode an encoded record stream; fatal() on malformed input. */
+std::vector<TraceEvent> decodeTrace(
+    const std::vector<std::uint8_t> &data);
+
+/** Write/read a trace with header; fatal() on I/O or format error. */
+void writeTraceFile(const std::string &path,
+                    const TraceRecorder &recorder);
+std::vector<TraceEvent> readTraceFile(const std::string &path);
+
+/** Result of comparing two decoded traces. */
+struct TraceDiff
+{
+    bool identical = true;
+    /** Index of the first divergent event. */
+    std::size_t index = 0;
+    bool lhsEnded = false;
+    bool rhsEnded = false;
+    TraceEvent lhs{};
+    TraceEvent rhs{};
+
+    std::string describe() const;
+};
+
+TraceDiff diffTraces(const std::vector<TraceEvent> &a,
+                     const std::vector<TraceEvent> &b);
+
+} // namespace refsched::validate
+
+#endif // REFSCHED_VALIDATE_GOLDEN_TRACE_HH

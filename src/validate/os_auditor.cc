@@ -1,0 +1,249 @@
+#include "validate/os_auditor.hh"
+
+#include <algorithm>
+
+namespace refsched::validate
+{
+
+OsAuditor::OsAuditor(const dram::AddressMapping &mapping,
+                     const os::BuddyAllocator *buddy,
+                     bool refreshAware, int etaThresh, bool bestEffort)
+    : Checker("OsAuditor"),
+      mapping_(mapping),
+      buddy_(buddy),
+      refreshAware_(refreshAware),
+      etaThresh_(etaThresh),
+      bestEffort_(bestEffort),
+      allocated_(mapping.totalFrames(), 0)
+{
+}
+
+OsAuditor::RqMirror &
+OsAuditor::rq(int cpu)
+{
+    if (static_cast<std::size_t>(cpu) >= rqs_.size())
+        rqs_.resize(static_cast<std::size_t>(cpu) + 1);
+    return rqs_[static_cast<std::size_t>(cpu)];
+}
+
+void
+OsAuditor::checkConservation(Tick tick, const char *what)
+{
+    if (!buddy_)
+        return;
+    const std::uint64_t free = buddy_->freeFrames();
+    if (allocatedCount_ + free != buddy_->totalFrames())
+        flag(tick, "frame conservation broken after ", what, ": ",
+             allocatedCount_, " allocated + ", free, " free != ",
+             buddy_->totalFrames(), " total");
+}
+
+void
+OsAuditor::onPageAlloc(const PageAllocEvent &ev)
+{
+    if (ev.pfn >= allocated_.size()) {
+        flag(ev.tick, "allocated pfn ", ev.pfn, " out of range (",
+             allocated_.size(), " frames)");
+        return;
+    }
+    if (allocated_[ev.pfn])
+        flag(ev.tick, "pfn ", ev.pfn, " allocated twice");
+    allocated_[ev.pfn] = 1;
+    ++allocatedCount_;
+    checkConservation(ev.tick, "alloc");
+
+    const int bank = mapping_.bankOfFrame(ev.pfn);
+    if (!ev.fallback && ev.allowedBanks
+        && (static_cast<std::size_t>(bank) >= ev.allowedBanks->size()
+            || !(*ev.allowedBanks)[static_cast<std::size_t>(bank)]))
+        flag(ev.tick, "bank-mask confinement broken: pfn ", ev.pfn,
+             " (global bank ", bank, ") allocated to pid ", ev.pid,
+             " outside its possible_banks_vector");
+
+    if (ev.pid >= 0) {
+        auto &counts = residency_[ev.pid];
+        if (counts.empty())
+            counts.resize(
+                static_cast<std::size_t>(mapping_.totalBanks()), 0);
+        ++counts[static_cast<std::size_t>(bank)];
+    }
+}
+
+void
+OsAuditor::onPageFree(const PageFreeEvent &ev)
+{
+    if (ev.pfn >= allocated_.size()) {
+        flag(ev.tick, "freed pfn ", ev.pfn, " out of range");
+        return;
+    }
+    if (!allocated_[ev.pfn]) {
+        flag(ev.tick, "pfn ", ev.pfn, " freed while not allocated");
+        return;
+    }
+    allocated_[ev.pfn] = 0;
+    --allocatedCount_;
+    freesSeen_ = true;
+    checkConservation(ev.tick, "free");
+}
+
+void
+OsAuditor::onRqEnqueue(const RqEvent &ev)
+{
+    if (!rq(ev.cpu).insert({ev.vruntime, ev.pid}).second)
+        flag(ev.tick, "pid ", ev.pid, " enqueued twice on cpu ",
+             ev.cpu, " (vruntime ", ev.vruntime, ")");
+}
+
+void
+OsAuditor::onRqDequeue(const RqEvent &ev)
+{
+    if (rq(ev.cpu).erase({ev.vruntime, ev.pid}) == 0)
+        flag(ev.tick, "pid ", ev.pid, " dequeued from cpu ", ev.cpu,
+             " but not enqueued there (vruntime ", ev.vruntime, ")");
+}
+
+void
+OsAuditor::onSchedPick(const SchedPickEvent &ev)
+{
+    const auto &mirror = rq(ev.cpu);
+
+    switch (ev.kind) {
+    case PickKind::Idle:
+        if (!mirror.empty())
+            flag(ev.tick, "cpu ", ev.cpu, " idled with ",
+                 mirror.size(), " runnable task(s)");
+        return;
+    case PickKind::Baseline:
+        if (mirror.empty()) {
+            flag(ev.tick, "baseline pick on cpu ", ev.cpu,
+                 " from an empty runqueue");
+        } else if (ev.chosen != mirror.begin()->second) {
+            flag(ev.tick, "baseline pick on cpu ", ev.cpu, " chose ",
+                 ev.chosen, ", leftmost is ",
+                 mirror.begin()->second);
+        }
+        return;
+    default:
+        break;
+    }
+
+    // Refresh-aware kinds (Clean / BestEffort / Fallback).
+    if (!refreshAware_)
+        flag(ev.tick, "refresh-aware pick on cpu ", ev.cpu,
+             " but refresh-aware scheduling is off");
+    if (!ev.candidates || ev.candidates->empty()) {
+        flag(ev.tick, "refresh-aware pick on cpu ", ev.cpu,
+             " with no candidate walk recorded");
+        return;
+    }
+    checkPickDecision(ev);
+}
+
+void
+OsAuditor::checkPickDecision(const SchedPickEvent &ev)
+{
+    const auto &cands = *ev.candidates;
+    const auto &mirror = rq(ev.cpu);
+    const std::size_t n = cands.size();
+
+    if (n > static_cast<std::size_t>(std::max(ev.etaThresh, 1)))
+        flag(ev.tick, "pick walk on cpu ", ev.cpu, " examined ", n,
+             " candidates, eta_thresh is ", ev.etaThresh);
+
+    // The walk must be exactly the in-order runqueue prefix.
+    std::size_t i = 0;
+    for (auto it = mirror.begin(); it != mirror.end() && i < n;
+         ++it, ++i) {
+        if (cands[i].pid != it->second
+            || cands[i].vruntime != it->first) {
+            flag(ev.tick, "pick walk on cpu ", ev.cpu, " position ",
+                 i, " saw pid ", cands[i].pid, " (vruntime ",
+                 cands[i].vruntime, "), runqueue has pid ",
+                 it->second, " (vruntime ", it->first, ")");
+            return;
+        }
+    }
+    if (i < n) {
+        flag(ev.tick, "pick walk on cpu ", ev.cpu, " examined ", n,
+             " candidates but only ", mirror.size(),
+             " tasks are enqueued");
+        return;
+    }
+
+    // Residency cross-check of the emitter's clean classification.
+    if (!freesSeen_ && ev.refreshBanks) {
+        for (const auto &c : cands) {
+            bool myClean = true;
+            const auto it = residency_.find(c.pid);
+            if (it != residency_.end())
+                for (int b : *ev.refreshBanks)
+                    if (it->second[static_cast<std::size_t>(b)] > 0)
+                        myClean = false;
+            if (myClean != c.clean)
+                flag(ev.tick, "clean bit mismatch for pid ", c.pid,
+                     " on cpu ", ev.cpu, ": scheduler says ",
+                     c.clean ? "clean" : "dirty",
+                     ", rebuilt residency says ",
+                     myClean ? "clean" : "dirty");
+        }
+    }
+
+    // Re-derive Algorithm 3's decision from the walked candidates.
+    const SchedCandidate *clean = nullptr;
+    for (const auto &c : cands)
+        if (c.clean) {
+            clean = &c;
+            break;
+        }
+
+    if (clean) {
+        if (clean != &cands.back())
+            flag(ev.tick, "pick walk on cpu ", ev.cpu,
+                 " continued past clean pid ", clean->pid);
+        if (ev.kind != PickKind::Clean || ev.chosen != clean->pid)
+            flag(ev.tick, "cpu ", ev.cpu, " should pick clean pid ",
+                 clean->pid, ", picked ", ev.chosen);
+        return;
+    }
+
+    // No clean candidate: the walk must have been exhausted, either
+    // by eta_thresh or by running out of tasks.
+    if (n != static_cast<std::size_t>(ev.etaThresh)
+        && n != mirror.size())
+        flag(ev.tick, "pick walk on cpu ", ev.cpu, " gave up after ",
+             n, " candidates (eta_thresh ", ev.etaThresh, ", ",
+             mirror.size(), " enqueued)");
+
+    if (ev.bestEffort) {
+        const SchedCandidate *best = &cands.front();
+        for (const auto &c : cands)
+            if (c.resident < best->resident)
+                best = &c;
+        if (ev.kind != PickKind::BestEffort
+            || ev.chosen != best->pid)
+            flag(ev.tick, "cpu ", ev.cpu,
+                 " should pick best-effort pid ", best->pid,
+                 " (resident ", best->resident, "), picked ",
+                 ev.chosen);
+    } else {
+        if (ev.kind != PickKind::Fallback
+            || ev.chosen != cands.front().pid)
+            flag(ev.tick, "cpu ", ev.cpu,
+                 " should fall back to leftmost pid ",
+                 cands.front().pid, ", picked ", ev.chosen);
+    }
+}
+
+void
+OsAuditor::finalize(Tick endTick)
+{
+    checkConservation(endTick, "run");
+    if (buddy_) {
+        std::string why;
+        if (!buddy_->checkInvariants(&why))
+            flag(endTick, "buddy structural invariants broken: ",
+                 why);
+    }
+}
+
+} // namespace refsched::validate

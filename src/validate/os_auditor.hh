@@ -1,0 +1,81 @@
+/**
+ * @file
+ * OS-layer auditor: buddy-allocator conservation + bank-mask
+ * confinement (Algorithm 2) and the refresh-avoidance pick contract
+ * of CFS pick_next_task (Algorithm 3), each checked against a simple
+ * reference model rebuilt from the probe event stream.
+ *
+ * Reference models:
+ *  - an allocated-frame bitmap: every alloc/free keeps
+ *    allocated + buddy.freeFrames == totalFrames, no frame is handed
+ *    out twice or freed twice, and every non-fallback allocation
+ *    lands inside the task's possible_banks_vector;
+ *  - per-task per-bank residency counts rebuilt from allocations,
+ *    cross-checking the scheduler's "clean" classification;
+ *  - per-CPU sorted runqueue mirrors rebuilt from enqueue/dequeue
+ *    events: each pick's walked candidates must be exactly the
+ *    in-order runqueue prefix, bounded by eta_thresh, and the chosen
+ *    task must follow Algorithm 3 (first clean candidate, else
+ *    best-effort minimum-residency, else the leftmost).
+ */
+
+#ifndef REFSCHED_VALIDATE_OS_AUDITOR_HH
+#define REFSCHED_VALIDATE_OS_AUDITOR_HH
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "os/buddy_allocator.hh"
+#include "validate/checker.hh"
+
+namespace refsched::validate
+{
+
+class OsAuditor final : public Checker
+{
+  public:
+    /**
+     * @param buddy  live allocator for conservation cross-checks and
+     *               the structural sweep at finalize; may be null
+     *               when auditing a bare event stream.
+     */
+    OsAuditor(const dram::AddressMapping &mapping,
+              const os::BuddyAllocator *buddy, bool refreshAware,
+              int etaThresh, bool bestEffort);
+
+    void onPageAlloc(const PageAllocEvent &ev) override;
+    void onPageFree(const PageFreeEvent &ev) override;
+    void onRqEnqueue(const RqEvent &ev) override;
+    void onRqDequeue(const RqEvent &ev) override;
+    void onSchedPick(const SchedPickEvent &ev) override;
+    void finalize(Tick endTick) override;
+
+  private:
+    using RqMirror = std::set<std::pair<Tick, Pid>>;
+
+    RqMirror &rq(int cpu);
+    void checkConservation(Tick tick, const char *what);
+    void checkPickDecision(const SchedPickEvent &ev);
+
+    const dram::AddressMapping &mapping_;
+    const os::BuddyAllocator *buddy_;
+    bool refreshAware_;
+    int etaThresh_;
+    bool bestEffort_;
+
+    std::vector<char> allocated_;
+    std::uint64_t allocatedCount_ = 0;
+    /** Frees carry no pid, so residency cross-checks stop once any
+     *  page is freed (never during a measured run). */
+    bool freesSeen_ = false;
+    std::unordered_map<Pid, std::vector<std::uint32_t>> residency_;
+    std::vector<RqMirror> rqs_;
+};
+
+} // namespace refsched::validate
+
+#endif // REFSCHED_VALIDATE_OS_AUDITOR_HH

@@ -1,0 +1,191 @@
+#include "validate/refresh_window_monitor.hh"
+
+#include <algorithm>
+
+namespace refsched::validate
+{
+
+RefreshWindowMonitor::RefreshWindowMonitor(
+    const dram::DramDeviceConfig &dev, dram::RefreshPolicy policy,
+    std::size_t maxPostponed, bool pausing)
+    : Checker("RefreshWindowMonitor"),
+      policy_(policy),
+      rowsPerBank_(dev.org.rowsPerBank),
+      tREFW_(dev.timings.tREFW),
+      channels_(dev.org.channels),
+      ranksPerChannel_(dev.org.ranksPerChannel),
+      banksPerRank_(dev.org.banksPerRank),
+      banks_(static_cast<std::size_t>(dev.org.channels)
+             * dev.org.ranksPerChannel * dev.org.banksPerRank)
+{
+    // Elastic postponement may defer up to maxPostponed commands by
+    // up to one interval each, and a deferred command still occupies
+    // tRFC; pausing can split one more.  Anything later than that is
+    // a genuine coverage hole, not sloppiness the controller is
+    // entitled to.
+    slack_ = (static_cast<Tick>(maxPostponed) + 2)
+        * dev.timings.tREFIab + 4 * dev.timings.tRFCab;
+    if (pausing)
+        slack_ += dev.timings.tRFCab;
+
+    if (policy_ == dram::RefreshPolicy::SequentialPerBank) {
+        rankParallel_ =
+            dev.timings.tREFIpb(dev.org.banksTotal())
+            <= dev.timings.tRFCpb;
+        engines_.resize(static_cast<std::size_t>(channels_)
+                        * (rankParallel_ ? ranksPerChannel_ : 1));
+    }
+}
+
+int
+RefreshWindowMonitor::globalBank(int ch, int rank, int bank) const
+{
+    return (ch * ranksPerChannel_ + rank) * banksPerRank_ + bank;
+}
+
+RefreshWindowMonitor::Engine &
+RefreshWindowMonitor::engineFor(int ch, int rank)
+{
+    const int idx = rankParallel_
+        ? ch * ranksPerChannel_ + rank
+        : ch;
+    return engines_[static_cast<std::size_t>(idx)];
+}
+
+std::uint64_t
+RefreshWindowMonitor::passes(int gb) const
+{
+    return banks_[static_cast<std::size_t>(gb)].passes;
+}
+
+void
+RefreshWindowMonitor::onDramCommand(const DramCmdEvent &ev)
+{
+    if (policy_ == dram::RefreshPolicy::NoRefresh)
+        return;
+
+    switch (ev.op) {
+    case DramOp::RefPerBank: {
+        const int gb = globalBank(ev.channel, ev.rank, ev.bank);
+        if (policy_ == dram::RefreshPolicy::SequentialPerBank)
+            checkSequentialStructure(ev, gb);
+        auto &w = banks_[static_cast<std::size_t>(gb)];
+        w.pauseDebt -= std::min(w.pauseDebt, ev.row);
+        addRows(gb, ev.row, ev.tick);
+        sweepOverdue(ev.tick);
+        break;
+    }
+    case DramOp::RefAllBank: {
+        for (int bi = 0; bi < banksPerRank_; ++bi)
+            addRows(globalBank(ev.channel, ev.rank, bi), ev.row,
+                    ev.tick);
+        sweepOverdue(ev.tick);
+        break;
+    }
+    case DramOp::RefPause: {
+        const int gb = globalBank(ev.channel, ev.rank, ev.bank);
+        auto &w = banks_[static_cast<std::size_t>(gb)];
+        w.rowsDone -= std::min(w.rowsDone, ev.row);
+        w.pauseDebt += ev.row;
+        if (policy_ == dram::RefreshPolicy::SequentialPerBank) {
+            auto &e = engineFor(ev.channel, ev.rank);
+            if (e.curBank == gb)
+                e.rowsInRun -= std::min(e.rowsInRun, ev.row);
+        }
+        break;
+    }
+    default:
+        break;
+    }
+}
+
+void
+RefreshWindowMonitor::addRows(int gb, std::uint64_t rows, Tick tick)
+{
+    auto &w = banks_[static_cast<std::size_t>(gb)];
+    w.rowsDone += rows;
+    while (w.rowsDone >= rowsPerBank_) {
+        if (w.passAnchor + tREFW_ + slack_ < tick)
+            flag(tick, "late refresh pass: ch",
+                 gb / (ranksPerChannel_ * banksPerRank_), "/r",
+                 (gb / banksPerRank_) % ranksPerChannel_, "/b",
+                 gb % banksPerRank_, " finished ", rowsPerBank_,
+                 " rows at ", tick, " for the window starting ",
+                 w.passAnchor, " (tREFW=", tREFW_, ", slack=", slack_,
+                 ")");
+        w.rowsDone -= rowsPerBank_;
+        w.passAnchor = tick;
+        ++w.passes;
+    }
+}
+
+void
+RefreshWindowMonitor::checkSequentialStructure(const DramCmdEvent &ev,
+                                               int gb)
+{
+    auto &e = engineFor(ev.channel, ev.rank);
+    auto &w = banks_[static_cast<std::size_t>(gb)];
+
+    if (e.curBank == -1) {
+        e.curBank = gb;
+        e.rowsInRun = ev.row;
+        return;
+    }
+    if (gb == e.curBank) {
+        // A completed run wraps into a fresh pass of the same bank
+        // (only possible when the engine covers a single bank).
+        if (e.rowsInRun >= rowsPerBank_)
+            e.rowsInRun = 0;
+        e.rowsInRun += ev.row;
+        return;
+    }
+    if (w.pauseDebt > 0) {
+        // Out-of-band resume of a paused refresh on a bank the
+        // engine has already advanced past; does not reset the run.
+        return;
+    }
+
+    // The engine advanced: the previous bank's run must have covered
+    // its full row set (paused tail rows are owed by resumes).
+    const auto &cur =
+        banks_[static_cast<std::size_t>(e.curBank)];
+    if (e.rowsInRun + cur.pauseDebt < rowsPerBank_)
+        flag(ev.tick, "sequential refresh advanced to ch", ev.channel,
+             "/r", ev.rank, "/b", ev.bank, " at ", ev.tick,
+             " with the previous bank (global ", e.curBank,
+             ") only ", e.rowsInRun, " of ", rowsPerBank_,
+             " rows into its slot");
+    e.curBank = gb;
+    e.rowsInRun = ev.row;
+}
+
+void
+RefreshWindowMonitor::sweepOverdue(Tick tick)
+{
+    for (std::size_t gb = 0; gb < banks_.size(); ++gb) {
+        auto &w = banks_[gb];
+        if (tick <= w.passAnchor + tREFW_ + slack_)
+            continue;
+        const int igb = static_cast<int>(gb);
+        flag(tick, "refresh window expired: ch",
+             igb / (ranksPerChannel_ * banksPerRank_), "/r",
+             (igb / banksPerRank_) % ranksPerChannel_, "/b",
+             igb % banksPerRank_, " covered only ", w.rowsDone,
+             " of ", rowsPerBank_, " rows in the window starting ",
+             w.passAnchor, " (now ", tick, ", tREFW=", tREFW_,
+             ", slack=", slack_, "); rows ", w.rowsDone, "..",
+             rowsPerBank_ - 1, " are stale");
+        // Re-anchor so one hole is reported once, not per event.
+        w.passAnchor = tick;
+    }
+}
+
+void
+RefreshWindowMonitor::finalize(Tick endTick)
+{
+    if (policy_ == dram::RefreshPolicy::NoRefresh)
+        return;
+    sweepOverdue(endTick);
+}
+
+} // namespace refsched::validate

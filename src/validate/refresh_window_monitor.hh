@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Refresh-window coverage monitor.
+ *
+ * Accumulates the rows refreshed per bank from the REF command stream
+ * and proves two properties of the refresh schedule:
+ *
+ *  1. Coverage: every bank's full row set (org.rowsPerBank rows) is
+ *     refreshed within each tREFW window, modulo a bounded slack for
+ *     elastic postponement (maxPostponed * tREFI_ab) and command
+ *     occupancy.  A bank whose window expires short of full coverage
+ *     is reported with its channel/rank/bank, the rows covered, and
+ *     the tick the window expired.
+ *
+ *  2. Sequential structure (SequentialPerBank only): each refresh
+ *     engine keeps refreshing the SAME bank until its full row set is
+ *     done before advancing (Algorithm 1's "one bank in refresh per
+ *     tREFI_pb slot").  Refresh Pausing may defer a command's tail
+ *     rows past the engine's advance; the monitor tracks that pause
+ *     debt and exempts the matching resume commands.
+ *
+ * Refresh pausing subtracts the rolled-back rows again, so a pause
+ * followed by a lost resume command shows up as missing coverage.
+ */
+
+#ifndef REFSCHED_VALIDATE_REFRESH_WINDOW_MONITOR_HH
+#define REFSCHED_VALIDATE_REFRESH_WINDOW_MONITOR_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/refresh_scheduler.hh"
+#include "dram/timings.hh"
+#include "validate/checker.hh"
+
+namespace refsched::validate
+{
+
+class RefreshWindowMonitor final : public Checker
+{
+  public:
+    RefreshWindowMonitor(const dram::DramDeviceConfig &dev,
+                         dram::RefreshPolicy policy,
+                         std::size_t maxPostponed, bool pausing);
+
+    void onDramCommand(const DramCmdEvent &ev) override;
+    void finalize(Tick endTick) override;
+
+    /** Completed full-coverage passes of a global bank (tests). */
+    std::uint64_t passes(int globalBank) const;
+
+  private:
+    /** Coverage state of one global bank. */
+    struct BankWindow
+    {
+        std::uint64_t rowsDone = 0;
+        /** Start of the pass currently being accumulated. */
+        Tick passAnchor = 0;
+        std::uint64_t passes = 0;
+        /** Rows rolled back by pausing, owed by resume commands. */
+        std::uint64_t pauseDebt = 0;
+    };
+
+    /** Structure state of one sequential refresh engine. */
+    struct Engine
+    {
+        int curBank = -1;  ///< global bank id, -1 before first REF
+        std::uint64_t rowsInRun = 0;
+    };
+
+    int globalBank(int ch, int rank, int bank) const;
+    Engine &engineFor(int ch, int rank);
+    void addRows(int gb, std::uint64_t rows, Tick tick);
+    void checkSequentialStructure(const DramCmdEvent &ev, int gb);
+    void sweepOverdue(Tick tick);
+
+    dram::RefreshPolicy policy_;
+    std::uint64_t rowsPerBank_;
+    Tick tREFW_;
+    /** Allowed lateness beyond tREFW before coverage is flagged. */
+    Tick slack_;
+    int channels_;
+    int ranksPerChannel_;
+    int banksPerRank_;
+    /** SequentialPerBank: one engine per rank (rank-parallel mode)
+     *  or per channel. */
+    bool rankParallel_ = false;
+    std::vector<BankWindow> banks_;
+    std::vector<Engine> engines_;
+};
+
+} // namespace refsched::validate
+
+#endif // REFSCHED_VALIDATE_REFRESH_WINDOW_MONITOR_HH

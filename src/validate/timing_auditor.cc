@@ -1,0 +1,239 @@
+#include "validate/timing_auditor.hh"
+
+namespace refsched::validate
+{
+
+namespace
+{
+
+/** "ch0/r1/b3" coordinate tag for violation messages. */
+std::string
+at(const DramCmdEvent &ev)
+{
+    return detail::format("ch", ev.channel, "/r", ev.rank, "/b",
+                          ev.bank);
+}
+
+} // namespace
+
+TimingAuditor::TimingAuditor(const dram::DramDeviceConfig &dev)
+    : Checker("TimingAuditor"),
+      t_(dev.timings),
+      ranksPerChannel_(dev.org.ranksPerChannel),
+      banksPerRank_(dev.org.banksPerRank),
+      banks_(static_cast<std::size_t>(dev.org.channels)
+             * ranksPerChannel_ * banksPerRank_),
+      ranks_(static_cast<std::size_t>(dev.org.channels)
+             * ranksPerChannel_),
+      channels_(static_cast<std::size_t>(dev.org.channels))
+{
+}
+
+TimingAuditor::BankModel &
+TimingAuditor::bank(int ch, int rank, int bank)
+{
+    return banks_[(static_cast<std::size_t>(ch) * ranksPerChannel_
+                   + rank) * banksPerRank_ + bank];
+}
+
+TimingAuditor::RankModel &
+TimingAuditor::rank(int ch, int rank)
+{
+    return ranks_[static_cast<std::size_t>(ch) * ranksPerChannel_
+                  + rank];
+}
+
+void
+TimingAuditor::onDramCommand(const DramCmdEvent &ev)
+{
+    switch (ev.op) {
+    case DramOp::Act:
+        checkAct(ev);
+        break;
+    case DramOp::Read:
+    case DramOp::Write:
+        checkCas(ev);
+        break;
+    case DramOp::Pre:
+        checkPre(ev);
+        break;
+    case DramOp::RefPerBank:
+        checkRefPerBank(ev);
+        break;
+    case DramOp::RefAllBank:
+        checkRefAllBank(ev);
+        break;
+    case DramOp::RefPause:
+        checkRefPause(ev);
+        break;
+    }
+}
+
+void
+TimingAuditor::checkAct(const DramCmdEvent &ev)
+{
+    auto &b = bank(ev.channel, ev.rank, ev.bank);
+    auto &r = rank(ev.channel, ev.rank);
+
+    if (b.open)
+        flag(ev.tick, "ACT ", at(ev), " row ", ev.row,
+             " while the bank is already open");
+    if (ev.tick < b.refreshUntil)
+        flag(ev.tick, "ACT ", at(ev), " during per-bank refresh"
+             " (busy until ", b.refreshUntil, ")");
+    if (ev.tick < r.refreshUntil)
+        flag(ev.tick, "ACT ", at(ev), " during all-bank refresh"
+             " (busy until ", r.refreshUntil, ")");
+    if (b.hasAct && ev.tick < b.lastAct + t_.tRC)
+        flag(ev.tick, "tRC violation: ACT ", at(ev), " at ", ev.tick,
+             ", previous ACT at ", b.lastAct, ", tRC=", t_.tRC);
+    if (b.hasPre && ev.tick < b.lastPre + t_.tRP)
+        flag(ev.tick, "tRP violation: ACT ", at(ev), " at ", ev.tick,
+             ", PRE at ", b.lastPre, ", tRP=", t_.tRP);
+    if (r.hasAct && ev.tick < r.lastAct + t_.tRRD)
+        flag(ev.tick, "tRRD violation: ACT ", at(ev), " at ", ev.tick,
+             ", previous rank ACT at ", r.lastAct, ", tRRD=", t_.tRRD);
+    if (r.fawPrimed && ev.tick < r.acts[r.actMod] + t_.tFAW)
+        flag(ev.tick, "tFAW violation: ACT ", at(ev), " at ", ev.tick,
+             " is the 5th ACT within tFAW=", t_.tFAW,
+             " (4-back ACT at ", r.acts[r.actMod], ")");
+
+    b.open = true;
+    b.hasAct = true;
+    b.lastAct = ev.tick;
+    r.hasAct = true;
+    r.lastAct = ev.tick;
+    r.acts[r.actMod] = ev.tick;
+    r.actMod = (r.actMod + 1) % 4;
+    if (r.actMod == 0)
+        r.fawPrimed = true;
+}
+
+void
+TimingAuditor::checkCas(const DramCmdEvent &ev)
+{
+    const bool isRead = ev.op == DramOp::Read;
+    const char *name = isRead ? "READ " : "WRITE ";
+    auto &b = bank(ev.channel, ev.rank, ev.bank);
+    auto &r = rank(ev.channel, ev.rank);
+    auto &c = channels_[static_cast<std::size_t>(ev.channel)];
+
+    if (!b.open)
+        flag(ev.tick, name, at(ev), " row ", ev.row,
+             " to a closed bank");
+    if (ev.tick < b.refreshUntil || ev.tick < r.refreshUntil)
+        flag(ev.tick, name, at(ev), " during refresh");
+    if (b.hasAct && ev.tick < b.lastAct + t_.tRCD)
+        flag(ev.tick, "tRCD violation: ", name, at(ev), " at ",
+             ev.tick, ", ACT at ", b.lastAct, ", tRCD=", t_.tRCD);
+    if (b.hasCas && ev.tick < b.lastCas + t_.tCCD)
+        flag(ev.tick, "tCCD violation: ", name, at(ev), " at ",
+             ev.tick, ", previous CAS at ", b.lastCas, ", tCCD=",
+             t_.tCCD);
+    if (isRead && b.hasWrite && ev.tick < b.writeBurstEnd + t_.tWTR)
+        flag(ev.tick, "tWTR violation: READ ", at(ev), " at ",
+             ev.tick, ", write burst ends ", b.writeBurstEnd,
+             ", tWTR=", t_.tWTR);
+    if (c.hasCas && ev.tick < c.lastCas + t_.tBURST)
+        flag(ev.tick, "data-bus violation: ", name, at(ev), " at ",
+             ev.tick, " within tBURST=", t_.tBURST,
+             " of previous channel CAS at ", c.lastCas);
+
+    b.hasCas = true;
+    b.lastCas = ev.tick;
+    if (isRead) {
+        b.hasRead = true;
+        b.lastReadCas = ev.tick;
+    } else {
+        b.hasWrite = true;
+        b.writeBurstEnd = ev.tick + t_.tCWL + t_.tBURST;
+    }
+    c.hasCas = true;
+    c.lastCas = ev.tick;
+}
+
+void
+TimingAuditor::checkPre(const DramCmdEvent &ev)
+{
+    auto &b = bank(ev.channel, ev.rank, ev.bank);
+    auto &r = rank(ev.channel, ev.rank);
+
+    if (!b.open)
+        flag(ev.tick, "PRE ", at(ev), " to a closed bank");
+    if (ev.tick < b.refreshUntil || ev.tick < r.refreshUntil)
+        flag(ev.tick, "PRE ", at(ev), " during refresh");
+    if (b.hasAct && ev.tick < b.lastAct + t_.tRAS)
+        flag(ev.tick, "tRAS violation: PRE ", at(ev), " at ", ev.tick,
+             ", ACT at ", b.lastAct, ", tRAS=", t_.tRAS);
+    if (b.hasRead && ev.tick < b.lastReadCas + t_.tRTP)
+        flag(ev.tick, "tRTP violation: PRE ", at(ev), " at ", ev.tick,
+             ", READ at ", b.lastReadCas, ", tRTP=", t_.tRTP);
+    if (b.hasWrite && ev.tick < b.writeBurstEnd + t_.tWR)
+        flag(ev.tick, "tWR violation: PRE ", at(ev), " at ", ev.tick,
+             ", write burst ends ", b.writeBurstEnd, ", tWR=", t_.tWR);
+
+    b.open = false;
+    b.hasPre = true;
+    b.lastPre = ev.tick;
+}
+
+void
+TimingAuditor::checkRefPerBank(const DramCmdEvent &ev)
+{
+    auto &b = bank(ev.channel, ev.rank, ev.bank);
+    auto &r = rank(ev.channel, ev.rank);
+
+    if (b.open)
+        flag(ev.tick, "REF ", at(ev), " while the bank is open");
+    if (ev.tick < b.refreshUntil)
+        flag(ev.tick, "tRFC_pb violation: REF ", at(ev), " at ",
+             ev.tick, " overlaps refresh busy until ", b.refreshUntil);
+    if (ev.tick < r.refreshUntil)
+        flag(ev.tick, "REF ", at(ev), " during all-bank refresh"
+             " (busy until ", r.refreshUntil, ")");
+    if (ev.busyUntil < ev.tick)
+        flag(ev.tick, "REF ", at(ev), " with busy-until ",
+             ev.busyUntil, " before issue tick");
+
+    b.refreshUntil = ev.busyUntil;
+}
+
+void
+TimingAuditor::checkRefAllBank(const DramCmdEvent &ev)
+{
+    auto &r = rank(ev.channel, ev.rank);
+
+    if (ev.tick < r.refreshUntil)
+        flag(ev.tick, "tRFC_ab violation: REFab ch", ev.channel, "/r",
+             ev.rank, " at ", ev.tick, " overlaps refresh busy until ",
+             r.refreshUntil);
+    for (int bi = 0; bi < banksPerRank_; ++bi) {
+        auto &b = bank(ev.channel, ev.rank, bi);
+        if (b.open)
+            flag(ev.tick, "REFab ch", ev.channel, "/r", ev.rank,
+                 " while bank ", bi, " is open");
+        if (ev.tick < b.refreshUntil)
+            flag(ev.tick, "REFab ch", ev.channel, "/r", ev.rank,
+                 " while bank ", bi, " is under per-bank refresh");
+        b.refreshUntil = ev.busyUntil;
+    }
+    r.refreshUntil = ev.busyUntil;
+}
+
+void
+TimingAuditor::checkRefPause(const DramCmdEvent &ev)
+{
+    auto &b = bank(ev.channel, ev.rank, ev.bank);
+
+    if (ev.tick >= b.refreshUntil)
+        flag(ev.tick, "refresh pause ", at(ev), " at ", ev.tick,
+             " but no refresh is in flight");
+    if (ev.busyUntil > b.refreshUntil)
+        flag(ev.tick, "refresh pause ", at(ev),
+             " extends the refresh (", ev.busyUntil, " > ",
+             b.refreshUntil, ")");
+
+    b.refreshUntil = ev.busyUntil;
+}
+
+} // namespace refsched::validate

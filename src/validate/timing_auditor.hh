@@ -1,0 +1,95 @@
+/**
+ * @file
+ * JEDEC protocol/timing auditor.
+ *
+ * Rebuilds an independent model of every bank's protocol state from
+ * the issued-command stream and flags commands that violate DDR3
+ * timing constraints (tRCD/tRP/tRAS/tRC/tCCD/tWTR/tRRD/tFAW/data-bus
+ * spacing), bank open/close discipline, or refresh occupancy
+ * (tRFC_pb/tRFC_ab): no command may address a bank while a refresh is
+ * in flight, and refreshes require a closed, idle bank.
+ *
+ * Deliberately unchecked: PRE -> REF spacing.  The controller's
+ * refresh engine issues the REF as soon as the bank reports closed,
+ * without waiting tRP -- refresh entry latency is modelled inside
+ * tRFC -- so auditing tRP there would flag the simulator's documented
+ * behaviour, not a bug.
+ */
+
+#ifndef REFSCHED_VALIDATE_TIMING_AUDITOR_HH
+#define REFSCHED_VALIDATE_TIMING_AUDITOR_HH
+
+#include <vector>
+
+#include "dram/timings.hh"
+#include "validate/checker.hh"
+
+namespace refsched::validate
+{
+
+class TimingAuditor final : public Checker
+{
+  public:
+    explicit TimingAuditor(const dram::DramDeviceConfig &dev);
+
+    void onDramCommand(const DramCmdEvent &ev) override;
+
+  private:
+    /** Shadow protocol state of one bank. */
+    struct BankModel
+    {
+        bool open = false;
+        bool hasAct = false;
+        bool hasPre = false;
+        bool hasCas = false;
+        bool hasWrite = false;
+        Tick lastAct = 0;
+        Tick lastPre = 0;
+        Tick lastCas = 0;
+        /** End of the last write burst (for tWTR / tWR). */
+        Tick writeBurstEnd = 0;
+        bool hasRead = false;
+        Tick lastReadCas = 0;
+        /** Bank busy with refresh until this tick. */
+        Tick refreshUntil = 0;
+    };
+
+    /** Shadow state shared by all banks of one rank. */
+    struct RankModel
+    {
+        bool hasAct = false;
+        Tick lastAct = 0;              ///< tRRD
+        Tick acts[4] = {};             ///< tFAW sliding window
+        int actMod = 0;
+        bool fawPrimed = false;
+        Tick refreshUntil = 0;         ///< all-bank refresh occupancy
+    };
+
+    /** Shadow data-bus state of one channel. */
+    struct ChannelModel
+    {
+        bool hasCas = false;
+        Tick lastCas = 0;
+    };
+
+    BankModel &bank(int ch, int rank, int bank);
+    RankModel &rank(int ch, int rank);
+
+    void checkAct(const DramCmdEvent &ev);
+    void checkCas(const DramCmdEvent &ev);
+    void checkPre(const DramCmdEvent &ev);
+    void checkRefPerBank(const DramCmdEvent &ev);
+    void checkRefAllBank(const DramCmdEvent &ev);
+    void checkRefPause(const DramCmdEvent &ev);
+
+    dram::DramTimings t_;
+    int ranksPerChannel_;
+    int banksPerRank_;
+    std::vector<BankModel> banks_;
+    std::vector<RankModel> ranks_;
+    std::vector<ChannelModel> channels_;
+};
+
+} // namespace refsched::validate
+
+#endif // REFSCHED_VALIDATE_TIMING_AUDITOR_HH

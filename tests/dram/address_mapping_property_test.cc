@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Round-trip property test for the address mapping: for every
+ * channel/rank/bank layout the repo configures (and both bank-hash
+ * modes), decompose and compose must be exact inverses, and compose
+ * must reject out-of-range coordinates instead of aliasing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/address_mapping.hh"
+#include "simcore/logging.hh"
+#include "simcore/rng.hh"
+
+namespace refsched::dram
+{
+namespace
+{
+
+DramOrganization
+makeOrg(int channels, int ranks, int banks, bool xorHash)
+{
+    DramOrganization org;
+    org.channels = channels;
+    org.ranksPerChannel = ranks;
+    org.banksPerRank = banks;
+    org.rowsPerBank = 64;
+    org.xorBankHash = xorHash;
+    return org;
+}
+
+TEST(AddressMappingPropertyTest, RoundTripAcrossLayouts)
+{
+    Rng rng(0x5eed);
+    for (int channels : {1, 2, 4}) {
+        for (int ranks : {1, 2, 4}) {
+            for (int banks : {4, 8, 16}) {
+                for (bool xorHash : {false, true}) {
+                    SCOPED_TRACE(testing::Message()
+                                 << channels << "ch x " << ranks
+                                 << "rk x " << banks
+                                 << "b xor=" << xorHash);
+                    const auto org =
+                        makeOrg(channels, ranks, banks, xorHash);
+                    AddressMapping m(org);
+
+                    // coord -> addr -> coord is the identity.
+                    for (int trial = 0; trial < 200; ++trial) {
+                        DramCoord c;
+                        c.channel =
+                            static_cast<int>(rng.below(channels));
+                        c.rank = static_cast<int>(rng.below(ranks));
+                        c.bank = static_cast<int>(rng.below(banks));
+                        c.row = rng.below(org.rowsPerBank);
+                        c.column = rng.below(org.columnsPerRow());
+                        EXPECT_EQ(m.decompose(m.compose(c)), c);
+                    }
+
+                    // addr -> coord -> addr recovers the address up
+                    // to the line offset compose zeroes by contract.
+                    for (int trial = 0; trial < 200; ++trial) {
+                        const Addr a = rng.below(org.totalBytes());
+                        EXPECT_EQ(m.compose(m.decompose(a)),
+                                  a & ~(org.lineBytes - 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** The frame -> bank view the OS allocator uses must agree with the
+ *  coordinate view the controller uses, hash or no hash. */
+TEST(AddressMappingPropertyTest, BankOfFrameMatchesDecompose)
+{
+    for (bool xorHash : {false, true}) {
+        AddressMapping m(makeOrg(2, 2, 8, xorHash));
+        for (std::uint64_t pfn = 0; pfn < m.totalFrames(); ++pfn) {
+            const auto c = m.decompose(pfn << m.pageShift());
+            EXPECT_EQ(m.bankOfFrame(pfn), m.globalBank(c));
+            // One 4 KB page never straddles coordinates: the last
+            // byte of the frame maps to the same (ch, rank, bank,
+            // row).
+            const auto last =
+                m.decompose((pfn << m.pageShift()) + m.pageBytes()
+                            - m.organization().lineBytes);
+            EXPECT_EQ(last.channel, c.channel);
+            EXPECT_EQ(last.rank, c.rank);
+            EXPECT_EQ(last.bank, c.bank);
+            EXPECT_EQ(last.row, c.row);
+        }
+    }
+}
+
+TEST(AddressMappingPropertyTest, ComposeRejectsOutOfRange)
+{
+    AddressMapping m(makeOrg(2, 2, 8, false));
+    const DramCoord good{1, 1, 3, 10, 5};
+    EXPECT_EQ(m.decompose(m.compose(good)), good);
+
+    auto reject = [&](DramCoord c) {
+        EXPECT_THROW(m.compose(c), PanicError);
+    };
+    reject({2, 1, 3, 10, 5});    // channel == channels
+    reject({-1, 1, 3, 10, 5});   // negative channel
+    reject({1, 2, 3, 10, 5});    // rank == ranksPerChannel
+    reject({1, 1, 8, 10, 5});    // bank == banksPerRank
+    reject({1, 1, -1, 10, 5});   // negative bank
+    reject({1, 1, 3, 64, 5});    // row == rowsPerBank
+    reject({1, 1, 3, 10, 64});   // column == columnsPerRow
+}
+
+} // namespace
+} // namespace refsched::dram

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Property/fuzz test: the bank-aware buddy allocator against a
+ * reference free-list model.  Random interleavings of page and block
+ * allocation, bank-constrained and fallback, with frees mixed in,
+ * must never lose a frame, hand out a frame twice, or violate a
+ * task's possibleBanksVector confinement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "os/buddy_allocator.hh"
+#include "os/task.hh"
+#include "simcore/rng.hh"
+
+namespace refsched::os
+{
+namespace
+{
+
+dram::DramOrganization
+smallOrg()
+{
+    dram::DramOrganization org;
+    org.channels = 1;
+    org.ranksPerChannel = 2;
+    org.banksPerRank = 4;
+    org.rowsPerBank = 32;  // 8 banks x 32 frames = 256 frames
+    return org;
+}
+
+/**
+ * Reference model: the exact set of allocated frames (pages and the
+ * frames inside allocated blocks).  The allocator must agree with it
+ * on conservation after every operation.
+ */
+class Fuzzer
+{
+  public:
+    explicit Fuzzer(std::uint64_t seed)
+        : mapping_(smallOrg()), buddy_(mapping_), rng_(seed)
+    {
+        const int numBanks = mapping_.totalBanks();
+        for (int i = 0; i < 4; ++i) {
+            tasks_.push_back(std::make_unique<Task>(
+                static_cast<Pid>(i + 1), "fuzz", numBanks));
+        }
+        // Distinct overlapping masks: task i may use banks
+        // [2i, 2i+4) mod numBanks.
+        for (int i = 0; i < 4; ++i) {
+            auto &t = *tasks_[static_cast<std::size_t>(i)];
+            for (int g = 0; g < numBanks; ++g)
+                t.allowBank(g, false);
+            for (int k = 0; k < 4; ++k)
+                t.allowBank((2 * i + k) % numBanks, true);
+        }
+    }
+
+    void
+    run(int ops)
+    {
+        for (int op = 0; op < ops; ++op) {
+            mutate();
+            checkConservation();
+            if (op % 128 == 0)
+                checkStructure();
+        }
+        teardown();
+    }
+
+  private:
+    void
+    mutate()
+    {
+        const auto roll = rng_.below(100);
+        if (roll < 40)
+            allocOnePage();
+        else if (roll < 60)
+            allocAnyBank();
+        else if (roll < 80)
+            freeOnePage();
+        else if (roll < 90)
+            allocOneBlock();
+        else
+            freeOneBlock();
+    }
+
+    void
+    claimFrames(std::uint64_t pfn, std::uint64_t count)
+    {
+        for (std::uint64_t f = pfn; f < pfn + count; ++f) {
+            ASSERT_LT(f, buddy_.totalFrames());
+            ASSERT_TRUE(allocated_.insert(f).second)
+                << "frame " << f << " handed out twice";
+        }
+    }
+
+    void
+    allocOnePage()
+    {
+        auto &t = *tasks_[rng_.below(tasks_.size())];
+        const auto pfn = buddy_.allocPage(t);
+        if (!pfn)
+            return;  // permitted banks exhausted: legal
+        claimFrames(*pfn, 1);
+        EXPECT_TRUE(t.allowsBank(mapping_.bankOfFrame(*pfn)))
+            << "bank-mask confinement violated: pfn " << *pfn
+            << " lands in bank " << mapping_.bankOfFrame(*pfn);
+        pages_.push_back(*pfn);
+    }
+
+    void
+    allocAnyBank()
+    {
+        Task *t = rng_.below(4) == 0
+            ? nullptr
+            : tasks_[rng_.below(tasks_.size())].get();
+        const auto pfn = buddy_.allocPageAnyBank(t);
+        if (!pfn)
+            return;  // memory genuinely full
+        claimFrames(*pfn, 1);
+        pages_.push_back(*pfn);
+    }
+
+    void
+    freeOnePage()
+    {
+        if (pages_.empty())
+            return;
+        const auto pick = rng_.below(pages_.size());
+        const auto pfn = pages_[pick];
+        pages_.erase(pages_.begin() + static_cast<long>(pick));
+        buddy_.freePage(pfn);
+        ASSERT_EQ(allocated_.erase(pfn), 1u);
+    }
+
+    void
+    allocOneBlock()
+    {
+        const int order = static_cast<int>(rng_.below(5));
+        const auto pfn = buddy_.allocBlock(order);
+        if (!pfn)
+            return;  // no block of that order left
+        EXPECT_EQ(*pfn % (1ULL << order), 0u) << "misaligned block";
+        claimFrames(*pfn, 1ULL << order);
+        blocks_.emplace_back(*pfn, order);
+    }
+
+    void
+    freeOneBlock()
+    {
+        if (blocks_.empty())
+            return;
+        const auto pick = rng_.below(blocks_.size());
+        const auto [pfn, order] = blocks_[pick];
+        blocks_.erase(blocks_.begin() + static_cast<long>(pick));
+        buddy_.freeBlock(pfn, order);
+        for (std::uint64_t f = pfn; f < pfn + (1ULL << order); ++f)
+            ASSERT_EQ(allocated_.erase(f), 1u);
+    }
+
+    void
+    checkConservation()
+    {
+        ASSERT_EQ(allocated_.size() + buddy_.freeFrames(),
+                  buddy_.totalFrames())
+            << "frames lost or duplicated";
+    }
+
+    void
+    checkStructure()
+    {
+        std::string why;
+        ASSERT_TRUE(buddy_.checkInvariants(&why)) << why;
+    }
+
+    /** Free everything; the allocator must return to pristine. */
+    void
+    teardown()
+    {
+        for (const auto pfn : pages_)
+            buddy_.freePage(pfn);
+        for (const auto &[pfn, order] : blocks_)
+            buddy_.freeBlock(pfn, order);
+        pages_.clear();
+        blocks_.clear();
+        allocated_.clear();
+        buddy_.drainBankCaches();
+        EXPECT_EQ(buddy_.freeFrames(), buddy_.totalFrames());
+        checkStructure();
+    }
+
+    dram::AddressMapping mapping_;
+    BuddyAllocator buddy_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Task>> tasks_;
+    std::set<std::uint64_t> allocated_;
+    std::vector<std::uint64_t> pages_;
+    std::vector<std::pair<std::uint64_t, int>> blocks_;
+};
+
+TEST(BuddyAllocatorPropertyTest, RandomOpsAgainstReferenceModel)
+{
+    for (std::uint64_t seed : {3u, 77u, 0xbeefu}) {
+        SCOPED_TRACE(seed);
+        Fuzzer fuzzer(seed);
+        fuzzer.run(/*ops=*/4000);
+    }
+}
+
+/** Drive the allocator to exhaustion and back: every frame must be
+ *  allocatable exactly once, and all reusable after a full free. */
+TEST(BuddyAllocatorPropertyTest, ExhaustionRoundTrip)
+{
+    dram::AddressMapping mapping(smallOrg());
+    BuddyAllocator buddy(mapping);
+    Task task(1, "hog", mapping.totalBanks());
+
+    std::set<std::uint64_t> got;
+    while (auto pfn = buddy.allocPage(task))
+        EXPECT_TRUE(got.insert(*pfn).second);
+    EXPECT_EQ(got.size(), buddy.totalFrames());
+    EXPECT_EQ(buddy.freeFrames(), 0u);
+    EXPECT_FALSE(buddy.allocPageAnyBank(&task).has_value());
+
+    for (const auto pfn : got)
+        buddy.freePage(pfn);
+    buddy.drainBankCaches();
+    EXPECT_EQ(buddy.freeFrames(), buddy.totalFrames());
+    std::string why;
+    EXPECT_TRUE(buddy.checkInvariants(&why)) << why;
+}
+
+} // namespace
+} // namespace refsched::os

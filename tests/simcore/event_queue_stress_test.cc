@@ -71,10 +71,12 @@ class StressDriver
     mutate()
     {
         const auto roll = rng_.below(100);
-        if (roll < 55 || handles_.empty()) {
+        if (roll < 50 || handles_.empty()) {
             scheduleOne();
-        } else if (roll < 80) {
+        } else if (roll < 70) {
             cancelOne();
+        } else if (roll < 80) {
+            cancelStaleOne();
         } else {
             // Reschedule: cancel a random pending event and schedule
             // a replacement, which must reuse pool slots eventually.
@@ -98,6 +100,25 @@ class StressDriver
         model_.push_back(
             {when, static_cast<int>(prio), nextSeq_++, id});
         handles_.push_back(std::move(handle));
+    }
+
+    /**
+     * Cancel a handle whose event already fired -- including handles
+     * whose slot sits on the free list at the same generation epoch,
+     * not yet reused.  Must be a no-op: not pending, and no live
+     * event (the slot's current occupant included) disturbed.
+     */
+    void
+    cancelStaleOne()
+    {
+        if (stale_.empty())
+            return;
+        const auto pick = rng_.below(stale_.size());
+        EXPECT_FALSE(stale_[pick].pending());
+        const auto liveBefore = eq_.liveCount();
+        stale_[pick].cancel();
+        stale_[pick].cancel();
+        EXPECT_EQ(eq_.liveCount(), liveBefore);
     }
 
     void
@@ -129,12 +150,18 @@ class StressDriver
         for (std::size_t i = 0; i < due.size(); ++i)
             ASSERT_EQ(fired_[i], due[i].id) << "position " << i;
 
-        // Drop the handles of everything that fired.
+        // Retain the handles of everything that fired so later
+        // operations can cancel them while their slots recycle.
         std::vector<EventHandle> keep;
         for (std::size_t i = 0; i < model_.size(); ++i) {
             if (model_[i].when > until)
                 keep.push_back(std::move(handles_[i]));
+            else
+                stale_.push_back(std::move(handles_[i]));
         }
+        if (stale_.size() > 256)
+            stale_.erase(stale_.begin(),
+                         stale_.end() - 256);
         handles_ = std::move(keep);
         model_ = std::move(left);
         EXPECT_EQ(eq_.liveCount(), model_.size());
@@ -144,6 +171,7 @@ class StressDriver
     Rng rng_;
     std::vector<ModelEvent> model_;
     std::vector<EventHandle> handles_;
+    std::vector<EventHandle> stale_;  ///< handles of fired events
     std::vector<int> fired_;
     int nextId_ = 0;
     std::uint64_t nextSeq_ = 0;
@@ -176,6 +204,33 @@ TEST(EventQueueStressTest, SlotRecyclingSurvivesHeavyChurn)
     EXPECT_EQ(fired, 10'000);
     EXPECT_TRUE(eq.empty());
     EXPECT_EQ(eq.liveCount(), 0u);
+}
+
+TEST(EventQueueStressTest, CancelOfFiredHandleBeforeSlotReuse)
+{
+    EventQueue eq;
+    int fired = 0;
+    auto h1 = eq.schedule(10, [&] { ++fired; });
+    eq.runUntil(10);
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(h1.pending());
+
+    // h1's slot now sits on the free list (same generation epoch as
+    // when it was retired -- nothing has reused it yet).  Cancelling
+    // must not corrupt the free list or the live count.
+    h1.cancel();
+    EXPECT_EQ(eq.liveCount(), 0u);
+
+    // The next schedule reuses that very slot (LIFO free list).  The
+    // stale handle must not be able to cancel the new occupant.
+    int fired2 = 0;
+    auto h2 = eq.schedule(20, [&] { ++fired2; });
+    h1.cancel();
+    EXPECT_TRUE(h2.pending());
+    EXPECT_EQ(eq.liveCount(), 1u);
+    eq.runUntil(20);
+    EXPECT_EQ(fired2, 1);
+    EXPECT_FALSE(h2.pending());
 }
 
 TEST(EventQueueStressTest, HandleOutlivesFiredSlotReuse)

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the golden-trace encoding: recorder -> decoder
+ * round-trip (including the biased bank/pid fields and busy-until
+ * deltas), file I/O with the magic/version/count header, and the
+ * event-wise differ's first-divergence reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "validate/golden_trace.hh"
+
+namespace refsched::validate
+{
+namespace
+{
+
+DramCmdEvent
+dram(Tick tick, DramOp op, int bank, std::uint64_t row,
+     Tick busyUntil = 0)
+{
+    DramCmdEvent ev;
+    ev.tick = tick;
+    ev.op = op;
+    ev.channel = 0;
+    ev.rank = 1;
+    ev.bank = bank;
+    ev.row = row;
+    ev.busyUntil = busyUntil;
+    return ev;
+}
+
+/** A recorder fed one event of every kind, ticks ascending. */
+TraceRecorder
+sampleRecorder()
+{
+    TraceRecorder rec;
+    rec.onDramCommand(dram(10, DramOp::Act, 3, 42));
+    rec.onDramCommand(dram(20, DramOp::Read, 3, 42));
+    rec.onDramCommand(dram(30, DramOp::Write, 3, 42));
+    rec.onDramCommand(dram(40, DramOp::Pre, 3, 0));
+    rec.onDramCommand(dram(50, DramOp::RefPerBank, 3, 64, 950));
+    rec.onDramCommand(dram(60, DramOp::RefAllBank, -1, 512, 1060));
+    rec.onDramCommand(dram(70, DramOp::RefPause, 3, 32, 170));
+
+    SchedPickEvent pick;
+    pick.tick = 80;
+    pick.cpu = 1;
+    pick.kind = PickKind::Clean;
+    pick.chosen = 7;
+    rec.onSchedPick(pick);
+
+    SchedPickEvent idle;
+    idle.tick = 90;
+    idle.cpu = 0;
+    idle.kind = PickKind::Idle;
+    idle.chosen = -1;
+    rec.onSchedPick(idle);
+
+    PageAllocEvent alloc;
+    alloc.tick = 100;
+    alloc.pid = -1;
+    alloc.pfn = 123456;
+    alloc.fallback = true;
+    rec.onPageAlloc(alloc);
+
+    PageFreeEvent free;
+    free.tick = 110;
+    free.pfn = 123456;
+    rec.onPageFree(free);
+    return rec;
+}
+
+TEST(GoldenTraceTest, RoundTripPreservesEveryField)
+{
+    const TraceRecorder rec = sampleRecorder();
+    EXPECT_EQ(rec.eventCount(), 11u);
+
+    const auto events = decodeTrace(rec.data());
+    ASSERT_EQ(events.size(), 11u);
+
+    EXPECT_EQ(events[0].kind, TraceKind::DramAct);
+    EXPECT_EQ(events[0].tick, 10u);
+    EXPECT_EQ(events[0].f[0], 0u);   // channel
+    EXPECT_EQ(events[0].f[1], 1u);   // rank
+    EXPECT_EQ(events[0].f[2], 4u);   // bank 3, biased +1
+    EXPECT_EQ(events[0].f[3], 42u);  // row
+
+    EXPECT_EQ(events[4].kind, TraceKind::DramRefPb);
+    EXPECT_EQ(events[4].f[3], 64u);   // rows
+    EXPECT_EQ(events[4].f[4], 900u);  // busyUntil - tick
+
+    EXPECT_EQ(events[5].kind, TraceKind::DramRefAb);
+    EXPECT_EQ(events[5].f[2], 0u);  // bank -1, biased +1
+
+    EXPECT_EQ(events[7].kind, TraceKind::SchedPick);
+    EXPECT_EQ(events[7].f[0], 1u);  // cpu
+    EXPECT_EQ(events[7].f[1],
+              static_cast<std::uint64_t>(PickKind::Clean));
+    EXPECT_EQ(events[7].f[2], 8u);  // pid 7, biased +1
+
+    EXPECT_EQ(events[8].f[2], 0u);  // idle: pid -1, biased +1
+
+    EXPECT_EQ(events[9].kind, TraceKind::PageAlloc);
+    EXPECT_EQ(events[9].f[0], 0u);       // pid -1, biased +1
+    EXPECT_EQ(events[9].f[1], 123456u);  // pfn
+    EXPECT_EQ(events[9].f[2], 1u);       // fallback
+
+    EXPECT_EQ(events[10].kind, TraceKind::PageFree);
+    EXPECT_EQ(events[10].tick, 110u);
+    EXPECT_EQ(events[10].f[0], 123456u);
+}
+
+TEST(GoldenTraceTest, FileRoundTripMatchesInMemoryDecode)
+{
+    const TraceRecorder rec = sampleRecorder();
+    const std::string path =
+        testing::TempDir() + "/golden_trace_test.trace";
+    writeTraceFile(path, rec);
+
+    const auto fromFile = readTraceFile(path);
+    const auto inMemory = decodeTrace(rec.data());
+    ASSERT_EQ(fromFile.size(), inMemory.size());
+    for (std::size_t i = 0; i < fromFile.size(); ++i)
+        EXPECT_EQ(fromFile[i], inMemory[i]) << "event " << i;
+    std::remove(path.c_str());
+}
+
+TEST(GoldenTraceTest, IdenticalTracesDiffClean)
+{
+    const auto events = decodeTrace(sampleRecorder().data());
+    const TraceDiff d = diffTraces(events, events);
+    EXPECT_TRUE(d.identical);
+    EXPECT_EQ(d.describe(), "traces identical");
+}
+
+TEST(GoldenTraceTest, FirstDivergenceIsPinpointed)
+{
+    const auto a = decodeTrace(sampleRecorder().data());
+    auto b = a;
+    b[2].f[3] = 43;  // WRITE to a different row
+    b[6].tick += 5;  // a later difference must not mask the first
+
+    const TraceDiff d = diffTraces(a, b);
+    EXPECT_FALSE(d.identical);
+    EXPECT_EQ(d.index, 2u);
+    EXPECT_FALSE(d.lhsEnded);
+    EXPECT_FALSE(d.rhsEnded);
+    EXPECT_EQ(d.lhs, a[2]);
+    EXPECT_EQ(d.rhs, b[2]);
+    EXPECT_NE(d.describe().find("first divergence at event 2"),
+              std::string::npos)
+        << d.describe();
+    EXPECT_NE(d.describe().find("WRITE"), std::string::npos)
+        << d.describe();
+}
+
+TEST(GoldenTraceTest, PrefixTraceReportsWhichSideEnded)
+{
+    const auto a = decodeTrace(sampleRecorder().data());
+    auto b = a;
+    b.resize(4);
+
+    const TraceDiff d = diffTraces(a, b);
+    EXPECT_FALSE(d.identical);
+    EXPECT_EQ(d.index, 4u);
+    EXPECT_TRUE(d.rhsEnded);
+    EXPECT_FALSE(d.lhsEnded);
+    EXPECT_EQ(d.lhs, a[4]);
+    EXPECT_NE(d.describe().find("trace B ends at event 4"),
+              std::string::npos)
+        << d.describe();
+
+    const TraceDiff r = diffTraces(b, a);
+    EXPECT_TRUE(r.lhsEnded);
+    EXPECT_NE(r.describe().find("trace A ends at event 4"),
+              std::string::npos)
+        << r.describe();
+}
+
+TEST(GoldenTraceTest, DescribeNamesTheCommand)
+{
+    const auto events = decodeTrace(sampleRecorder().data());
+    EXPECT_NE(describe(events[0]).find("ACT ch0/r1/b3 row 42"),
+              std::string::npos)
+        << describe(events[0]);
+    EXPECT_NE(describe(events[5]).find("REFab ch0/r1/b-1"),
+              std::string::npos)
+        << describe(events[5]);
+    EXPECT_NE(describe(events[9]).find("pid -1 pfn 123456"),
+              std::string::npos)
+        << describe(events[9]);
+}
+
+} // namespace
+} // namespace refsched::validate

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Unit tests for the OS auditor: buddy-allocator conservation and
+ * bank-mask confinement, runqueue mirror bookkeeping, and the
+ * re-derivation of Algorithm 3's pick contract from the recorded
+ * candidate walks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dram/address_mapping.hh"
+#include "os/buddy_allocator.hh"
+#include "validate/os_auditor.hh"
+
+namespace refsched::validate
+{
+namespace
+{
+
+dram::DramOrganization
+smallOrg()
+{
+    dram::DramOrganization org;
+    org.channels = 1;
+    org.ranksPerChannel = 2;
+    org.banksPerRank = 4;
+    org.rowsPerBank = 32;  // 8 banks x 32 frames = 256 frames
+    return org;
+}
+
+/** All page frames that land in global bank @p bank. */
+std::vector<std::uint64_t>
+framesInBank(const dram::AddressMapping &m, int bank)
+{
+    std::vector<std::uint64_t> pfns;
+    for (std::uint64_t pfn = 0; pfn < m.totalFrames(); ++pfn) {
+        if (m.bankOfFrame(pfn) == bank)
+            pfns.push_back(pfn);
+    }
+    return pfns;
+}
+
+PageAllocEvent
+alloc(Tick tick, Pid pid, std::uint64_t pfn, bool fallback = false,
+      const std::vector<bool> *allowed = nullptr)
+{
+    PageAllocEvent ev;
+    ev.tick = tick;
+    ev.pid = pid;
+    ev.pfn = pfn;
+    ev.fallback = fallback;
+    ev.allowedBanks = allowed;
+    return ev;
+}
+
+RqEvent
+rq(Tick tick, int cpu, Pid pid, Tick vruntime)
+{
+    RqEvent ev;
+    ev.tick = tick;
+    ev.cpu = cpu;
+    ev.pid = pid;
+    ev.vruntime = vruntime;
+    return ev;
+}
+
+bool
+hasViolation(const Checker &c, const std::string &needle)
+{
+    for (const auto &v : c.violations()) {
+        if (v.message.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(OsAuditorTest, RealAllocatorChurnIsClean)
+{
+    dram::AddressMapping mapping(smallOrg());
+    os::BuddyAllocator buddy(mapping);
+    OsAuditor aud(mapping, &buddy, false, 64, true);
+
+    std::vector<std::uint64_t> pfns;
+    for (int i = 0; i < 32; ++i) {
+        const auto pfn = buddy.allocPageAnyBank(nullptr);
+        ASSERT_TRUE(pfn.has_value());
+        aud.onPageAlloc(alloc(static_cast<Tick>(i), -1, *pfn,
+                              /*fallback=*/true));
+        pfns.push_back(*pfn);
+    }
+    for (std::size_t i = 0; i < pfns.size(); ++i) {
+        buddy.freePage(pfns[i]);
+        PageFreeEvent ev;
+        ev.tick = 100 + static_cast<Tick>(i);
+        ev.pfn = pfns[i];
+        aud.onPageFree(ev);
+    }
+    aud.finalize(1'000);
+    EXPECT_EQ(aud.violationCount(), 0u)
+        << (aud.violations().empty() ? ""
+                                     : aud.violations()[0].message);
+}
+
+TEST(OsAuditorTest, DoubleAllocationFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    OsAuditor aud(mapping, nullptr, false, 64, true);
+    aud.onPageAlloc(alloc(1, 1, 5));
+    aud.onPageAlloc(alloc(2, 2, 5));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "allocated twice"));
+}
+
+TEST(OsAuditorTest, UntrackedFreeFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    OsAuditor aud(mapping, nullptr, false, 64, true);
+    PageFreeEvent ev;
+    ev.tick = 3;
+    ev.pfn = 7;
+    aud.onPageFree(ev);
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "freed while not allocated"));
+}
+
+TEST(OsAuditorTest, OutOfRangeFrameFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    OsAuditor aud(mapping, nullptr, false, 64, true);
+    aud.onPageAlloc(alloc(1, 1, 1'000'000));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "out of range"));
+}
+
+TEST(OsAuditorTest, BankMaskConfinementFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    // A mask that forbids every bank except bank 1, then an
+    // allocation landing in bank 0.
+    std::vector<bool> mask(
+        static_cast<std::size_t>(mapping.totalBanks()), false);
+    mask[1] = true;
+    const auto pfn = framesInBank(mapping, 0).front();
+
+    {
+        OsAuditor aud(mapping, nullptr, false, 64, true);
+        aud.onPageAlloc(alloc(1, 1, pfn, /*fallback=*/false, &mask));
+        EXPECT_EQ(aud.violationCount(), 1u);
+        EXPECT_TRUE(hasViolation(aud, "bank-mask confinement broken"));
+    }
+    {
+        // The same allocation marked as an Algorithm 2 fallback is
+        // legitimate.
+        OsAuditor aud(mapping, nullptr, false, 64, true);
+        aud.onPageAlloc(alloc(1, 1, pfn, /*fallback=*/true, &mask));
+        EXPECT_EQ(aud.violationCount(), 0u);
+    }
+}
+
+TEST(OsAuditorTest, ConservationMismatchFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    os::BuddyAllocator buddy(mapping);
+    OsAuditor aud(mapping, &buddy, false, 64, true);
+    // An alloc event the allocator never saw: allocated + free can
+    // no longer equal the frame total.
+    aud.onPageAlloc(alloc(1, 1, 3));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "frame conservation broken"));
+}
+
+TEST(OsAuditorTest, RunqueueMirrorCatchesDoubleEnqueueAndBogusDequeue)
+{
+    dram::AddressMapping mapping(smallOrg());
+    OsAuditor aud(mapping, nullptr, false, 64, true);
+    aud.onRqEnqueue(rq(1, 0, 1, 10));
+    aud.onRqEnqueue(rq(2, 0, 1, 10));
+    EXPECT_TRUE(hasViolation(aud, "enqueued twice"));
+    aud.onRqDequeue(rq(3, 0, 9, 50));
+    EXPECT_TRUE(hasViolation(aud, "but not enqueued there"));
+    EXPECT_EQ(aud.violationCount(), 2u);
+}
+
+TEST(OsAuditorTest, BaselinePickAuditing)
+{
+    dram::AddressMapping mapping(smallOrg());
+    OsAuditor aud(mapping, nullptr, false, 64, true);
+    aud.onRqEnqueue(rq(1, 0, 1, 10));
+    aud.onRqEnqueue(rq(1, 0, 2, 20));
+
+    SchedPickEvent ok;
+    ok.tick = 2;
+    ok.kind = PickKind::Baseline;
+    ok.chosen = 1;
+    aud.onSchedPick(ok);
+    EXPECT_EQ(aud.violationCount(), 0u);
+
+    SchedPickEvent wrong = ok;
+    wrong.tick = 3;
+    wrong.chosen = 2;
+    aud.onSchedPick(wrong);
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "leftmost is 1"));
+
+    SchedPickEvent idle;
+    idle.tick = 4;
+    idle.kind = PickKind::Idle;
+    aud.onSchedPick(idle);
+    EXPECT_TRUE(hasViolation(aud, "idled with 2 runnable"));
+}
+
+/** Shared fixture state for refresh-aware pick audits: pid 1 is
+ *  resident in bank 0 (dirty when bank 0 refreshes), pid 2 in
+ *  bank 1 (clean). */
+struct PickSetup
+{
+    dram::AddressMapping mapping{smallOrg()};
+    OsAuditor aud;
+    std::vector<int> refreshBanks{0};
+    std::vector<SchedCandidate> cands;
+
+    explicit PickSetup(int eta, bool bestEffort)
+        : aud(mapping, nullptr, /*refreshAware=*/true, eta, bestEffort)
+    {
+        aud.onPageAlloc(alloc(1, 1, framesInBank(mapping, 0)[0]));
+        aud.onPageAlloc(alloc(2, 2, framesInBank(mapping, 1)[0]));
+        aud.onRqEnqueue(rq(3, 0, 1, 10));
+        aud.onRqEnqueue(rq(3, 0, 2, 20));
+    }
+
+    SchedPickEvent
+    pick(PickKind kind, Pid chosen, int eta, bool bestEffort)
+    {
+        SchedPickEvent ev;
+        ev.tick = 10;
+        ev.kind = kind;
+        ev.chosen = chosen;
+        ev.etaThresh = eta;
+        ev.bestEffort = bestEffort;
+        ev.refreshBanks = &refreshBanks;
+        ev.candidates = &cands;
+        return ev;
+    }
+};
+
+TEST(OsAuditorTest, CleanPickAcceptedAndWrongChoiceFlagged)
+{
+    {
+        PickSetup s(2, false);
+        s.cands = {{1, 10, false, 1.0}, {2, 20, true, 0.0}};
+        s.aud.onSchedPick(s.pick(PickKind::Clean, 2, 2, false));
+        EXPECT_EQ(s.aud.violationCount(), 0u)
+            << s.aud.violations()[0].message;
+    }
+    {
+        PickSetup s(2, false);
+        s.cands = {{1, 10, false, 1.0}, {2, 20, true, 0.0}};
+        s.aud.onSchedPick(s.pick(PickKind::Clean, 1, 2, false));
+        EXPECT_EQ(s.aud.violationCount(), 1u);
+        EXPECT_TRUE(
+            hasViolation(s.aud, "should pick clean pid 2, picked 1"));
+    }
+}
+
+TEST(OsAuditorTest, CleanBitCrossCheckedAgainstResidency)
+{
+    PickSetup s(2, false);
+    // The walk claims pid 1 is clean, but pid 1 holds a page in the
+    // refreshing bank 0.
+    s.cands = {{1, 10, true, 0.0}};
+    s.aud.onSchedPick(s.pick(PickKind::Clean, 1, 2, false));
+    EXPECT_TRUE(hasViolation(s.aud, "clean bit mismatch for pid 1"));
+}
+
+TEST(OsAuditorTest, WalkContinuingPastCleanTaskFlagged)
+{
+    PickSetup s(2, false);
+    // pid 2 (clean) examined first yet the walk went on: the emitter
+    // is required to stop at the first clean candidate.
+    s.aud.onRqDequeue(rq(4, 0, 1, 10));
+    s.aud.onRqEnqueue(rq(4, 0, 1, 30));  // pid 2 now leftmost
+    s.cands = {{2, 20, true, 0.0}, {1, 30, false, 1.0}};
+    s.aud.onSchedPick(s.pick(PickKind::Clean, 2, 2, false));
+    EXPECT_EQ(s.aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(s.aud, "continued past clean pid 2"));
+}
+
+TEST(OsAuditorTest, PrematureWalkExhaustionFlagged)
+{
+    PickSetup s(2, false);
+    // Both tasks are enqueued and eta is 2, but the walk gave up
+    // after one dirty candidate.
+    s.cands = {{1, 10, false, 1.0}};
+    s.aud.onSchedPick(s.pick(PickKind::Fallback, 1, 2, false));
+    EXPECT_EQ(s.aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(s.aud, "gave up after 1 candidates"));
+}
+
+TEST(OsAuditorTest, WalkPrefixMismatchFlagged)
+{
+    PickSetup s(2, false);
+    // The recorded walk disagrees with the mirrored runqueue order.
+    s.cands = {{2, 20, false, 0.5}, {1, 10, false, 1.0}};
+    s.aud.onSchedPick(s.pick(PickKind::Fallback, 1, 2, false));
+    EXPECT_TRUE(hasViolation(s.aud, "pick walk on cpu 0 position 0"));
+}
+
+TEST(OsAuditorTest, BestEffortChoiceChecked)
+{
+    {
+        // pid 2 dirty too (second page in bank 0), lower residency:
+        // it is the correct best-effort pick.
+        PickSetup s(2, true);
+        s.aud.onPageAlloc(alloc(5, 2, framesInBank(s.mapping, 0)[1]));
+        s.cands = {{1, 10, false, 1.0}, {2, 20, false, 0.3}};
+        s.aud.onSchedPick(s.pick(PickKind::BestEffort, 2, 2, true));
+        EXPECT_EQ(s.aud.violationCount(), 0u)
+            << s.aud.violations()[0].message;
+    }
+    {
+        PickSetup s(2, true);
+        s.aud.onPageAlloc(alloc(5, 2, framesInBank(s.mapping, 0)[1]));
+        s.cands = {{1, 10, false, 1.0}, {2, 20, false, 0.3}};
+        s.aud.onSchedPick(s.pick(PickKind::BestEffort, 1, 2, true));
+        EXPECT_EQ(s.aud.violationCount(), 1u);
+        EXPECT_TRUE(
+            hasViolation(s.aud, "should pick best-effort pid 2"));
+    }
+}
+
+TEST(OsAuditorTest, RefreshAwarePickWithSchedulingOffFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    OsAuditor aud(mapping, nullptr, /*refreshAware=*/false, 64, true);
+    aud.onRqEnqueue(rq(1, 0, 1, 10));
+    std::vector<SchedCandidate> cands = {{1, 10, false, 1.0}};
+    std::vector<int> banks = {0};
+    SchedPickEvent ev;
+    ev.tick = 2;
+    ev.kind = PickKind::Fallback;
+    ev.chosen = 1;
+    ev.etaThresh = 1;
+    ev.refreshBanks = &banks;
+    ev.candidates = &cands;
+    aud.onSchedPick(ev);
+    EXPECT_TRUE(hasViolation(
+        aud, "refresh-aware scheduling is off"));
+}
+
+} // namespace
+} // namespace refsched::validate

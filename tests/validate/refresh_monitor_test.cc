@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the refresh-window monitor, driven with synthetic
+ * refresh command streams against a deliberately tiny device
+ * (8 rows per bank, 1 us retention window) so whole retention
+ * windows fit in a few dozen events.
+ *
+ * The central case is SkippedRowGroupCaught: a schedule that silently
+ * never refreshes one bank's upper row group must be reported with
+ * the exact bank, the stale row range, and the tick the window
+ * expired.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dram/refresh_scheduler.hh"
+#include "dram/timings.hh"
+#include "validate/refresh_window_monitor.hh"
+
+namespace refsched::validate
+{
+namespace
+{
+
+/**
+ * 1 channel x @p ranks x @p banks, 8 rows per bank, tREFW = 1 us,
+ * tREFIab = 10 ns, tRFCab = 1 ns, tRFCpb = 0.4 ns.  With
+ * maxPostponed = 0 and no pausing the monitor's slack is
+ * 2 * tREFIab + 4 * tRFCab = 24'000 ps, so a window expires at
+ * passAnchor + 1'024'000.
+ */
+dram::DramDeviceConfig
+smallDevice(int ranks = 2, int banks = 2)
+{
+    dram::DramDeviceConfig dev;
+    dev.org.channels = 1;
+    dev.org.ranksPerChannel = ranks;
+    dev.org.banksPerRank = banks;
+    dev.org.rowsPerBank = 8;
+    dev.timings.tREFW = 1'000'000;
+    dev.timings.tREFIab = 10'000;
+    dev.timings.tRFCab = 1'000;
+    dev.timings.tRFCpb = 400;
+    return dev;
+}
+
+constexpr Tick kExpiry = 1'024'000;  ///< tREFW + slack
+
+DramCmdEvent
+refPb(Tick tick, int rank, int bank, std::uint64_t rows)
+{
+    DramCmdEvent ev;
+    ev.tick = tick;
+    ev.op = DramOp::RefPerBank;
+    ev.rank = rank;
+    ev.bank = bank;
+    ev.row = rows;
+    ev.busyUntil = tick + 400;
+    return ev;
+}
+
+DramCmdEvent
+refAb(Tick tick, int rank, std::uint64_t rows)
+{
+    DramCmdEvent ev;
+    ev.tick = tick;
+    ev.op = DramOp::RefAllBank;
+    ev.rank = rank;
+    ev.bank = -1;
+    ev.row = rows;
+    ev.busyUntil = tick + 1'000;
+    return ev;
+}
+
+DramCmdEvent
+refPause(Tick tick, int rank, int bank, std::uint64_t rolledBack)
+{
+    DramCmdEvent ev;
+    ev.tick = tick;
+    ev.op = DramOp::RefPause;
+    ev.rank = rank;
+    ev.bank = bank;
+    ev.row = rolledBack;
+    ev.busyUntil = tick;
+    return ev;
+}
+
+bool
+contains(const std::string &hay, const std::string &needle)
+{
+    return hay.find(needle) != std::string::npos;
+}
+
+TEST(RefreshWindowMonitorTest, CleanSequentialScheduleHasFullCoverage)
+{
+    RefreshWindowMonitor mon(smallDevice(),
+                             dram::RefreshPolicy::SequentialPerBank,
+                             /*maxPostponed=*/0, /*pausing=*/false);
+    // Three full rotations: banks in global order, two 4-row
+    // commands per bank, one command per tREFI_pb slot (2.5 ns).
+    Tick t = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+        for (int gb = 0; gb < 4; ++gb) {
+            for (int i = 0; i < 2; ++i) {
+                mon.onDramCommand(refPb(t, gb / 2, gb % 2, 4));
+                t += 2'500;
+            }
+        }
+    }
+    mon.finalize(t);
+    EXPECT_EQ(mon.violationCount(), 0u)
+        << (mon.violations().empty() ? ""
+                                     : mon.violations()[0].message);
+    for (int gb = 0; gb < 4; ++gb)
+        EXPECT_EQ(mon.passes(gb), 3u) << "global bank " << gb;
+}
+
+TEST(RefreshWindowMonitorTest, SkippedRowGroupCaught)
+{
+    RefreshWindowMonitor mon(smallDevice(),
+                             dram::RefreshPolicy::PerBankRoundRobin,
+                             0, false);
+    // Bank ch0/r1/b1 gets its lower row group (rows 0..3) exactly
+    // once and its upper group never; every other bank is refreshed
+    // on schedule past the end of the retention window.
+    mon.onDramCommand(refPb(0, 1, 1, 4));
+    Tick t = 2'500;
+    while (t <= 1'030'000) {
+        for (int gb = 0; gb < 3; ++gb) {
+            for (int i = 0; i < 2; ++i) {
+                mon.onDramCommand(refPb(t, gb / 2, gb % 2, 4));
+                t += 2'500;
+            }
+        }
+    }
+
+    ASSERT_EQ(mon.violationCount(), 1u);
+    const auto &v = mon.violations()[0];
+    // The report names the bank, the coverage, the stale row range,
+    // and fires only once the window (plus slack) has expired.
+    EXPECT_TRUE(contains(v.message, "refresh window expired"))
+        << v.message;
+    EXPECT_TRUE(contains(v.message, "ch0/r1/b1")) << v.message;
+    EXPECT_TRUE(contains(v.message, "covered only 4 of 8"))
+        << v.message;
+    EXPECT_TRUE(contains(v.message, "rows 4..7 are stale"))
+        << v.message;
+    EXPECT_GT(v.tick, kExpiry);
+
+    // The healthy banks completed passes; the starved one did not.
+    EXPECT_EQ(mon.passes(3), 0u);
+    EXPECT_GT(mon.passes(0), 0u);
+}
+
+TEST(RefreshWindowMonitorTest, SequentialAdvanceTooEarlyFlagged)
+{
+    RefreshWindowMonitor mon(smallDevice(),
+                             dram::RefreshPolicy::SequentialPerBank,
+                             0, false);
+    mon.onDramCommand(refPb(0, 0, 0, 4));
+    mon.onDramCommand(refPb(2'500, 0, 0, 4));  // bank 0 complete
+    mon.onDramCommand(refPb(5'000, 0, 1, 4));  // bank 1: 4 of 8 rows
+    mon.onDramCommand(refPb(7'500, 1, 0, 4));  // advances early!
+    ASSERT_EQ(mon.violationCount(), 1u);
+    const auto &v = mon.violations()[0];
+    EXPECT_TRUE(contains(v.message, "sequential refresh advanced"))
+        << v.message;
+    EXPECT_TRUE(contains(v.message, "only 4 of 8 rows into its slot"))
+        << v.message;
+    EXPECT_EQ(v.tick, 7'500u);
+}
+
+TEST(RefreshWindowMonitorTest, PauseAndResumeAccountedExactly)
+{
+    RefreshWindowMonitor mon(smallDevice(),
+                             dram::RefreshPolicy::SequentialPerBank,
+                             0, /*pausing=*/true);
+    // Bank 0's first 4-row command is paused after 2 rows; the
+    // resume owes those 2 rows before the engine may advance.
+    mon.onDramCommand(refPb(0, 0, 0, 4));
+    mon.onDramCommand(refPause(400, 0, 0, 2));
+    mon.onDramCommand(refPb(2'500, 0, 0, 2));   // resume the tail
+    mon.onDramCommand(refPb(5'000, 0, 0, 4));   // pass complete
+    mon.onDramCommand(refPb(7'500, 0, 1, 4));
+    mon.onDramCommand(refPb(10'000, 0, 1, 4));
+    mon.finalize(12'500);
+    EXPECT_EQ(mon.violationCount(), 0u)
+        << (mon.violations().empty() ? ""
+                                     : mon.violations()[0].message);
+    EXPECT_EQ(mon.passes(0), 1u);
+    EXPECT_EQ(mon.passes(1), 1u);
+}
+
+TEST(RefreshWindowMonitorTest, LateRefreshPassFlagged)
+{
+    RefreshWindowMonitor mon(smallDevice(/*ranks=*/1, /*banks=*/1),
+                             dram::RefreshPolicy::PerBankRoundRobin,
+                             0, false);
+    mon.onDramCommand(refPb(0, 0, 0, 4));
+    // The closing half of the pass arrives after the window expired.
+    mon.onDramCommand(refPb(1'050'000, 0, 0, 4));
+    ASSERT_EQ(mon.violationCount(), 1u);
+    EXPECT_TRUE(
+        contains(mon.violations()[0].message, "late refresh pass"))
+        << mon.violations()[0].message;
+    mon.finalize(1'050'000);
+    EXPECT_EQ(mon.violationCount(), 1u);
+}
+
+TEST(RefreshWindowMonitorTest, AllBankScheduleCleanAndMissingRankCaught)
+{
+    {
+        RefreshWindowMonitor mon(smallDevice(),
+                                 dram::RefreshPolicy::AllBank, 0,
+                                 false);
+        for (Tick t = 0; t < 100'000; t += 10'000) {
+            mon.onDramCommand(refAb(t, 0, 8));
+            mon.onDramCommand(refAb(t + 1'000, 1, 8));
+        }
+        mon.finalize(100'000);
+        EXPECT_EQ(mon.violationCount(), 0u);
+        EXPECT_EQ(mon.passes(0), 10u);
+        EXPECT_EQ(mon.passes(3), 10u);
+    }
+    {
+        // Rank 1 never receives a refresh command: both of its banks
+        // must be reported once the window expires.
+        RefreshWindowMonitor mon(smallDevice(),
+                                 dram::RefreshPolicy::AllBank, 0,
+                                 false);
+        for (Tick t = 0; t <= 1'030'000; t += 10'000)
+            mon.onDramCommand(refAb(t, 0, 8));
+        EXPECT_EQ(mon.violationCount(), 2u);
+        for (const auto &v : mon.violations())
+            EXPECT_TRUE(contains(v.message, "/r1/")) << v.message;
+    }
+}
+
+TEST(RefreshWindowMonitorTest, NoRefreshPolicyIsInert)
+{
+    RefreshWindowMonitor mon(smallDevice(),
+                             dram::RefreshPolicy::NoRefresh, 0,
+                             false);
+    mon.finalize(100 * kExpiry);
+    EXPECT_EQ(mon.violationCount(), 0u);
+}
+
+} // namespace
+} // namespace refsched::validate

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit tests for the JEDEC timing auditor: a legal command stream
+ * must pass silently, and every class of protocol breach (tRCD, tRP,
+ * tRAS, tCCD, tFAW, commands colliding with refresh, state-machine
+ * misuse) must be flagged with the offending tick.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dram/timings.hh"
+#include "validate/timing_auditor.hh"
+
+namespace refsched::validate
+{
+namespace
+{
+
+/** Default DDR3-2000-ish device (tRCD/tRP 13.75 ns, tRAS 35 ns,
+ *  tCCD/tBURST 5 ns, tRRD 6 ns, tFAW 30 ns, tRC 48.75 ns). */
+dram::DramDeviceConfig
+device()
+{
+    return dram::DramDeviceConfig{};
+}
+
+DramCmdEvent
+cmd(Tick tick, DramOp op, int bank, std::uint64_t row = 0,
+    Tick busyUntil = 0)
+{
+    DramCmdEvent ev;
+    ev.tick = tick;
+    ev.op = op;
+    ev.channel = 0;
+    ev.rank = 0;
+    ev.bank = bank;
+    ev.row = row;
+    ev.busyUntil = busyUntil;
+    return ev;
+}
+
+/** True when some stored violation message contains @p needle. */
+bool
+hasViolation(const Checker &c, const std::string &needle)
+{
+    for (const auto &v : c.violations()) {
+        if (v.message.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(TimingAuditorTest, LegalStreamIsClean)
+{
+    TimingAuditor aud(device());
+
+    // Open, read twice at tCCD spacing, close at tRAS, reopen at
+    // tRP, write, close honouring tWR, refresh, reopen after tRFC.
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 7));
+    aud.onDramCommand(cmd(13'750, DramOp::Read, 0, 7));
+    aud.onDramCommand(cmd(18'750, DramOp::Read, 0, 7));
+    aud.onDramCommand(cmd(35'000, DramOp::Pre, 0));
+    aud.onDramCommand(cmd(48'750, DramOp::Act, 0, 9));
+    aud.onDramCommand(cmd(62'500, DramOp::Write, 0, 9));
+    // Write burst ends 62500 + tCWL + tBURST = 77500; PRE needs
+    // +tWR = 92500 (tRAS is long past).
+    aud.onDramCommand(cmd(92'500, DramOp::Pre, 0));
+    aud.onDramCommand(
+        cmd(106'250, DramOp::RefPerBank, 0, 64, 106'250 + 386'956));
+    aud.onDramCommand(cmd(493'206, DramOp::Act, 0, 11));
+
+    EXPECT_EQ(aud.violationCount(), 0u)
+        << (aud.violations().empty() ? ""
+                                     : aud.violations()[0].message);
+}
+
+TEST(TimingAuditorTest, CasBeforeTrcdFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 1));
+    aud.onDramCommand(cmd(10'000, DramOp::Read, 0, 1));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "tRCD violation"));
+    EXPECT_EQ(aud.violations()[0].tick, 10'000u);
+}
+
+TEST(TimingAuditorTest, ActBeforeTrpFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 1));
+    aud.onDramCommand(cmd(40'000, DramOp::Pre, 0));
+    // 50000 >= tRC (48750) so only the PRE->ACT gap (13.75 ns) is
+    // violated: 50000 < 40000 + 13750.
+    aud.onDramCommand(cmd(50'000, DramOp::Act, 0, 2));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "tRP violation"));
+}
+
+TEST(TimingAuditorTest, PreBeforeTrasFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 1));
+    aud.onDramCommand(cmd(20'000, DramOp::Pre, 0));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "tRAS violation"));
+}
+
+TEST(TimingAuditorTest, BackToBackCasFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 1));
+    aud.onDramCommand(cmd(13'750, DramOp::Read, 0, 1));
+    // 15000 < 13750 + tCCD: breaks both the bank CAS-to-CAS gap and
+    // the shared data bus (tBURST has the same length).
+    aud.onDramCommand(cmd(15'000, DramOp::Read, 0, 1));
+    EXPECT_TRUE(hasViolation(aud, "tCCD violation"));
+    EXPECT_TRUE(hasViolation(aud, "data-bus violation"));
+}
+
+TEST(TimingAuditorTest, FifthActWithinTfawFlagged)
+{
+    TimingAuditor aud(device());
+    // Five ACTs to distinct banks at exactly tRRD spacing: legal
+    // pairwise, but the 5th lands 24 ns after the 1st, inside
+    // tFAW = 30 ns.
+    for (int i = 0; i < 5; ++i)
+        aud.onDramCommand(
+            cmd(static_cast<Tick>(i) * 6'000, DramOp::Act, i, 1));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "tFAW violation"));
+    EXPECT_EQ(aud.violations()[0].tick, 24'000u);
+}
+
+TEST(TimingAuditorTest, RefreshToOpenBankFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 1));
+    aud.onDramCommand(
+        cmd(40'000, DramOp::RefPerBank, 0, 64, 40'000 + 386'956));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "while the bank is open"));
+}
+
+TEST(TimingAuditorTest, CommandsDuringRefreshFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::RefPerBank, 0, 64, 500'000));
+    aud.onDramCommand(cmd(100'000, DramOp::Act, 0, 1));
+    aud.onDramCommand(cmd(113'750, DramOp::Read, 0, 1));
+    EXPECT_EQ(aud.violationCount(), 2u);
+    EXPECT_TRUE(hasViolation(aud, "during per-bank refresh"));
+    EXPECT_TRUE(hasViolation(aud, "during refresh"));
+}
+
+TEST(TimingAuditorTest, DoubleActWithoutPreFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 0, 1));
+    aud.onDramCommand(cmd(48'750, DramOp::Act, 0, 2));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "already open"));
+}
+
+TEST(TimingAuditorTest, AllBankRefreshChecksEveryBank)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::Act, 3, 1));
+    DramCmdEvent ref = cmd(40'000, DramOp::RefAllBank, -1, 512,
+                           40'000 + 890'000);
+    aud.onDramCommand(ref);
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "while bank 3 is open"));
+
+    // A second REFab inside the first one's tRFC window.
+    aud.onDramCommand(
+        cmd(500'000, DramOp::RefAllBank, -1, 512, 500'000 + 890'000));
+    EXPECT_TRUE(hasViolation(aud, "tRFC_ab violation"));
+}
+
+TEST(TimingAuditorTest, PauseWithoutRefreshInFlightFlagged)
+{
+    TimingAuditor aud(device());
+    aud.onDramCommand(cmd(0, DramOp::RefPause, 0, 32, 0));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "no refresh is in flight"));
+
+    // A legitimate pause shortens the busy window: no new violation.
+    aud.onDramCommand(
+        cmd(10'000, DramOp::RefPerBank, 0, 64, 10'000 + 386'956));
+    aud.onDramCommand(cmd(50'000, DramOp::RefPause, 0, 32, 50'000));
+    EXPECT_EQ(aud.violationCount(), 1u);
+}
+
+} // namespace
+} // namespace refsched::validate

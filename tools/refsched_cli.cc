@@ -43,6 +43,7 @@ struct CliOptions
     int banksPerTask = -1;
     std::string partition;  // "", "soft", "hard", "none"
     std::uint64_t seed = 1;
+    bool validate = false;
     bool dumpStats = false;
     bool csv = false;
     bool json = false;
@@ -79,6 +80,8 @@ printJson(std::ostream &os, const core::SystemConfig &cfg,
        << ", \"deferred\": " << m.deferredPicks
        << ", \"bestEffort\": " << m.bestEffortPicks
        << ", \"fallback\": " << m.fallbackPicks << "},\n"
+       << "  \"validationViolations\": " << m.validationViolations
+       << ",\n"
        << "  \"tasks\": [\n";
     for (std::size_t i = 0; i < m.tasks.size(); ++i) {
         const auto &t = m.tasks[i];
@@ -124,7 +127,9 @@ usage(const char *argv0, const std::string &error = "")
            "(default 128)\n"
         << "  --warmup N             warm-up quanta (default 8)\n"
         << "  --measure N            measured quanta (default 16)\n"
-        << "  --seed S               trace RNG seed\n\n"
+        << "  --seed S               trace RNG seed\n"
+        << "  --validate             run the invariant checkers; "
+           "exit 1 on any violation\n\n"
         << "output:\n"
         << "  --dump-stats           print every registered stat\n"
         << "  --csv                  per-task table as CSV\n"
@@ -197,6 +202,8 @@ parse(int argc, char **argv)
         } else if (a == "--seed") {
             o.seed = static_cast<std::uint64_t>(
                 std::strtoull(need(i), nullptr, 10));
+        } else if (a == "--validate") {
+            o.validate = true;
         } else if (a == "--dump-stats") {
             o.dumpStats = true;
         } else if (a == "--json") {
@@ -229,6 +236,7 @@ buildConfig(const CliOptions &o, const char *argv0)
     cfg.etaThresh = o.etaThresh;
     cfg.banksPerTaskPerRank = o.banksPerTask;
     cfg.seed = o.seed;
+    cfg.validate = o.validate;
 
     if (!o.partition.empty()) {
         if (o.partition == "soft")
@@ -272,9 +280,22 @@ main(int argc, char **argv)
         const auto m =
             sys.run(opts.warmupQuanta, opts.measureQuanta);
 
+        const auto validationStatus = [&]() -> int {
+            if (!opts.validate)
+                return 0;
+            if (m.validationViolations == 0) {
+                std::cerr << "validation: clean\n";
+                return 0;
+            }
+            std::cerr << "validation: " << m.validationViolations
+                      << " violation(s); first: " << m.firstViolation
+                      << "\n";
+            return 1;
+        };
+
         if (opts.json) {
             printJson(std::cout, cfg, m);
-            return 0;
+            return validationStatus();
         }
 
         std::cout << "policy=" << core::toString(cfg.policy)
@@ -333,6 +354,7 @@ main(int argc, char **argv)
             std::cout << "\n";
             sys.dumpStats(std::cout);
         }
+        return validationStatus();
     } catch (const FatalError &e) {
         std::cerr << "fatal: " << e.what() << "\n";
         return 1;

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+#
+# Build and run the test suite under ASan+UBSan and under TSan.
+#
+#   tools/run_sanitized_tests.sh [jobs]
+#
+# The ASan pass catches memory errors and UB across the whole suite;
+# the TSan pass targets the parallel experiment runner first (the
+# only multi-threaded subsystem), then runs the full suite anyway --
+# races can hide behind any entry point that constructs a runner.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_pass() {
+    local name="$1" sanitize="$2" dir="build-$1"
+    echo "=== ${name}: configure + build (${dir}) ==="
+    cmake -B "$dir" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DREFSCHED_SANITIZE="$sanitize"
+    cmake --build "$dir" -j "$JOBS"
+}
+
+run_pass asan address
+echo "=== asan: ctest ==="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+run_pass tsan thread
+echo "=== tsan: parallel-runner determinism suite ==="
+ctest --test-dir build-tsan --output-on-failure -R 'ParallelRunner|GoldenTraceJobs'
+echo "=== tsan: full suite ==="
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+echo "all sanitizer passes clean"
