@@ -133,6 +133,17 @@ BM_RefreshSchedulerPop(benchmark::State &state)
 }
 BENCHMARK(BM_RefreshSchedulerPop);
 
+/** Completion receiver counting read completions. */
+struct CompletionCounter : Callee
+{
+    std::uint64_t count = 0;
+    void
+    fire(Tick, std::uint64_t, std::uint64_t) override
+    {
+        ++count;
+    }
+};
+
 void
 BM_ControllerRandomReads(benchmark::State &state)
 {
@@ -146,19 +157,19 @@ BM_ControllerRandomReads(benchmark::State &state)
         dram::makeRefreshScheduler(
             dram::RefreshPolicy::PerBankRoundRobin, dev));
     Rng rng(3);
-    std::uint64_t completed = 0;
+    CompletionCounter completed;
     for (auto _ : state) {
         if (mc.readQueueSize(0) < 32) {
             memctrl::Request r;
             r.paddr = rng.below(dev.org.totalBytes() / 64) * 64;
             r.type = memctrl::Request::Type::Read;
-            r.onComplete = [&completed](Tick) { ++completed; };
+            r.completion = &completed;
             mc.enqueue(std::move(r));
         }
         eq.runUntil(eq.now() + dev.timings.tCK * 4);
     }
     state.counters["readsCompleted"] =
-        static_cast<double>(completed);
+        static_cast<double>(completed.count);
 }
 BENCHMARK(BM_ControllerRandomReads);
 
@@ -176,20 +187,20 @@ BM_ControllerSaturatedPick(benchmark::State &state)
         dram::makeRefreshScheduler(
             dram::RefreshPolicy::PerBankRoundRobin, dev));
     Rng rng(4);
-    std::uint64_t completed = 0;
+    CompletionCounter completed;
     for (auto _ : state) {
         while (mc.readQueueSize(0) < 64) {
             memctrl::Request r;
             r.paddr = rng.below(dev.org.totalBytes() / 64) * 64;
             r.type = memctrl::Request::Type::Read;
-            r.onComplete = [&completed](Tick) { ++completed; };
+            r.completion = &completed;
             if (!mc.enqueue(std::move(r)))
                 break;
         }
         eq.runUntil(eq.now() + dev.timings.tCK * 4);
     }
     state.counters["readsCompleted"] =
-        static_cast<double>(completed);
+        static_cast<double>(completed.count);
 }
 BENCHMARK(BM_ControllerSaturatedPick);
 

@@ -73,24 +73,35 @@ class SkewedPerBank final : public dram::RefreshScheduler
     std::vector<std::uint64_t> cmdIndex_;
 };
 
+/** Completion receiver: cookie0 carries the send tick. */
+struct LatencyAccumulator : Callee
+{
+    double latSum = 0.0;
+    std::uint64_t completed = 0;
+
+    void
+    fire(Tick now, std::uint64_t sent, std::uint64_t) override
+    {
+        latSum += static_cast<double>(now - static_cast<Tick>(sent));
+        ++completed;
+    }
+};
+
 /** Open-loop random read traffic; returns average latency in ns. */
 double
 drive(memctrl::MemoryController &mc, EventQueue &eq,
       const dram::DramDeviceConfig &dev)
 {
     Rng rng(42);
-    double latSum = 0.0;
-    std::uint64_t completed = 0;
+    LatencyAccumulator acc;
     const Tick period = nanoseconds(25.0);
 
     std::function<void(Tick)> inject = [&](Tick t) {
         memctrl::Request r;
         r.paddr = rng.below(dev.org.totalBytes() / 64) * 64;
         r.type = memctrl::Request::Type::Read;
-        r.onComplete = [&, t](Tick done) {
-            latSum += static_cast<double>(done - t);
-            ++completed;
-        };
+        r.completion = &acc;
+        r.cookie0 = static_cast<std::uint64_t>(t);
         mc.enqueue(std::move(r));
         eq.schedule(t + period,
                     [&inject, t, period] { inject(t + period); });
@@ -98,8 +109,9 @@ drive(memctrl::MemoryController &mc, EventQueue &eq,
     eq.schedule(0, [&] { inject(0); });
     eq.runUntil(dev.timings.tREFW);
 
-    return completed ? latSum / static_cast<double>(completed) / 1000.0
-                     : 0.0;
+    return acc.completed
+        ? acc.latSum / static_cast<double>(acc.completed) / 1000.0
+        : 0.0;
 }
 
 } // namespace

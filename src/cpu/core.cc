@@ -244,10 +244,9 @@ Core::advance()
             r.type = memctrl::Request::Type::Read;
             r.coreId = id_;
             r.pid = task_->pid();
-            r.onComplete = [this, e = epoch_,
-                            idx = pendingMissIdx_](Tick t) {
-                onFill(e, idx, t);
-            };
+            r.completion = this;
+            r.cookie0 = epoch_;
+            r.cookie1 = pendingMissIdx_;
             if (!mc_.enqueue(std::move(r))) {
                 setRetry();
                 return;

@@ -67,7 +67,7 @@ struct CoreParams
     double hitLatencyVisibility = 0.3;
 };
 
-class Core : public os::CpuContext
+class Core : public os::CpuContext, public Callee
 {
   public:
     Core(EventQueue &eq, int id, const CoreParams &params,
@@ -118,6 +118,16 @@ class Core : public os::CpuContext
     /** DRAM read response for (epoch, instrIdx). */
     void onFill(std::uint64_t epoch, std::uint64_t instrIdx,
                 Tick fillTick);
+
+    /** Callee: read-completion events carry (epoch, instrIdx) as the
+     *  two cookies; the controller schedules us directly, with no
+     *  per-request closure. */
+    void
+    fire(Tick now, std::uint64_t epoch,
+         std::uint64_t instrIdx) override
+    {
+        onFill(epoch, instrIdx, now);
+    }
 
     /** Issue queued write-backs to the MC; false on backpressure. */
     bool flushWritebacks();

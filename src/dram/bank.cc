@@ -122,6 +122,14 @@ Rank::fawBlocked(Tick now, const DramTimings &t) const
     return now < oldest + t.tFAW;
 }
 
+Tick
+Rank::fawClearAt(const DramTimings &t) const
+{
+    if (!fawPrimed)
+        return 0;
+    return lastActs[actCountMod] + t.tFAW;
+}
+
 void
 Rank::noteActivate(Tick now, const DramTimings &t)
 {

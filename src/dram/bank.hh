@@ -127,6 +127,11 @@ class Rank
     /** True iff a 4th ACT inside tFAW would be violated at @p now. */
     bool fawBlocked(Tick now, const DramTimings &t) const;
 
+    /** Earliest tick a fifth ACT clears the tFAW window (equals 0
+     *  when the window is not yet primed).  fawBlocked(now) is
+     *  exactly `now < fawClearAt(t)`. */
+    Tick fawClearAt(const DramTimings &t) const;
+
     /** Record an ACT for tRRD / tFAW accounting. */
     void noteActivate(Tick now, const DramTimings &t);
 

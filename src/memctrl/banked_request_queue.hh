@@ -133,7 +133,7 @@ class BankedRequestQueue
                 ~(1ULL << (static_cast<std::size_t>(bank) % 64));
         }
 
-        n.req = Request{};  // release the completion callback
+        n.req = Request{};  // clear the completion record
         n.nextFree = freeHead_;
         freeHead_ = slot;
         --size_;
@@ -164,6 +164,32 @@ class BankedRequestQueue
     nextInBank(std::uint32_t slot) const
     {
         return nodes_[slot].bankNext;
+    }
+
+    /**
+     * True iff any of the @p count banks starting at @p first has a
+     * queued request.  Tests the ready-bank bitmask words directly,
+     * so a rank-wide probe (e.g. all-bank refresh arbitration over
+     * 16 banks) is one or two word operations instead of a per-bank
+     * count loop.
+     */
+    bool
+    anyOccupiedInRange(int first, int count) const
+    {
+        const std::size_t lo = static_cast<std::size_t>(first);
+        const std::size_t hi = lo + static_cast<std::size_t>(count);
+        REFSCHED_ASSERT(count >= 0 && hi <= bankCount_.size(),
+                        "bank range out of bounds");
+        for (std::size_t w = lo / 64; w * 64 < hi; ++w) {
+            std::uint64_t mask = ~0ULL;
+            if (w == lo / 64)
+                mask &= ~0ULL << (lo % 64);
+            if (hi < (w + 1) * 64)
+                mask &= (1ULL << (hi % 64)) - 1;
+            if (occupied_[w] & mask)
+                return true;
+        }
+        return false;
     }
 
     /** Invoke @p fn(bank) for every bank with queued requests, in

@@ -72,12 +72,11 @@ MemoryController::enqueue(Request req)
             if ((w.paddr & ~(cfg_.org.lineBytes - 1)) == line) {
                 ++c.stats.forwardedReads;
                 ++c.stats.reads;
-                auto cb = std::move(req.onComplete);
                 const Tick doneAt = now + cfg_.timings.tCK;
-                eq_.schedule(doneAt, [cb = std::move(cb), doneAt] {
-                    if (cb)
-                        cb(doneAt);
-                });
+                if (req.completion) {
+                    eq_.schedule(doneAt, *req.completion, req.cookie0,
+                                 req.cookie1);
+                }
                 c.stats.readLatency.sample(
                     static_cast<double>(cfg_.timings.tCK));
                 return true;
@@ -214,23 +213,23 @@ MemoryController::demandQueuedForRefresh(
     const Channel &c, const dram::RefreshCommand &cmd) const
 {
     if (cmd.isAllBank()) {
-        const int base = cmd.rank * cfg_.org.banksPerRank;
-        for (int b = 0; b < cfg_.org.banksPerRank; ++b) {
-            if (c.readQ.bankCount(base + b) > 0)
-                return true;
-        }
-        return false;
+        return c.readQ.anyOccupiedInRange(
+            cmd.rank * cfg_.org.banksPerRank, cfg_.org.banksPerRank);
     }
     return c.readQ.bankCount(bankIndex(cmd.rank, cmd.bank)) > 0;
 }
 
 bool
-MemoryController::refreshEngineStep(Channel &c, int ch)
+MemoryController::refreshEngineStep(Channel &c, int ch, Tick &wake)
 {
     if (c.pendingRefreshes.empty())
         return false;
 
     const Tick now = eq_.now();
+    auto cand = [&](Tick t) {
+        if (t > now)
+            wake = std::min(wake, t);
+    };
     RefreshCommand &cmd = c.pendingRefreshes.front();
 
     // Elastic postponement: hold the refresh while demand reads are
@@ -250,11 +249,13 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
 
     const auto &t = cfg_.timings;
 
-    auto tryStep = [&](Bank &b, int bankInRank) -> int {
+    auto tryStep = [&](Bank &b, [[maybe_unused]] int bankInRank) -> int {
         // Returns: 0 = ready, 1 = issued PRE (slot consumed),
-        //          2 = waiting.
-        if (b.underRefresh(now))
+        //          2 = waiting (earliest-progress tick recorded).
+        if (b.underRefresh(now)) {
+            cand(b.refreshingUntil);
             return 2;
+        }
         if (b.isOpen()) {
             if (now >= b.preAllowedAt) {
                 REFSCHED_PROBE(
@@ -267,6 +268,7 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
                 b.precharge(now, t);
                 return 1;
             }
+            cand(b.preAllowedAt);
             return 2;
         }
         return 0;
@@ -282,7 +284,11 @@ MemoryController::refreshEngineStep(Channel &c, int ch)
             if (s == 2)
                 allReady = false;
         }
-        if (!allReady || rank.underRefresh(now))
+        if (rank.underRefresh(now)) {
+            cand(rank.refreshingUntil);
+            return false;
+        }
+        if (!allReady)
             return false;
         REFSCHED_PROBE(
             probe_,
@@ -335,17 +341,16 @@ MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
     if (req.blockedByRefresh)
         ++c.stats.readsBlockedByRefresh;
 
-    if (req.onComplete) {
-        auto cb = std::move(req.onComplete);
-        eq_.schedule(dataAt, [cb = std::move(cb), dataAt] {
-            cb(dataAt);
-        });
-    }
+    // Intrusive completion: the (callee, cookies) triple goes into
+    // the event slot as plain data, so the hottest path in the
+    // simulator schedules without allocating.
+    if (req.completion)
+        eq_.schedule(dataAt, *req.completion, req.cookie0, req.cookie1);
 }
 
 bool
 MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
-                             bool isWriteQueue)
+                             bool isWriteQueue, Tick &wake)
 {
     if (q.empty())
         return false;
@@ -355,6 +360,11 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
     const auto &t = cfg_.timings;
     const int banksPerRank = cfg_.org.banksPerRank;
 
+    auto cand = [&](Tick when) {
+        if (when > now)
+            wake = std::min(wake, when);
+    };
+
     auto bankState = [&](int bankIdx) -> Bank & {
         return c.ranks[static_cast<std::size_t>(bankIdx / banksPerRank)]
             .banks[static_cast<std::size_t>(bankIdx % banksPerRank)];
@@ -362,19 +372,29 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
 
     auto bankBlocked = [&](int bankIdx) {
         const Bank &b = bankState(bankIdx);
-        return b.underRefresh(now)
-            || frozenByRefresh(c, bankIdx / banksPerRank,
+        if (b.underRefresh(now)) {
+            cand(b.refreshingUntil);
+            return true;
+        }
+        // Frozen banks unblock through refresh-engine progress; the
+        // engine folds its own earliest-progress tick into the wake.
+        return frozenByRefresh(c, bankIdx / banksPerRank,
                                bankIdx % banksPerRank);
     };
 
-    // Track refresh interference on the oldest request.
+    // Track refresh interference on the oldest request.  Blocked
+    // time accrues as an interval at the *next* tick (now - mark):
+    // between two controller ticks the blocked state cannot change,
+    // so the interval equals what per-edge polling would have
+    // counted.
     {
         Request &front = q.request(q.front());
         const int frontBank =
             bankIndex(front.coord.rank, front.coord.bank);
         if (bankBlocked(frontBank)) {
             front.blockedByRefresh = true;
-            c.stats.refreshBlockedTicks += static_cast<double>(t.tCK);
+            c.blockedMark = now;
+            c.blockedMarkValid = true;
 
             // Refresh Pausing: free the bank at the next row boundary
             // and re-queue the unfinished rows.
@@ -433,8 +453,12 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
             busReady += t.tRTRS;
         if (c.lastCasRank >= 0 && c.lastCasWasWrite != isWriteQueue)
             busReady += t.tBusTurn;
-        if (now < casAllowed || now < busReady)
+        if (now < casAllowed || now < busReady) {
+            // Conservative: recorded whether or not a row hit is
+            // actually queued -- an early wake just re-sleeps.
+            cand(std::max(casAllowed, busReady));
             return;
+        }
         for (auto s = q.bankFront(bankIdx); s != kNone;
              s = q.nextInBank(s)) {
             const Request &r = q.request(s);
@@ -494,10 +518,14 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
             return;
         auto &rank =
             c.ranks[static_cast<std::size_t>(bankIdx / banksPerRank)];
-        if (rank.underRefresh(now))
+        if (rank.underRefresh(now)) {
+            cand(rank.refreshingUntil);
             return;
+        }
         if (now < b.actAllowedAt || now < rank.actAllowedAt
             || rank.fawBlocked(now, t)) {
+            cand(std::max({b.actAllowedAt, rank.actAllowedAt,
+                           rank.fawClearAt(t)}));
             return;
         }
         const Request &r = q.request(q.bankFront(bankIdx));
@@ -533,20 +561,22 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         Bank &b = bankState(bankIdx);
         if (!b.isOpen() || bankBlocked(bankIdx))
             return;
-        if (now < b.preAllowedAt)
+        if (now < b.preAllowedAt) {
+            cand(b.preAllowedAt);
             return;
-        std::uint32_t cand = kNone;
+        }
+        std::uint32_t oldest = kNone;
         for (auto s = q.bankFront(bankIdx); s != kNone;
              s = q.nextInBank(s)) {
             const Request &r = q.request(s);
             if (static_cast<std::int64_t>(r.coord.row) == b.openRow)
                 return;  // open row still wanted: bank excluded
-            if (cand == kNone)
-                cand = s;
+            if (oldest == kNone)
+                oldest = s;
         }
-        if (cand != kNone && q.request(cand).seq < bestSeq) {
-            bestSeq = q.request(cand).seq;
-            best = cand;
+        if (oldest != kNone && q.request(oldest).seq < bestSeq) {
+            bestSeq = q.request(oldest).seq;
+            best = oldest;
         }
     });
     if (best != kNone) {
@@ -565,10 +595,17 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
 }
 
 bool
-MemoryController::closedPagePrecharge(Channel &c, int ch)
+MemoryController::closedPagePrecharge(Channel &c,
+                                      [[maybe_unused]] int ch,
+                                      Tick &wake)
 {
     const Tick now = eq_.now();
     const auto &t = cfg_.timings;
+
+    auto cand = [&](Tick when) {
+        if (when > now)
+            wake = std::min(wake, when);
+    };
 
     auto rowWanted = [&](int bankIdx, std::int64_t row) {
         auto scan = [&](const BankedRequestQueue &q) {
@@ -588,9 +625,16 @@ MemoryController::closedPagePrecharge(Channel &c, int ch)
         for (int bank = 0; bank < cfg_.org.banksPerRank; ++bank) {
             dram::Bank &b = c.ranks[static_cast<std::size_t>(rank)]
                 .banks[static_cast<std::size_t>(bank)];
-            if (!b.isOpen() || now < b.preAllowedAt
-                || b.underRefresh(now)
-                || frozenByRefresh(c, rank, bank)) {
+            if (!b.isOpen())
+                continue;
+            if (b.underRefresh(now)) {
+                cand(b.refreshingUntil);
+                continue;
+            }
+            if (frozenByRefresh(c, rank, bank))
+                continue;
+            if (now < b.preAllowedAt) {
+                cand(b.preAllowedAt);
                 continue;
             }
             if (rowWanted(bankIndex(rank, bank), b.openRow))
@@ -613,6 +657,18 @@ MemoryController::tick(int ch)
 {
     auto &c = channels_[static_cast<std::size_t>(ch)];
     c.tickScheduledAt = kMaxTick;
+    const Tick now = eq_.now();
+
+    // Close the open refresh-blocked interval.  Between the tick
+    // that opened it and this one, no command issued and no engine
+    // state changed, so the front request was blocked for the whole
+    // stretch -- exactly the per-edge sum the polling controller
+    // accumulated tCK at a time.
+    if (c.blockedMarkValid) {
+        c.stats.refreshBlockedTicks +=
+            static_cast<double>(now - c.blockedMark);
+        c.blockedMarkValid = false;
+    }
 
     rollUtilizationEpoch(c);
     harvestDueRefreshes(c, ch);
@@ -634,35 +690,35 @@ MemoryController::tick(int ch)
         c.draining = false;
     }
 
-    bool issued = refreshEngineStep(c, ch);
+    // Wake-precise issue attempt: the passes below fold every time
+    // gate they bounce off into `wake`, so when nothing issues we
+    // know the exact earliest tick the outcome can differ.
+    Tick wake = kMaxTick;
+    bool issued = refreshEngineStep(c, ch, wake);
 
     if (!issued) {
         if (c.draining)
-            issued = serveQueue(c, ch, c.writeQ, true);
+            issued = serveQueue(c, ch, c.writeQ, true, wake);
         else
-            issued = serveQueue(c, ch, c.readQ, false);
+            issued = serveQueue(c, ch, c.readQ, false, wake);
     }
     if (!issued && params_.pagePolicy == PagePolicy::Closed)
-        issued = closedPagePrecharge(c, ch);
-    (void)issued;
+        issued = closedPagePrecharge(c, ch, wake);
 
-    // Re-arm.
-    Tick wake = kMaxTick;
-    const Tick now = eq_.now();
-
-    bool openBanksToClose = false;
-    if (params_.pagePolicy == PagePolicy::Closed) {
-        for (const auto &rank : c.ranks) {
-            for (const auto &b : rank.banks)
-                openBanksToClose |= b.isOpen();
-        }
-    }
-
-    if (!c.pendingRefreshes.empty() || !c.readQ.empty()
-        || !c.writeQ.empty() || openBanksToClose) {
+    // Re-arm.  A command issue changes gate state, so the very next
+    // edge may issue again; a no-op tick sleeps to the earliest gate
+    // crossing (all gate inputs are constant between controller
+    // ticks, so nothing can become issuable before it).  Work that
+    // waits on externally driven state -- a below-watermark write
+    // backlog, a postponed refresh behind queued demand -- needs no
+    // candidate: the enqueue or serve that changes it wakes the
+    // channel itself.
+    if (issued)
         wake = now + cfg_.timings.tCK;
-    }
     wake = std::min(wake, refresh_->nextDue(ch));
+    REFSCHED_ASSERT(
+        wake != kMaxTick || c.readQ.empty(),
+        "controller would sleep forever with reads queued");
     if (wake != kMaxTick)
         scheduleTick(ch, wake);
 }

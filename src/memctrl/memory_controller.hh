@@ -13,8 +13,22 @@
  * property that makes per-bank refresh (and the co-design) win.
  *
  * The controller is a clocked component on the shared EventQueue: it
- * issues at most one command per memory-clock edge per channel and
- * sleeps when it provably has nothing to do.
+ * issues at most one command per memory-clock edge per channel.  It
+ * is wake-precise: a tick that issues a command re-arms for the next
+ * edge, but a tick that issues nothing computes the earliest tick at
+ * which anything can change -- bank/rank timing-gate expiries and
+ * refresh completions for banks with queued work, shared-bus
+ * readiness (tBURST spacing plus rank-switch/turnaround penalties),
+ * refresh-engine progress, and the refresh scheduler's next due time
+ * -- and sleeps until then.  The wake aggregate is collected as a
+ * byproduct of the very same per-occupied-bank passes that tried
+ * (and failed) to issue, so no extra scan is paid; enqueues and
+ * retries still wake the channel immediately.  Between two
+ * controller ticks every gate value is constant (they change only
+ * when commands issue, which only happens inside ticks), so sleeping
+ * to the earliest gate crossing provably never delays an issuable
+ * command: the resulting command trace is byte-identical to the
+ * every-edge-polling schedule (tools/golden_diff proves it).
  */
 
 #ifndef REFSCHED_MEMCTRL_MEMORY_CONTROLLER_HH
@@ -94,9 +108,9 @@ class MemoryController : public dram::McRefreshView
     /**
      * Try to enqueue @p req.  Returns false when the target queue is
      * full; the caller should wait for a retry notification.  Writes
-     * are posted (no completion callback); reads invoke
-     * req.onComplete at data-burst-done time.  Reads that hit a
-     * queued write are forwarded and complete on the next cycle.
+     * are posted (no completion); reads fire req.completion at
+     * data-burst-done time.  Reads that hit a queued write are
+     * forwarded and complete on the next cycle.
      */
     bool enqueue(Request req);
 
@@ -202,6 +216,12 @@ class MemoryController : public dram::McRefreshView
         EventHandle tickEvent;
         Tick tickScheduledAt = kMaxTick;
 
+        /** Open refresh-blocked interval on the served queue's front
+         *  request: refreshBlockedTicks accrues `now - blockedMark`
+         *  at the next tick instead of tCK per polled edge. */
+        Tick blockedMark = 0;
+        bool blockedMarkValid = false;
+
         ChannelStats stats;
     };
 
@@ -214,16 +234,26 @@ class MemoryController : public dram::McRefreshView
     /** Pop refresh commands that have come due into the pending Q. */
     void harvestDueRefreshes(Channel &c, int ch);
 
-    /** Try to advance the refresh engine; true if a command slot was
-     *  consumed (PRE toward refresh, or REF itself). */
-    bool refreshEngineStep(Channel &c, int ch);
+    /**
+     * Try to advance the refresh engine; true if a command slot was
+     * consumed (PRE toward refresh, or REF itself).  When the engine
+     * is engaged but waiting, the earliest tick it can make progress
+     * is folded into @p wake.
+     */
+    bool refreshEngineStep(Channel &c, int ch, Tick &wake);
 
-    /** Try to issue one request command from @p q; true on issue. */
+    /**
+     * Try to issue one request command from @p q; true on issue.
+     * Every pass that rejects a bank on a *time* gate (now < X)
+     * folds X into @p wake, so a no-issue tick knows the earliest
+     * tick the decision can flip.
+     */
     bool serveQueue(Channel &c, int ch, BankedRequestQueue &q,
-                    bool isWriteQueue);
+                    bool isWriteQueue, Tick &wake);
 
-    /** Closed-page policy: precharge one idle open row, if any. */
-    bool closedPagePrecharge(Channel &c, int ch);
+    /** Closed-page policy: precharge one idle open row, if any;
+     *  time-gated skips fold into @p wake. */
+    bool closedPagePrecharge(Channel &c, int ch, Tick &wake);
 
     /** True if the bank is frozen by an in-flight/pending refresh. */
     bool frozenByRefresh(const Channel &c, int rank, int bank) const;

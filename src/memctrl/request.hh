@@ -8,11 +8,15 @@
 #define REFSCHED_MEMCTRL_REQUEST_HH
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "dram/address_mapping.hh"
 #include "simcore/types.hh"
+
+namespace refsched
+{
+class Callee;
+}
 
 namespace refsched::memctrl
 {
@@ -37,10 +41,17 @@ struct Request
     std::uint64_t seq = 0;
 
     /**
-     * Completion callback for reads, invoked at the tick the data
-     * burst finishes on the bus.  Unused for writes (posted).
+     * Intrusive completion record for reads: at the tick the data
+     * burst finishes on the bus, the controller schedules
+     * `completion->fire(dataAt, cookie0, cookie1)` directly on the
+     * event queue -- no closure, no heap allocation on the hot path.
+     * The receiver owns the meaning of the two cookies (cpu::Core
+     * packs its epoch and instruction index).  Null for writes
+     * (posted) and for fire-and-forget traffic.
      */
-    std::function<void(Tick)> onComplete;
+    Callee *completion = nullptr;
+    std::uint64_t cookie0 = 0;
+    std::uint64_t cookie1 = 0;
 
     /** Set once the request observed its bank busy refreshing. */
     bool blockedByRefresh = false;

@@ -31,6 +31,22 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     return EventHandle(this, idx, s.gen);
 }
 
+EventHandle
+EventQueue::schedule(Tick when, Callee &callee, std::uint64_t arg0,
+                     std::uint64_t arg1, EventPriority prio)
+{
+    REFSCHED_ASSERT(when >= curTick, "event scheduled in the past: ",
+                    when, " < ", curTick);
+    const std::uint32_t idx = allocSlot();
+    Slot &s = slotAt(idx);
+    s.callee = &callee;
+    s.arg0 = arg0;
+    s.arg1 = arg1;
+    pq.push(Entry{when, static_cast<int>(prio), nextSeq++, idx, s.gen});
+    ++live;
+    return EventHandle(this, idx, s.gen);
+}
+
 void
 EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t gen)
 {
@@ -69,10 +85,20 @@ EventQueue::runOne()
     const Entry e = pq.top();
     pq.pop();
     curTick = e.when;
-    // Move the callback out and retire the slot before invoking: the
+    // Move the payload out and retire the slot before invoking: the
     // callback may schedule new events (possibly reusing this very
     // slot) or cancel its own, already-dead handle harmlessly.
-    Callback cb = std::move(slotAt(e.slot).cb);
+    Slot &s = slotAt(e.slot);
+    if (Callee *callee = s.callee) {
+        const std::uint64_t a0 = s.arg0;
+        const std::uint64_t a1 = s.arg1;
+        retireSlot(e.slot);
+        --live;
+        ++executed;
+        callee->fire(curTick, a0, a1);
+        return true;
+    }
+    Callback cb = std::move(s.cb);
     retireSlot(e.slot);
     --live;
     ++executed;

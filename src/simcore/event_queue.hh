@@ -53,6 +53,29 @@ enum class EventPriority : int
     StatDump = 30,   ///< Statistics snapshots.
 };
 
+/**
+ * Intrusive event receiver: the allocation-free alternative to a
+ * std::function callback.  A scheduled (callee, arg0, arg1) triple is
+ * stored as plain data inside the event slot, so scheduling one never
+ * heap-allocates no matter how much context the receiver needs -- the
+ * receiver IS the context, and the two 64-bit cookies carry the
+ * per-event payload (an epoch, an index, a pointer...).  The hot
+ * request-completion path (memctrl -> cpu::Core) runs on this.
+ *
+ * The callee must outlive the scheduled event (or cancel it); callees
+ * are long-lived components the queue's owner also owns.
+ */
+class Callee
+{
+  public:
+    /** @p now is the firing tick (== EventQueue::now()). */
+    virtual void fire(Tick now, std::uint64_t arg0,
+                      std::uint64_t arg1) = 0;
+
+  protected:
+    ~Callee() = default;
+};
+
 /** Cancellation token for a scheduled event. */
 class EventHandle
 {
@@ -102,6 +125,17 @@ class EventQueue
     EventHandle schedule(Tick when, Callback cb,
                          EventPriority prio = EventPriority::Default);
 
+    /**
+     * Schedule an intrusive event: at @p when, invoke
+     * `callee.fire(when, arg0, arg1)`.  Never allocates beyond the
+     * slot pool (the triple is stored as POD in the slot), unlike the
+     * Callback overload whose captures can spill past std::function's
+     * small-buffer optimisation.
+     */
+    EventHandle schedule(Tick when, Callee &callee,
+                         std::uint64_t arg0, std::uint64_t arg1,
+                         EventPriority prio = EventPriority::Default);
+
     /** Schedule @p cb to fire @p delta ticks from now. */
     EventHandle
     scheduleIn(Tick delta, Callback cb,
@@ -148,6 +182,9 @@ class EventQueue
     struct Slot
     {
         Callback cb;
+        Callee *callee = nullptr;
+        std::uint64_t arg0 = 0;
+        std::uint64_t arg1 = 0;
         std::uint32_t gen = 0;
         std::uint32_t nextFree = kNoSlot;
     };
@@ -205,6 +242,7 @@ class EventQueue
         Slot &s = slotAt(idx);
         ++s.gen;
         s.cb = nullptr;
+        s.callee = nullptr;
         s.nextFree = freeHead;
         freeHead = idx;
     }

@@ -19,6 +19,26 @@ namespace
 
 using dram::RefreshPolicy;
 
+/** Callee test double: cookies carry (read id, send tick); fire()
+ *  tallies completions and the latency envelope. */
+struct LatencyRecorder : Callee
+{
+    std::uint64_t completions = 0;
+    std::map<std::uint64_t, int> completionsPerRead;
+    Tick minLatency = kMaxTick;
+    Tick maxLatency = 0;
+
+    void
+    fire(Tick now, std::uint64_t id, std::uint64_t sent) override
+    {
+        ++completions;
+        ++completionsPerRead[id];
+        const Tick lat = now - static_cast<Tick>(sent);
+        minLatency = std::min(minLatency, lat);
+        maxLatency = std::max(maxLatency, lat);
+    }
+};
+
 class ControllerStressTest
     : public ::testing::TestWithParam<RefreshPolicy>
 {
@@ -36,10 +56,7 @@ TEST_P(ControllerStressTest, RandomTrafficInvariants)
     std::uint64_t acceptedReads = 0;
     std::uint64_t rejectedReads = 0;
     std::uint64_t acceptedWrites = 0;
-    std::uint64_t completions = 0;
-    std::map<std::uint64_t, int> completionsPerRead;
-    Tick minLatency = kMaxTick;
-    Tick maxLatency = 0;
+    LatencyRecorder rec;
 
     // Bursty injector: alternates hot phases (every ~6 ns) and idle
     // gaps, mixing reads and writes over random and repeated rows.
@@ -62,15 +79,9 @@ TEST_P(ControllerStressTest, RandomTrafficInvariants)
             acceptedWrites += mc.enqueue(std::move(r)) ? 1 : 0;
         } else {
             r.type = Request::Type::Read;
-            const auto id = readId++;
-            const Tick sent = t;
-            r.onComplete = [&, id, sent](Tick done) {
-                ++completions;
-                ++completionsPerRead[id];
-                const Tick lat = done - sent;
-                minLatency = std::min(minLatency, lat);
-                maxLatency = std::max(maxLatency, lat);
-            };
+            r.completion = &rec;
+            r.cookie0 = readId++;
+            r.cookie1 = static_cast<std::uint64_t>(t);
             if (mc.enqueue(std::move(r)))
                 ++acceptedReads;
             else
@@ -93,16 +104,16 @@ TEST_P(ControllerStressTest, RandomTrafficInvariants)
     eq.runUntil(eq.now() + microseconds(50.0));
 
     EXPECT_GT(acceptedReads, 1000u);
-    EXPECT_EQ(completions, acceptedReads);
-    for (const auto &[id, count] : completionsPerRead)
+    EXPECT_EQ(rec.completions, acceptedReads);
+    for (const auto &[id, count] : rec.completionsPerRead)
         ASSERT_EQ(count, 1) << "read " << id;
 
     // Physical floor: a forwarded read takes one clock; anything
     // else at least a CAS+burst.
-    EXPECT_GE(minLatency, dev.timings.tCK);
+    EXPECT_GE(rec.minLatency, dev.timings.tCK);
     // Sanity ceiling: queue depth * worst-case row cycle plus a few
     // refreshes; generous but finite.
-    EXPECT_LT(maxLatency, microseconds(20.0));
+    EXPECT_LT(rec.maxLatency, microseconds(20.0));
 
     EXPECT_EQ(mc.readQueueSize(0), 0u);
 }
@@ -126,12 +137,21 @@ TEST(ControllerStressTest, BackToBackRowHitsSaturateBus)
         eq, dev,
         dram::makeRefreshScheduler(RefreshPolicy::NoRefresh, dev));
 
-    std::vector<Tick> doneAt;
+    struct DoneAtRecorder : Callee
+    {
+        std::vector<Tick> doneAt;
+        void
+        fire(Tick now, std::uint64_t, std::uint64_t) override
+        {
+            doneAt.push_back(now);
+        }
+    } rec;
+    auto &doneAt = rec.doneAt;
     for (std::uint64_t i = 0; i < 64; ++i) {
         Request r;
         r.paddr = i * 64;  // same row, consecutive columns
         r.type = Request::Type::Read;
-        r.onComplete = [&](Tick t) { doneAt.push_back(t); };
+        r.completion = &rec;
         ASSERT_TRUE(mc.enqueue(std::move(r)));
     }
     eq.runUntil(microseconds(2.0));

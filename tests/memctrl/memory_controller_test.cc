@@ -18,6 +18,21 @@ namespace
 using dram::DensityGb;
 using dram::RefreshPolicy;
 
+/**
+ * Callee test double: cookie0 carries the address of an
+ * std::optional<Tick> completion slot, which fire() stamps with the
+ * data-ready tick.  The slot must outlive the scheduled completion
+ * (tests hold them in shared_ptrs until after runUntil).
+ */
+struct CompletionSink : Callee
+{
+    void
+    fire(Tick now, std::uint64_t slotAddr, std::uint64_t) override
+    {
+        *reinterpret_cast<std::optional<Tick> *>(slotAddr) = now;
+    }
+};
+
 struct Harness
 {
     explicit Harness(RefreshPolicy policy = RefreshPolicy::NoRefresh,
@@ -33,10 +48,12 @@ struct Harness
     read(Addr addr)
     {
         auto done = std::make_shared<std::optional<Tick>>();
+        doneSlots.push_back(done);  // keep alive past caller scope
         Request r;
         r.paddr = addr;
         r.type = Request::Type::Read;
-        r.onComplete = [done](Tick t) { *done = t; };
+        r.completion = &sink;
+        r.cookie0 = reinterpret_cast<std::uint64_t>(done.get());
         EXPECT_TRUE(mc.enqueue(std::move(r)));
         return done;
     }
@@ -66,6 +83,8 @@ struct Harness
     EventQueue eq;
     dram::DramDeviceConfig dev;
     MemoryController mc;
+    CompletionSink sink;
+    std::vector<std::shared_ptr<std::optional<Tick>>> doneSlots;
 };
 
 TEST(MemoryControllerTest, UnloadedReadLatencyIsActPlusCasPlusBurst)
@@ -244,6 +263,37 @@ TEST(MemoryControllerRefreshTest, AllBankRefreshBlocksWholeRank)
     EXPECT_GE(h.mc.channelStats(0).readsBlockedByRefresh.value(), 1.0);
 }
 
+TEST(MemoryControllerRefreshTest, WakePreciseSleepsThroughRefreshWindow)
+{
+    // A read that arrives while its rank is under all-bank refresh
+    // cannot be served until tRFC expires -- a window spanning
+    // hundreds of memory-clock edges.  The wake-precise controller
+    // must sleep through it: the kernel executes O(state changes)
+    // events (the enqueue wake-up, refresh-engine progress on the
+    // other rank, harvests of newly due refreshes), not one event
+    // per edge as the polling controller did.
+    Harness h(RefreshPolicy::AllBank);
+    h.eq.runUntil(nanoseconds(100));
+    const auto &bank0 = h.mc.bank(0, 0, 0);
+    ASSERT_TRUE(bank0.underRefresh(h.eq.now()));
+    const Tick refEnd = bank0.refreshingUntil;
+    const auto &t = h.dev.timings;
+    const Tick edges = (refEnd - h.eq.now()) / t.tCK;
+    ASSERT_GE(edges, 500) << "window too short to be meaningful";
+
+    const std::uint64_t before = h.eq.executedCount();
+    auto done = h.read(h.addrOf(0, 0, 1));
+    h.eq.runUntil(refEnd);
+    const std::uint64_t during = h.eq.executedCount() - before;
+    EXPECT_LE(during, 64u)
+        << "controller polled through a " << edges
+        << "-edge refresh window";
+
+    h.eq.runUntil(refEnd + microseconds(3));
+    ASSERT_TRUE(done->has_value());
+    EXPECT_GE(done->value(), refEnd);
+}
+
 TEST(MemoryControllerRefreshTest, PerBankRefreshLeavesOtherBanksFree)
 {
     Harness h(RefreshPolicy::PerBankRoundRobin);
@@ -328,6 +378,7 @@ TEST(MemoryControllerRefreshTest, PausingShortensRefreshBlocking)
         // Let the first refresh (rank 0, bank 0) engage unopposed.
         eq.runUntil(nanoseconds(50.0));
         const Tick start = eq.now();
+        CompletionSink sink;
         auto done = std::make_shared<std::optional<Tick>>();
         dram::DramCoord coord;
         coord.bank = 0;
@@ -335,7 +386,8 @@ TEST(MemoryControllerRefreshTest, PausingShortensRefreshBlocking)
         Request r;
         r.paddr = mc.mapping().compose(coord);
         r.type = Request::Type::Read;
-        r.onComplete = [done](Tick t) { *done = t; };
+        r.completion = &sink;
+        r.cookie0 = reinterpret_cast<std::uint64_t>(done.get());
         ASSERT_TRUE(mc.enqueue(std::move(r)));
         eq.runUntil(start + microseconds(3.0));
         ASSERT_TRUE(done->has_value());
@@ -369,7 +421,7 @@ TEST(MemoryControllerRefreshTest, PausedRowsAreEventuallyRefreshed)
         Request r;
         r.paddr = rng.below(dev.org.totalBytes() / 64) * 64;
         r.type = Request::Type::Read;
-        r.onComplete = [](Tick) {};
+        // Fire-and-forget: a null completion is valid.
         mc.enqueue(std::move(r));
         const Tick gap = nanoseconds(150.0);
         if (t + gap < dev.timings.tREFW)
@@ -403,6 +455,7 @@ TEST(MemoryControllerTest, ClosedPagePolicyClosesIdleRows)
         dram::makeRefreshScheduler(RefreshPolicy::NoRefresh, dev),
         params);
 
+    CompletionSink sink;
     auto done = std::make_shared<std::optional<Tick>>();
     dram::DramCoord coord;
     coord.rank = 0;
@@ -411,7 +464,8 @@ TEST(MemoryControllerTest, ClosedPagePolicyClosesIdleRows)
     Request r;
     r.paddr = mc.mapping().compose(coord);
     r.type = Request::Type::Read;
-    r.onComplete = [done](Tick t) { *done = t; };
+    r.completion = &sink;
+    r.cookie0 = reinterpret_cast<std::uint64_t>(done.get());
     ASSERT_TRUE(mc.enqueue(std::move(r)));
     eq.runUntil(microseconds(1));
     ASSERT_TRUE(done->has_value());
@@ -427,7 +481,8 @@ TEST(MemoryControllerTest, ClosedPagePolicyClosesIdleRows)
     Request r2;
     r2.paddr = mc.mapping().compose(coord);
     r2.type = Request::Type::Read;
-    r2.onComplete = [done2](Tick t) { *done2 = t; };
+    r2.completion = &sink;
+    r2.cookie0 = reinterpret_cast<std::uint64_t>(done2.get());
     ASSERT_TRUE(mc.enqueue(std::move(r2)));
     eq.runUntil(start + microseconds(1));
     ASSERT_TRUE(done2->has_value());

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Schedule-invariance fixtures for the wake-precise controller.
+ *
+ * tests/validate/data/<policy>.trace were recorded with the
+ * every-edge-polling controller (commit a545fe5, before wake-precise
+ * scheduling) via
+ *
+ *   golden_diff record --workload WL-8 --density 32 --scale 1024
+ *                      --warmup 1 --measure 3 --policy <policy>
+ *
+ * one file per refresh policy.  The current controller must
+ * reproduce every fixture byte-for-byte: sleeping until the earliest
+ * timing-gate crossing instead of polling every memory-clock edge is
+ * a host-side scheduling optimization and may not move, add, or drop
+ * a single DRAM command, scheduler pick, or page movement.  Any
+ * intended change to simulated behaviour must re-record the fixtures
+ * (and say so): a diff here means the simulated machine changed, not
+ * just the simulator's speed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.hh"
+#include "core/system.hh"
+#include "validate/golden_trace.hh"
+
+namespace refsched::validate
+{
+namespace
+{
+
+class ScheduleTraceFixtureTest
+    : public ::testing::TestWithParam<core::Policy>
+{
+};
+
+TEST_P(ScheduleTraceFixtureTest, MatchesPrePolledControllerTrace)
+{
+    const core::Policy policy = GetParam();
+    const std::string fixture = std::string(REFSCHED_TEST_DATA_DIR)
+        + "/" + core::toString(policy) + ".trace";
+    const auto expected = readTraceFile(fixture);
+    ASSERT_GT(expected.size(), 0u) << fixture;
+
+    core::SystemConfig cfg = core::makeConfig(
+        "WL-8", policy, dram::DensityGb::d32, milliseconds(64.0),
+        /*numCores=*/2, /*tasksPerCore=*/4, /*timeScale=*/1024);
+    TraceRecorder rec;
+    core::System sys(cfg);
+    sys.attachProbe(&rec);
+    sys.run(/*warmupQuanta=*/1, /*measureQuanta=*/3);
+
+    const auto actual = decodeTrace(rec.data());
+    const TraceDiff d = diffTraces(expected, actual);
+    EXPECT_TRUE(d.identical)
+        << "trace diverged from " << fixture << ": " << d.describe();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, ScheduleTraceFixtureTest,
+    ::testing::Values(core::Policy::AllBank, core::Policy::PerBank,
+                      core::Policy::PerBankOoo, core::Policy::Ddr4x2,
+                      core::Policy::Ddr4x4, core::Policy::Adaptive,
+                      core::Policy::CoDesign, core::Policy::NoRefresh),
+    [](const auto &info) {
+        std::string name = core::toString(info.param);
+        for (auto &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace refsched::validate
