@@ -15,6 +15,7 @@ Bank::activate(Tick now, std::int64_t row, const DramTimings &t)
     REFSCHED_ASSERT(!underRefresh(now), "ACT to a refreshing bank");
 
     openRow = row;
+    lastAccessAt = now;
     rdAllowedAt = std::max(rdAllowedAt, now + t.tRCD);
     wrAllowedAt = std::max(wrAllowedAt, now + t.tRCD);
     preAllowedAt = std::max(preAllowedAt, now + t.tRAS);
@@ -38,6 +39,7 @@ Bank::read(Tick now, const DramTimings &t)
     REFSCHED_ASSERT(isOpen(), "READ to a closed bank");
     REFSCHED_ASSERT(now >= rdAllowedAt, "READ violates tRCD/tCCD");
 
+    lastAccessAt = now;
     rdAllowedAt = std::max(rdAllowedAt, now + t.tCCD);
     wrAllowedAt = std::max(wrAllowedAt, now + t.tCCD);
     // Read-to-precharge: tRTP after the CAS.
@@ -51,6 +53,7 @@ Bank::write(Tick now, const DramTimings &t)
     REFSCHED_ASSERT(isOpen(), "WRITE to a closed bank");
     REFSCHED_ASSERT(now >= wrAllowedAt, "WRITE violates tRCD/tCCD");
 
+    lastAccessAt = now;
     const Tick burstDone = now + t.tCWL + t.tBURST;
     rdAllowedAt = std::max(rdAllowedAt, burstDone + t.tWTR);
     wrAllowedAt = std::max(wrAllowedAt, now + t.tCCD);

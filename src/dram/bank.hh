@@ -41,6 +41,10 @@ class Bank
     /** Bank unavailable (under refresh) until this tick. */
     Tick refreshingUntil = 0;
 
+    /** Tick of the last ACT or CAS; feeds the controller's idle-row
+     *  auto-close timeout (adaptive open-page management). */
+    Tick lastAccessAt = 0;
+
     /** Start tick and row count of the in-flight refresh (refresh
      *  pausing needs to know how far it has progressed). */
     Tick refreshStart = 0;

@@ -8,6 +8,49 @@
 namespace refsched::dram
 {
 
+namespace
+{
+
+/**
+ * Due tick of the @p idx-th command of a cadence that issues
+ * @p perPeriod evenly spaced commands every @p period ticks, with
+ * @p step = period / perPeriod rounded down to integer picoseconds.
+ *
+ * Rational accumulation: the truncation error of @p step must be
+ * re-anchored at every period boundary.  The naive `idx * step`
+ * cadence loses (period - perPeriod * step) ticks per period, which
+ * compounds across refresh windows and eventually shifts commands a
+ * whole interval early relative to the wall-clock window they are
+ * meant to cover (per-bank refresh counts per tREFW window stop
+ * being exact).
+ */
+Tick
+cadenceDue(std::uint64_t idx, Tick period, std::uint64_t perPeriod,
+           Tick step)
+{
+    return static_cast<Tick>(idx / perPeriod) * period
+        + static_cast<Tick>(idx % perPeriod) * step;
+}
+
+/**
+ * Inverse of cadenceDue: the largest command index whose due tick is
+ * <= @p at.  Clamps the intra-period position to perPeriod - 1 so
+ * the truncation slack at the end of a period (ticks past the last
+ * command but before the period boundary) maps to the last command.
+ */
+std::uint64_t
+cadenceIndexAt(Tick at, Tick period, std::uint64_t perPeriod,
+               Tick step)
+{
+    const std::uint64_t full = static_cast<std::uint64_t>(at / period);
+    const Tick rem = at % period;
+    const std::uint64_t in = std::min<std::uint64_t>(
+        perPeriod - 1, static_cast<std::uint64_t>(rem / step));
+    return full * perPeriod + in;
+}
+
+} // namespace
+
 std::string
 toString(RefreshPolicy p)
 {
@@ -80,7 +123,9 @@ AllBankRefresh::AllBankRefresh(const DramDeviceConfig &cfg)
 Tick
 AllBankRefresh::nextDue(int channel) const
 {
-    return cmdIndex_[static_cast<std::size_t>(channel)] * stagger_;
+    return cadenceDue(cmdIndex_[static_cast<std::size_t>(channel)],
+                      cfg_.timings.tREFIab,
+                      static_cast<std::uint64_t>(ranks_), stagger_);
 }
 
 RefreshCommand
@@ -110,7 +155,10 @@ PerBankRoundRobin::PerBankRoundRobin(const DramDeviceConfig &cfg)
 Tick
 PerBankRoundRobin::nextDue(int channel) const
 {
-    return cmdIndex_[static_cast<std::size_t>(channel)] * tREFIpb_;
+    return cadenceDue(cmdIndex_[static_cast<std::size_t>(channel)],
+                      cfg_.timings.tREFIab,
+                      static_cast<std::uint64_t>(banksPerChannel_),
+                      tREFIpb_);
 }
 
 RefreshCommand
@@ -156,8 +204,10 @@ SequentialPerBank::SequentialPerBank(const DramDeviceConfig &cfg)
 Tick
 SequentialPerBank::nextDue(int channel) const
 {
-    return cursors_[static_cast<std::size_t>(channel)].cmdIndex
-        * tREFIpb_;
+    return cadenceDue(cursors_[static_cast<std::size_t>(channel)].cmdIndex,
+                      cfg_.timings.tREFIab,
+                      static_cast<std::uint64_t>(banksPerChannel_),
+                      tREFIpb_);
 }
 
 Tick
@@ -216,12 +266,13 @@ std::vector<int>
 SequentialPerBank::banksUnderRefreshAt(int channel, Tick from) const
 {
     // Derive the slot from the command cadence, not from wall-clock
-    // window division: tREFI_pb is rounded to integer picoseconds,
-    // so the k-th command is due at exactly k * tREFIpb_, slightly
-    // earlier than the real-valued k/cmds fraction of tREFW.
-    // Computing via the global command index keeps the analytic
-    // schedule exactly consistent with pop() at any horizon.
-    const std::uint64_t cmdIdx = from / tREFIpb_;
+    // window division: tREFI_pb is rounded to integer picoseconds and
+    // the cadence re-anchors at every tREFI_ab boundary, so inverting
+    // the exact cadenceDue mapping keeps the analytic schedule
+    // consistent with pop() at any horizon.
+    const std::uint64_t cmdIdx = cadenceIndexAt(
+        from, cfg_.timings.tREFIab,
+        static_cast<std::uint64_t>(banksPerChannel_), tREFIpb_);
     const int base = channel * banksPerChannel_;
 
     if (!rankParallel_) {
@@ -261,8 +312,10 @@ OooPerBank::OooPerBank(const DramDeviceConfig &cfg)
 Tick
 OooPerBank::nextDue(int channel) const
 {
-    return cursors_[static_cast<std::size_t>(channel)].cmdIndex
-        * tREFIpb_;
+    return cadenceDue(cursors_[static_cast<std::size_t>(channel)].cmdIndex,
+                      cfg_.timings.tREFIab,
+                      static_cast<std::uint64_t>(banksPerChannel_),
+                      tREFIpb_);
 }
 
 RefreshCommand

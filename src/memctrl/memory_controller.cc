@@ -430,56 +430,13 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         }
     }
 
-    // Each pass scans occupied banks (ready-bank bitmask) instead of
-    // the whole queue; FR-FCFS age order is preserved by taking the
-    // minimum request sequence number over per-bank candidates.
-    std::uint32_t best = kNone;
-    std::uint64_t bestSeq = ~std::uint64_t{0};
-
-    // Pass 1 (FR): oldest ready row hit.  All gating conditions are
-    // bank- or rank-level, so within a bank the candidate is simply
-    // the oldest request targeting the open row.
-    q.forEachOccupiedBank([&](int bankIdx) {
-        Bank &b = bankState(bankIdx);
-        if (!b.isOpen() || bankBlocked(bankIdx))
-            return;
-        const Tick casAllowed =
-            isWriteQueue ? b.wrAllowedAt : b.rdAllowedAt;
-        // Bus constraints: burst spacing plus rank-to-rank switch
-        // and read<->write turnaround penalties.
-        const int rank = bankIdx / banksPerRank;
-        Tick busReady = c.nextCasAt;
-        if (c.lastCasRank >= 0 && c.lastCasRank != rank)
-            busReady += t.tRTRS;
-        if (c.lastCasRank >= 0 && c.lastCasWasWrite != isWriteQueue)
-            busReady += t.tBusTurn;
-        if (now < casAllowed || now < busReady) {
-            // Conservative: recorded whether or not a row hit is
-            // actually queued -- an early wake just re-sleeps.
-            cand(std::max(casAllowed, busReady));
-            return;
-        }
-        for (auto s = q.bankFront(bankIdx); s != kNone;
-             s = q.nextInBank(s)) {
-            const Request &r = q.request(s);
-            if (b.openRow == static_cast<std::int64_t>(r.coord.row)) {
-                if (r.seq < bestSeq) {
-                    bestSeq = r.seq;
-                    best = s;
-                }
-                return;
-            }
-        }
-    });
-    if (best != kNone) {
-        Request &r = q.request(best);
+    auto issueCas = [&](std::uint32_t slot) {
+        Request &r = q.request(slot);
         Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
-
         if (!r.neededAct)
             ++c.stats.rowHits;
         else
             ++c.stats.rowMisses;
-
         REFSCHED_PROBE(
             probe_,
             onDramCommand({now,
@@ -501,11 +458,141 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         c.lastCasRank = r.coord.rank;
         c.lastCasWasWrite = isWriteQueue;
         c.busyTicks += t.tBURST;
-        q.erase(best);
+        q.erase(slot);
         notifyRetry();
-        (void)ch;
         return true;
+    };
+
+    auto issueAct = [&](std::uint32_t slot) {
+        Request &r = q.request(slot);
+        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
+        auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::Act, ch,
+                           r.coord.rank, r.coord.bank, r.coord.row,
+                           0}));
+        b.activate(now, static_cast<std::int64_t>(r.coord.row), t);
+        rank.noteActivate(now, t);
+        c.stats.energyActivatePj += params_.energy.actPrePj;
+        r.neededAct = true;
+        return true;
+    };
+
+    auto issuePre = [&](int rankIdx, int bankInRank) {
+        Bank &b = bankState(bankIndex(rankIdx, bankInRank));
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::Pre, ch, rankIdx,
+                           bankInRank,
+                           static_cast<std::uint64_t>(b.openRow), 0}));
+        b.precharge(now, t);
+        return true;
+    };
+
+    auto busReadyFor = [&](int rank) {
+        Tick busReady = c.nextCasAt;
+        if (c.lastCasRank >= 0 && c.lastCasRank != rank)
+            busReady += t.tRTRS;
+        if (c.lastCasRank >= 0 && c.lastCasWasWrite != isWriteQueue)
+            busReady += t.tBusTurn;
+        return busReady;
+    };
+
+    // FR-FCFS starvation cap (reads only): once the oldest read has
+    // waited past the threshold, its next command issues ahead of
+    // any younger row hit -- including a precharge of a row younger
+    // requests still want, which the open-row pass 3 below would
+    // veto forever under a sustained hit streak.  When the front
+    // request cannot issue anything this tick, younger requests
+    // proceed as usual (the cap is a priority, not a barrier).
+    if (!isWriteQueue && params_.readStarvationThreshold > 0) {
+        const std::uint32_t fs = q.front();
+        const Request &fr = q.request(fs);
+        if (now - fr.enqueuedAt < params_.readStarvationThreshold) {
+            // Not starved yet: wake at the promotion tick so the
+            // threshold crossing is never slept through (an early
+            // wake that changes nothing simply re-sleeps).
+            cand(fr.enqueuedAt + params_.readStarvationThreshold);
+        } else {
+            const int fIdx = bankIndex(fr.coord.rank, fr.coord.bank);
+            if (!bankBlocked(fIdx)) {
+                Bank &fb = bankState(fIdx);
+                auto &frank =
+                    c.ranks[static_cast<std::size_t>(fr.coord.rank)];
+                if (fb.isOpen()
+                    && fb.openRow
+                        == static_cast<std::int64_t>(fr.coord.row)) {
+                    const Tick casAllowed =
+                        isWriteQueue ? fb.wrAllowedAt : fb.rdAllowedAt;
+                    const Tick busReady = busReadyFor(fr.coord.rank);
+                    if (now >= casAllowed && now >= busReady) {
+                        ++c.stats.promotedReads;
+                        return issueCas(fs);
+                    }
+                    cand(std::max(casAllowed, busReady));
+                } else if (!fb.isOpen()) {
+                    if (frank.underRefresh(now)) {
+                        cand(frank.refreshingUntil);
+                    } else if (now >= fb.actAllowedAt
+                               && now >= frank.actAllowedAt
+                               && !frank.fawBlocked(now, t)) {
+                        ++c.stats.promotedReads;
+                        return issueAct(fs);
+                    } else {
+                        cand(std::max({fb.actAllowedAt,
+                                       frank.actAllowedAt,
+                                       frank.fawClearAt(t)}));
+                    }
+                } else {
+                    if (now >= fb.preAllowedAt) {
+                        ++c.stats.promotedReads;
+                        return issuePre(fr.coord.rank, fr.coord.bank);
+                    }
+                    cand(fb.preAllowedAt);
+                }
+            }
+        }
     }
+
+    // Each pass scans occupied banks (ready-bank bitmask) instead of
+    // the whole queue; FR-FCFS age order is preserved by taking the
+    // minimum request sequence number over per-bank candidates.
+    std::uint32_t best = kNone;
+    std::uint64_t bestSeq = ~std::uint64_t{0};
+
+    // Pass 1 (FR): oldest ready row hit.  All gating conditions are
+    // bank- or rank-level, so within a bank the candidate is simply
+    // the oldest request targeting the open row.
+    q.forEachOccupiedBank([&](int bankIdx) {
+        Bank &b = bankState(bankIdx);
+        if (!b.isOpen() || bankBlocked(bankIdx))
+            return;
+        const Tick casAllowed =
+            isWriteQueue ? b.wrAllowedAt : b.rdAllowedAt;
+        // Bus constraints: burst spacing plus rank-to-rank switch
+        // and read<->write turnaround penalties.
+        const Tick busReady = busReadyFor(bankIdx / banksPerRank);
+        if (now < casAllowed || now < busReady) {
+            // Conservative: recorded whether or not a row hit is
+            // actually queued -- an early wake just re-sleeps.
+            cand(std::max(casAllowed, busReady));
+            return;
+        }
+        for (auto s = q.bankFront(bankIdx); s != kNone;
+             s = q.nextInBank(s)) {
+            const Request &r = q.request(s);
+            if (b.openRow == static_cast<std::int64_t>(r.coord.row)) {
+                if (r.seq < bestSeq) {
+                    bestSeq = r.seq;
+                    best = s;
+                }
+                return;
+            }
+        }
+    });
+    if (best != kNone)
+        return issueCas(best);
 
     // Pass 2 (FCFS): oldest request needing an ACT on a closed bank.
     // The gating conditions are request-independent, so the per-bank
@@ -534,21 +621,8 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
             best = q.bankFront(bankIdx);
         }
     });
-    if (best != kNone) {
-        Request &r = q.request(best);
-        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
-        auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
-        REFSCHED_PROBE(
-            probe_,
-            onDramCommand({now, validate::DramOp::Act, ch,
-                           r.coord.rank, r.coord.bank, r.coord.row,
-                           0}));
-        b.activate(now, static_cast<std::int64_t>(r.coord.row), t);
-        rank.noteActivate(now, t);
-        c.stats.energyActivatePj += params_.energy.actPrePj;
-        r.neededAct = true;
-        return true;
-    }
+    if (best != kNone)
+        return issueAct(best);
 
     // Pass 3: precharge a conflicting row for the oldest conflicting
     // request, but only when no queued request still wants that row
@@ -581,14 +655,7 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
     });
     if (best != kNone) {
         const Request &r = q.request(best);
-        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
-        REFSCHED_PROBE(
-            probe_,
-            onDramCommand({now, validate::DramOp::Pre, ch,
-                           r.coord.rank, r.coord.bank,
-                           static_cast<std::uint64_t>(b.openRow), 0}));
-        b.precharge(now, t);
-        return true;
+        return issuePre(r.coord.rank, r.coord.bank);
     }
 
     return false;
@@ -652,6 +719,71 @@ MemoryController::closedPagePrecharge(Channel &c,
     return false;
 }
 
+bool
+MemoryController::idleRowPrecharge(Channel &c,
+                                   [[maybe_unused]] int ch,
+                                   Tick &wake)
+{
+    const Tick now = eq_.now();
+    const auto &t = cfg_.timings;
+
+    auto cand = [&](Tick when) {
+        if (when > now)
+            wake = std::min(wake, when);
+    };
+
+    auto rowWanted = [&](int bankIdx, std::int64_t row) {
+        auto scan = [&](const BankedRequestQueue &q) {
+            for (auto s = q.bankFront(bankIdx);
+                 s != BankedRequestQueue::kNone; s = q.nextInBank(s)) {
+                if (static_cast<std::int64_t>(
+                        q.request(s).coord.row) == row) {
+                    return true;
+                }
+            }
+            return false;
+        };
+        return scan(c.readQ) || scan(c.writeQ);
+    };
+
+    for (int rank = 0; rank < cfg_.org.ranksPerChannel; ++rank) {
+        for (int bank = 0; bank < cfg_.org.banksPerRank; ++bank) {
+            dram::Bank &b = c.ranks[static_cast<std::size_t>(rank)]
+                .banks[static_cast<std::size_t>(bank)];
+            if (!b.isOpen())
+                continue;
+            if (b.underRefresh(now)) {
+                cand(b.refreshingUntil);
+                continue;
+            }
+            if (frozenByRefresh(c, rank, bank))
+                continue;
+            if (rowWanted(bankIndex(rank, bank), b.openRow))
+                continue;  // pass 1 owns it; serving resets the clock
+            const Tick expiry =
+                b.lastAccessAt + params_.openRowIdleTimeout;
+            if (now < expiry) {
+                cand(expiry);
+                continue;
+            }
+            if (now < b.preAllowedAt) {
+                cand(b.preAllowedAt);
+                continue;
+            }
+            REFSCHED_PROBE(
+                probe_,
+                onDramCommand({now, validate::DramOp::Pre, ch, rank,
+                               bank,
+                               static_cast<std::uint64_t>(b.openRow),
+                               0}));
+            b.precharge(now, t);
+            ++c.stats.idleRowCloses;
+            return true;
+        }
+    }
+    return false;
+}
+
 void
 MemoryController::tick(int ch)
 {
@@ -704,6 +836,9 @@ MemoryController::tick(int ch)
     }
     if (!issued && params_.pagePolicy == PagePolicy::Closed)
         issued = closedPagePrecharge(c, ch, wake);
+    if (!issued && params_.pagePolicy == PagePolicy::Open
+        && params_.openRowIdleTimeout > 0)
+        issued = idleRowPrecharge(c, ch, wake);
 
     // Re-arm.  A command issue changes gate state, so the very next
     // edge may issue again; a no-op tick sleeps to the earliest gate
@@ -740,6 +875,8 @@ MemoryController::registerStats(StatRegistry &reg,
         reg.add(p + "rowsRefreshed", &s.rowsRefreshed);
         reg.add(p + "readsBlockedByRefresh", &s.readsBlockedByRefresh);
         reg.add(p + "refreshBlockedTicks", &s.refreshBlockedTicks);
+        reg.add(p + "promotedReads", &s.promotedReads);
+        reg.add(p + "idleRowCloses", &s.idleRowCloses);
         reg.add(p + "writeDrainBatches", &s.writeDrainBatches);
         reg.add(p + "forwardedReads", &s.forwardedReads);
         reg.add(p + "readLatency", &s.readLatency);

@@ -93,6 +93,36 @@ struct ControllerParams
      * fresh refresh command.
      */
     bool refreshPausing = false;
+
+    /**
+     * FR-FCFS starvation cap for reads (ticks; 0 disables).  The CPU
+     * retires in order, so a read bypassed indefinitely by younger
+     * row hits blocks its core no matter how much bandwidth the
+     * channel sustains.  Once the oldest queued read has waited this
+     * long, its next command (CAS, ACT, or even a precharge of a row
+     * younger requests still want) issues ahead of any younger hit.
+     * 256 DDR3-1600 clocks, ~8x the mean loaded read latency:
+     * healthy FR-FCFS reordering never reaches it, a pathological
+     * hit streak is bounded by it.
+     */
+    Tick readStarvationThreshold = 320000;
+
+    /**
+     * Idle-row auto-close timeout for the Open page policy (ticks;
+     * 0 keeps rows open forever).  A strictly-open policy taxes
+     * irregular access streams: every revisit of a bank whose stale
+     * row nobody wants pays PRE+ACT on the critical path.  Real
+     * controllers close rows left idle this long (adaptive page
+     * management), off the critical path, in otherwise-idle command
+     * slots.  The differential fuzzer's dominance oracle exposed the
+     * strict policy: per-bank refresh BEAT the no-refresh ideal on
+     * mcf-heavy samples because each REF closed stale rows as a side
+     * effect -- refresh was acting as the missing idle-row closer.
+     * 200 DDR3-1600 clocks: past any realistic row-reuse burst, well
+     * under typical same-bank revisit distances of irregular
+     * workloads.
+     */
+    Tick openRowIdleTimeout = 250000;
 };
 
 class MemoryController : public dram::McRefreshView
@@ -155,6 +185,8 @@ class MemoryController : public dram::McRefreshView
         Scalar rowsRefreshed;
         Scalar readsBlockedByRefresh;
         Scalar refreshBlockedTicks;
+        Scalar promotedReads;
+        Scalar idleRowCloses;
         Scalar writeDrainBatches;
         Scalar forwardedReads;
         Average readLatency;   ///< enqueue -> data (ticks)
@@ -254,6 +286,11 @@ class MemoryController : public dram::McRefreshView
     /** Closed-page policy: precharge one idle open row, if any;
      *  time-gated skips fold into @p wake. */
     bool closedPagePrecharge(Channel &c, int ch, Tick &wake);
+
+    /** Open-page idle timeout: precharge one open row that has been
+     *  idle past openRowIdleTimeout and that no queued request still
+     *  wants; pending expiries fold into @p wake. */
+    bool idleRowPrecharge(Channel &c, int ch, Tick &wake);
 
     /** True if the bank is frozen by an in-flight/pending refresh. */
     bool frozenByRefresh(const Channel &c, int rank, int bank) const;

@@ -113,6 +113,8 @@ BuddyAllocator::allocPage(Task &task)
             ++pagesAllocated_;
             freeFrames_ -= 1;  // cached pages count as free
             task.lastAllocedBank = allocBank;
+            ++task.residentPagesPerBank[static_cast<std::size_t>(
+                allocBank)];
             REFSCHED_PROBE(probe_,
                            onPageAlloc({clock_ ? clock_->now() : 0,
                                         task.pid(), *pfn, false,
@@ -131,6 +133,8 @@ BuddyAllocator::allocPage(Task &task)
             if (bank == allocBank) {
                 ++pagesAllocated_;
                 task.lastAllocedBank = allocBank;
+                ++task.residentPagesPerBank[static_cast<std::size_t>(
+                    allocBank)];
                 REFSCHED_PROBE(
                     probe_,
                     onPageAlloc({clock_ ? clock_->now() : 0,
@@ -159,8 +163,12 @@ BuddyAllocator::allocPageAnyBank(Task *task)
             ++fallbacks_;
             ++pagesAllocated_;
             freeFrames_ -= 1;
-            if (task)
+            if (task) {
                 task->lastAllocedBank = bank;
+                ++task->residentPagesPerBank[
+                    static_cast<std::size_t>(bank)];
+                ++task->fallbackAllocs;
+            }
             REFSCHED_PROBE(
                 probe_,
                 onPageAlloc({clock_ ? clock_->now() : 0,
@@ -173,8 +181,13 @@ BuddyAllocator::allocPageAnyBank(Task *task)
     if (auto page = allocBlock(0)) {
         ++fallbacks_;
         ++pagesAllocated_;
-        if (task)
-            task->lastAllocedBank = mapping_.bankOfFrame(*page);
+        if (task) {
+            const int bank = mapping_.bankOfFrame(*page);
+            task->lastAllocedBank = bank;
+            ++task->residentPagesPerBank[
+                static_cast<std::size_t>(bank)];
+            ++task->fallbackAllocs;
+        }
         REFSCHED_PROBE(
             probe_,
             onPageAlloc({clock_ ? clock_->now() : 0,

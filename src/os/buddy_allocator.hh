@@ -51,13 +51,21 @@ class BuddyAllocator
     /**
      * Allocate one page for @p task honouring its
      * possibleBanksVector, rotating over permitted banks.  Returns
-     * std::nullopt when no page in a permitted bank exists.
+     * std::nullopt when no page in a permitted bank exists.  On
+     * success the task's residentPagesPerBank footprint is updated
+     * here, at the allocation site -- the refresh-aware scheduler
+     * (Algorithm 3) reads that footprint, so every allocation path
+     * must record it, not just the virtual-memory fault handler.
      */
     std::optional<std::uint64_t> allocPage(Task &task);
 
     /**
      * Fallback of section 5.4.1: allocate one page from any bank
-     * (used when the soft-partitioned banks are exhausted).
+     * (used when the soft-partitioned banks are exhausted).  A spill
+     * outside the mask is never silent: the task's bank footprint
+     * and fallbackAllocs counter are updated and the probe event is
+     * emitted with fallback=true so the OsAuditor can check the
+     * spill was justified (all permitted banks full).
      */
     std::optional<std::uint64_t> allocPageAnyBank(Task *task);
 

@@ -50,11 +50,13 @@ CfsRunQueue::forEachInOrder(
     }
 }
 
-Tick
+std::optional<Tick>
 CfsRunQueue::minVruntime() const
 {
     auto *node = tree_.leftmost();
-    return node ? node->key.vruntime : 0;
+    if (!node)
+        return std::nullopt;
+    return node->key.vruntime;
 }
 
 } // namespace refsched::os

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <unordered_map>
 
 #include "os/rbtree.hh"
@@ -61,8 +62,14 @@ class CfsRunQueue
     void forEachInOrder(
         const std::function<bool(Task *)> &visit) const;
 
-    /** Smallest vruntime in the queue (0 when empty). */
-    Tick minVruntime() const;
+    /**
+     * Smallest vruntime in the queue, or nullopt when empty.  An
+     * empty queue deliberately has NO min vruntime: returning a
+     * sentinel 0 would be indistinguishable from a real vruntime of
+     * 0 and would drag the wake-clamp floor (Scheduler::wakeTask) to
+     * zero whenever any sibling queue is momentarily empty.
+     */
+    std::optional<Tick> minVruntime() const;
 
     std::size_t size() const { return tree_.size(); }
     bool empty() const { return tree_.empty(); }

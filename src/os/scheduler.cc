@@ -107,8 +107,8 @@ Scheduler::wakeTask(Task *task)
     // a long sleep does not let the task monopolise the CPU.
     Tick minV = kMaxTick;
     for (const auto &q : queues_) {
-        if (!q.empty())
-            minV = std::min(minV, q.minVruntime());
+        if (const auto mv = q.minVruntime())
+            minV = std::min(minV, *mv);
     }
     for (const Task *cur : current_) {
         if (cur)

@@ -26,13 +26,13 @@ VirtualMemory::translate(Task &task, Addr vaddr, bool *faulted)
     }
 
     // Demand paging: Algorithm 2 first, any-bank fallback second.
+    // The allocator records the task's bank footprint (and the
+    // fallbackAllocs count on a spill) at the allocation site.
     auto pfn = buddy_.allocPage(task);
     if (!pfn) {
         pfn = buddy_.allocPageAnyBank(&task);
-        if (pfn) {
+        if (pfn)
             ++fallbacks_;
-            ++task.fallbackAllocs;
-        }
     }
     if (!pfn)
         fatal("out of physical memory: task ", task.name(), " (pid ",
@@ -40,8 +40,6 @@ VirtualMemory::translate(Task &task, Addr vaddr, bool *faulted)
               buddy_.freeFrames(), " free frames");
 
     task.pageTable.emplace(vpn, *pfn);
-    ++task.residentPagesPerBank[static_cast<std::size_t>(
-        mapping_.bankOfFrame(*pfn))];
     ++task.pageFaults;
     ++pageFaults_;
     if (faulted)

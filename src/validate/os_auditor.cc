@@ -14,8 +14,15 @@ OsAuditor::OsAuditor(const dram::AddressMapping &mapping,
       refreshAware_(refreshAware),
       etaThresh_(etaThresh),
       bestEffort_(bestEffort),
-      allocated_(mapping.totalFrames(), 0)
+      allocated_(mapping.totalFrames(), 0),
+      perBankAllocated_(static_cast<std::size_t>(mapping.totalBanks()),
+                        0),
+      perBankCapacity_(static_cast<std::size_t>(mapping.totalBanks()),
+                       0)
 {
+    for (std::uint64_t pfn = 0; pfn < mapping.totalFrames(); ++pfn)
+        ++perBankCapacity_[static_cast<std::size_t>(
+            mapping.bankOfFrame(pfn))];
 }
 
 OsAuditor::RqMirror &
@@ -60,6 +67,27 @@ OsAuditor::onPageAlloc(const PageAllocEvent &ev)
              " (global bank ", bank, ") allocated to pid ", ev.pid,
              " outside its possible_banks_vector");
 
+    // Spill justification: a fallback allocation is only legal when
+    // every permitted bank was already full at this point (the
+    // counts below exclude the page being allocated right now).
+    if (ev.fallback && ev.allowedBanks) {
+        for (std::size_t b = 0;
+             b < ev.allowedBanks->size()
+             && b < perBankCapacity_.size();
+             ++b) {
+            if ((*ev.allowedBanks)[b]
+                && perBankAllocated_[b] < perBankCapacity_[b]) {
+                flag(ev.tick, "unjustified spill: pid ", ev.pid,
+                     " fell back to bank ", bank, " (pfn ", ev.pfn,
+                     ") while permitted bank ", b, " still has ",
+                     perBankCapacity_[b] - perBankAllocated_[b],
+                     " free frame(s)");
+                break;
+            }
+        }
+    }
+    ++perBankAllocated_[static_cast<std::size_t>(bank)];
+
     if (ev.pid >= 0) {
         auto &counts = residency_[ev.pid];
         if (counts.empty())
@@ -82,6 +110,8 @@ OsAuditor::onPageFree(const PageFreeEvent &ev)
     }
     allocated_[ev.pfn] = 0;
     --allocatedCount_;
+    --perBankAllocated_[static_cast<std::size_t>(
+        mapping_.bankOfFrame(ev.pfn))];
     freesSeen_ = true;
     checkConservation(ev.tick, "free");
 }
@@ -146,7 +176,17 @@ OsAuditor::checkPickDecision(const SchedPickEvent &ev)
     const auto &mirror = rq(ev.cpu);
     const std::size_t n = cands.size();
 
-    if (n > static_cast<std::size_t>(std::max(ev.etaThresh, 1)))
+    // Algorithm 3 examines AT MOST eta_thresh candidates: the
+    // eta_thresh-th candidate is still examined (and eligible to be
+    // picked clean), the eta_thresh+1-th is not.  Strict `>` here --
+    // a `>=` would reject legal walks that use their full budget.
+    // eta_thresh < 1 is rejected by the scheduler's constructor, so
+    // an event carrying one is itself evidence of a malformed stream
+    // and must not silently widen the bound.
+    if (ev.etaThresh < 1)
+        flag(ev.tick, "refresh-aware pick on cpu ", ev.cpu,
+             " carries eta_thresh ", ev.etaThresh, " < 1");
+    else if (n > static_cast<std::size_t>(ev.etaThresh))
         flag(ev.tick, "pick walk on cpu ", ev.cpu, " examined ", n,
              " candidates, eta_thresh is ", ev.etaThresh);
 

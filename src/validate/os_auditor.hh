@@ -10,6 +10,13 @@
  *    allocated + buddy.freeFrames == totalFrames, no frame is handed
  *    out twice or freed twice, and every non-fallback allocation
  *    lands inside the task's possible_banks_vector;
+ *  - per-bank allocated-frame counts: a fallback allocation (a spill
+ *    outside the mask) is only legal when every permitted bank is
+ *    completely full -- Algorithm 2 drains the whole buddy free list
+ *    into the per-bank caches while searching, so allocPage fails iff
+ *    no free frame exists in any permitted bank.  An unjustified
+ *    spill means the rotation skipped a bank with free pages and
+ *    silently violated the soft partition;
  *  - per-task per-bank residency counts rebuilt from allocations,
  *    cross-checking the scheduler's "clean" classification;
  *  - per-CPU sorted runqueue mirrors rebuilt from enqueue/dequeue
@@ -69,6 +76,11 @@ class OsAuditor final : public Checker
 
     std::vector<char> allocated_;
     std::uint64_t allocatedCount_ = 0;
+    /** Allocated frames per global bank (spill justification). */
+    std::vector<std::uint64_t> perBankAllocated_;
+    /** Total frames per global bank (XOR hashing permutes banks
+     *  within a row, so capacities are derived by enumeration). */
+    std::vector<std::uint64_t> perBankCapacity_;
     /** Frees carry no pid, so residency cross-checks stop once any
      *  page is freed (never during a measured run). */
     bool freesSeen_ = false;

@@ -80,4 +80,16 @@ workloadByName(const std::string &name)
     fatal("unknown workload: ", name);
 }
 
+std::vector<std::string>
+randomTaskList(Rng &rng, int totalTasks)
+{
+    REFSCHED_ASSERT(totalTasks > 0, "empty task list requested");
+    const auto names = builtinProfileNames();
+    std::vector<std::string> tasks;
+    tasks.reserve(static_cast<std::size_t>(totalTasks));
+    for (int i = 0; i < totalTasks; ++i)
+        tasks.push_back(names[rng.below(names.size())]);
+    return tasks;
+}
+
 } // namespace refsched::workload

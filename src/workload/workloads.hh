@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "simcore/rng.hh"
 #include "workload/profile.hh"
 
 namespace refsched::workload
@@ -40,6 +41,15 @@ const std::vector<WorkloadSpec> &table2Workloads();
 
 /** Look up a workload by name ("WL-3"). */
 const WorkloadSpec &workloadByName(const std::string &name);
+
+/**
+ * A random multiset of built-in benchmark names: uniform independent
+ * draws over builtinProfileNames().  Unlike the curated Table 2
+ * mixes this reaches arbitrary intensity combinations (all-high,
+ * all-low, lopsided), which is what the differential fuzzer wants.
+ * Deterministic in @p rng.
+ */
+std::vector<std::string> randomTaskList(Rng &rng, int totalTasks);
 
 } // namespace refsched::workload
 

@@ -167,7 +167,14 @@ TEST(PerBankRoundRobinTest, RotatesOverAllBanks)
         dev.timings.tREFIpb(dev.org.banksTotal());
 
     for (int i = 0; i < 2 * dev.org.banksTotal(); ++i) {
-        EXPECT_EQ(sched.nextDue(0), static_cast<Tick>(i) * tREFIpb);
+        // The cadence re-anchors at every tREFI_ab boundary so the
+        // truncation of tREFI_ab / banksTotal cannot accumulate
+        // across windows (the pre-fix `i * tREFIpb` drifted early).
+        const int bpc = dev.org.banksTotal();
+        const Tick due =
+            static_cast<Tick>(i / bpc) * dev.timings.tREFIab
+            + static_cast<Tick>(i % bpc) * tREFIpb;
+        EXPECT_EQ(sched.nextDue(0), due);
         const auto cmd = sched.pop(0, view);
         EXPECT_FALSE(cmd.isAllBank());
         const int expected = i % dev.org.banksTotal();
@@ -394,6 +401,122 @@ TEST(FactoryTest, CreatesEveryPolicy)
         EXPECT_EQ(sched->policy(), p);
         EXPECT_FALSE(sched->name().empty());
     }
+}
+
+/**
+ * Long-horizon cadence exactness (>= 4 x tREFW): bucket every
+ * command by the wall-clock window its DUE TICK falls in and demand
+ * per-bank row totals be exact in every window.
+ *
+ * This is strictly stronger than cumulative coverage: the pre-fix
+ * `cmdIndex * step` cadences drifted EARLY (truncation of
+ * tREFI / N accumulates), so commands meant for window w+1 leaked
+ * into window w while cumulative tallies still balanced.  The
+ * coverage tests above cannot see that; wall-clock bucketing can.
+ */
+std::vector<std::vector<std::uint64_t>>
+rowsPerWallClockWindow(RefreshScheduler &sched,
+                       const DramDeviceConfig &dev,
+                       const McRefreshView &view,
+                       std::uint64_t numWindows)
+{
+    const int banksTotal = dev.org.banksTotal();
+    std::vector<std::vector<std::uint64_t>> rows(
+        numWindows,
+        std::vector<std::uint64_t>(
+            static_cast<std::size_t>(banksTotal), 0));
+    const Tick horizon =
+        static_cast<Tick>(numWindows) * dev.timings.tREFW;
+    while (sched.nextDue(0) < horizon) {
+        const auto window = static_cast<std::size_t>(
+            sched.nextDue(0) / dev.timings.tREFW);
+        const auto cmd = sched.pop(0, view);
+        auto &bucket = rows[window];
+        if (cmd.isAllBank()) {
+            for (int b = 0; b < dev.org.banksPerRank; ++b)
+                bucket[static_cast<std::size_t>(
+                    cmd.rank * dev.org.banksPerRank + b)] += cmd.rows;
+        } else {
+            bucket[static_cast<std::size_t>(
+                cmd.rank * dev.org.banksPerRank + cmd.bank)]
+                += cmd.rows;
+        }
+    }
+    return rows;
+}
+
+class LongHorizonCadenceTest
+    : public ::testing::TestWithParam<RefreshPolicy>
+{
+};
+
+TEST_P(LongHorizonCadenceTest, ExactRowsPerBankPerWindow)
+{
+    const auto dev = cfg(/*timeScale=*/1024);
+    auto sched = makeRefreshScheduler(GetParam(), dev);
+    FakeView view;
+
+    constexpr std::uint64_t kWindows = 4;
+    const auto rows =
+        rowsPerWallClockWindow(*sched, dev, view, kWindows);
+    const std::uint64_t expected =
+        GetParam() == RefreshPolicy::NoRefresh ? 0
+                                               : dev.org.rowsPerBank;
+    for (std::uint64_t w = 0; w < kWindows; ++w)
+        for (std::size_t b = 0; b < rows[w].size(); ++b)
+            EXPECT_EQ(rows[w][b], expected)
+                << toString(GetParam()) << " window " << w
+                << " bank " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, LongHorizonCadenceTest,
+    ::testing::Values(RefreshPolicy::NoRefresh, RefreshPolicy::AllBank,
+                      RefreshPolicy::PerBankRoundRobin,
+                      RefreshPolicy::SequentialPerBank,
+                      RefreshPolicy::OooPerBank,
+                      RefreshPolicy::Adaptive));
+
+TEST(LongHorizonCadenceRanks3Test, AllBankNonDividingStagger)
+{
+    // ranks=3 does not divide tREFI_ab: the truncated stagger loses
+    // (tREFIab - 3 * stagger) ticks per interval, so the pre-fix
+    // cadence pulled every window-boundary command into the previous
+    // wall-clock window (rank 0 over-refreshed in window w, under-
+    // refreshed in the last).  Only the policy layer is exercised:
+    // full-System organizations require power-of-two ranks.
+    auto dev = cfg(/*timeScale=*/1024);
+    dev.org.ranksPerChannel = 3;
+    ASSERT_NE(dev.timings.tREFIab % 3, 0u);
+
+    AllBankRefresh sched(dev);
+    FakeView view;
+    constexpr std::uint64_t kWindows = 4;
+    const auto rows =
+        rowsPerWallClockWindow(sched, dev, view, kWindows);
+    for (std::uint64_t w = 0; w < kWindows; ++w)
+        for (std::size_t b = 0; b < rows[w].size(); ++b)
+            EXPECT_EQ(rows[w][b], dev.org.rowsPerBank)
+                << "window " << w << " bank " << b;
+}
+
+TEST(LongHorizonCadenceRanks3Test, PerBankNonDividingInterval)
+{
+    auto dev = cfg(/*timeScale=*/1024);
+    dev.org.ranksPerChannel = 3;
+    ASSERT_NE(dev.timings.tREFIab
+                  % static_cast<Tick>(dev.org.banksTotal()),
+              0u);
+
+    PerBankRoundRobin sched(dev);
+    FakeView view;
+    constexpr std::uint64_t kWindows = 4;
+    const auto rows =
+        rowsPerWallClockWindow(sched, dev, view, kWindows);
+    for (std::uint64_t w = 0; w < kWindows; ++w)
+        for (std::size_t b = 0; b < rows[w].size(); ++b)
+            EXPECT_EQ(rows[w][b], dev.org.rowsPerBank)
+                << "window " << w << " bank " << b;
 }
 
 TEST(MultiChannelTest, ChannelsHaveIndependentCursors)

@@ -36,10 +36,11 @@ struct CompletionSink : Callee
 struct Harness
 {
     explicit Harness(RefreshPolicy policy = RefreshPolicy::NoRefresh,
-                     unsigned timeScale = 64)
+                     unsigned timeScale = 64,
+                     const ControllerParams &params = {})
         : dev(dram::makeDdr3_1600(DensityGb::d32, milliseconds(64.0),
                                   timeScale)),
-          mc(eq, dev, dram::makeRefreshScheduler(policy, dev))
+          mc(eq, dev, dram::makeRefreshScheduler(policy, dev), params)
     {
     }
 
@@ -102,7 +103,9 @@ TEST(MemoryControllerTest, RowHitSkipsActivation)
 {
     Harness h;
     auto first = h.read(h.addrOf(0, 0, 10, 0));
-    h.eq.runUntil(microseconds(1));
+    // Stay within the idle-row auto-close timeout so row 10 is
+    // still latched when the second request arrives.
+    h.eq.runUntil(nanoseconds(100));
     ASSERT_TRUE(first->has_value());
 
     const Tick start = h.eq.now();
@@ -123,7 +126,9 @@ TEST(MemoryControllerTest, RowConflictPrechargesAndReopens)
 {
     Harness h;
     auto first = h.read(h.addrOf(0, 0, 10));
-    h.eq.runUntil(microseconds(1));
+    // Within the idle-close timeout: row 10 is still open, so the
+    // second request is a genuine conflict.
+    h.eq.runUntil(nanoseconds(100));
 
     const Tick start = h.eq.now();
     auto second = h.read(h.addrOf(0, 0, 99));
@@ -140,9 +145,10 @@ TEST(MemoryControllerTest, RowConflictPrechargesAndReopens)
 TEST(MemoryControllerTest, FrFcfsPrioritisesRowHitsOverOlderMisses)
 {
     Harness h;
-    // Open row 5 in bank 0.
+    // Open row 5 in bank 0 (and stay inside the idle-close timeout
+    // so it is still open when the contenders arrive).
     auto warm = h.read(h.addrOf(0, 0, 5));
-    h.eq.runUntil(microseconds(1));
+    h.eq.runUntil(nanoseconds(100));
     ASSERT_TRUE(warm->has_value());
 
     // Older conflicting request to bank 0 row 7, then a younger
@@ -493,11 +499,43 @@ TEST(MemoryControllerTest, ClosedPagePolicyClosesIdleRows)
 
 TEST(MemoryControllerTest, OpenPageKeepsRowForLaterHit)
 {
-    // Control experiment for the closed-page test above.
+    // Control experiment for the closed-page test above: inside the
+    // idle-close timeout the open-page policy keeps the row latched.
     Harness h;  // open-page default
     auto done = h.read(h.addrOf(0, 3, 9, 0));
-    h.eq.runUntil(microseconds(1));
+    h.eq.runUntil(nanoseconds(100));
+    ASSERT_TRUE(done->has_value());
     EXPECT_TRUE(h.mc.bank(0, 0, 3).isOpen());
+}
+
+TEST(MemoryControllerTest, OpenPageIdleRowAutoCloses)
+{
+    // Regression for a differential-fuzzer find (corpus entry
+    // tests/fuzz/corpus/dominance-stale-open-row-mcf.txt): a
+    // strictly-open policy left stale rows latched forever, so
+    // irregular streams paid PRE+ACT on the critical path at every
+    // bank revisit -- and per-bank REF, which precharges its target
+    // bank as a side effect, made every refreshing policy BEAT the
+    // no-refresh ideal.  Rows idle past openRowIdleTimeout that no
+    // queued request wants must be closed in idle command slots.
+    Harness h;  // open-page default, timeout 250000 ps
+    auto done = h.read(h.addrOf(0, 3, 9, 0));
+    h.eq.runUntil(microseconds(1));
+    ASSERT_TRUE(done->has_value());
+    EXPECT_FALSE(h.mc.bank(0, 0, 3).isOpen());
+    EXPECT_EQ(h.mc.channelStats(0).idleRowCloses.value(), 1.0);
+}
+
+TEST(MemoryControllerTest, IdleCloseDisabledKeepsRowOpenForever)
+{
+    ControllerParams params;
+    params.openRowIdleTimeout = 0;
+    Harness h(RefreshPolicy::NoRefresh, 64, params);
+    auto done = h.read(h.addrOf(0, 3, 9, 0));
+    h.eq.runUntil(microseconds(1));
+    ASSERT_TRUE(done->has_value());
+    EXPECT_TRUE(h.mc.bank(0, 0, 3).isOpen());
+    EXPECT_EQ(h.mc.channelStats(0).idleRowCloses.value(), 0.0);
 }
 
 TEST(MemoryControllerTest, InvalidWatermarksAreFatal)

@@ -17,7 +17,9 @@
 #include "dram/address_mapping.hh"
 #include "os/buddy_allocator.hh"
 #include "os/task.hh"
+#include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
+#include "validate/os_auditor.hh"
 
 namespace refsched::os
 {
@@ -235,6 +237,60 @@ TEST(BuddyAllocatorPropertyTest, ExhaustionRoundTrip)
     EXPECT_EQ(buddy.freeFrames(), buddy.totalFrames());
     std::string why;
     EXPECT_TRUE(buddy.checkInvariants(&why)) << why;
+}
+
+/**
+ * Soft-partition audit: allocate a task's single permitted bank to
+ * exhaustion, then spill.  The spill must be recorded on the task
+ * (bank footprint + fallbackAllocs, maintained by the allocator at
+ * the allocation site) and judged justified by the OsAuditor's
+ * per-bank occupancy model -- a spill while the permitted bank still
+ * had free frames would be flagged as a silent partition violation.
+ */
+TEST(BuddyAllocatorPropertyTest, SingleBankExhaustionSpillIsRecorded)
+{
+    dram::AddressMapping mapping(smallOrg());
+    BuddyAllocator buddy(mapping);
+    EventQueue eq;
+    validate::OsAuditor aud(mapping, &buddy, false, 64, true);
+    buddy.setProbe(&aud, &eq);
+
+    constexpr int kBank = 2;
+    Task task(1, "hog", mapping.totalBanks());
+    for (int g = 0; g < mapping.totalBanks(); ++g)
+        task.allowBank(g, g == kBank);
+
+    std::uint64_t bankFrames = 0;
+    for (std::uint64_t pfn = 0; pfn < mapping.totalFrames(); ++pfn)
+        if (mapping.bankOfFrame(pfn) == kBank)
+            ++bankFrames;
+    ASSERT_GT(bankFrames, 0u);
+
+    std::uint64_t allocated = 0;
+    while (auto pfn = buddy.allocPage(task)) {
+        EXPECT_EQ(mapping.bankOfFrame(*pfn), kBank);
+        ++allocated;
+        ASSERT_LE(allocated, buddy.totalFrames());
+    }
+    // Exhaustion means exactly the bank's capacity, no early nullopt.
+    EXPECT_EQ(allocated, bankFrames);
+    EXPECT_EQ(task.residentPagesPerBank[kBank], bankFrames);
+    EXPECT_EQ(task.fallbackAllocs, 0u);
+
+    const auto spill = buddy.allocPageAnyBank(&task);
+    ASSERT_TRUE(spill.has_value());
+    const int spillBank = mapping.bankOfFrame(*spill);
+    EXPECT_NE(spillBank, kBank);
+    EXPECT_EQ(task.fallbackAllocs, 1u);
+    EXPECT_EQ(
+        task.residentPagesPerBank[static_cast<std::size_t>(spillBank)],
+        1u);
+    EXPECT_EQ(buddy.fallbackAllocations(), 1u);
+
+    aud.finalize(0);
+    EXPECT_EQ(aud.violationCount(), 0u)
+        << (aud.violationCount() ? aud.violations().front().message
+                                 : "");
 }
 
 } // namespace

@@ -66,7 +66,8 @@ TEST(CfsRunQueuePropertyTest, RandomChurnMatchesSortedVector)
         ASSERT_EQ(rq.empty(), ref.empty());
         if (!ref.empty()) {
             ASSERT_EQ(rq.first(), ref.front());
-            ASSERT_EQ(rq.minVruntime(), ref.front()->vruntime);
+            ASSERT_EQ(rq.minVruntime(),
+                      std::optional<Tick>(ref.front()->vruntime));
         }
 
         // The bounded in-order walk must be an exact prefix of the

@@ -27,7 +27,10 @@ TEST(CfsRunQueueTest, EmptyQueue)
     CfsRunQueue rq;
     EXPECT_TRUE(rq.empty());
     EXPECT_EQ(rq.first(), nullptr);
-    EXPECT_EQ(rq.minVruntime(), 0u);
+    // Regression: an empty queue must NOT report a sentinel vruntime
+    // of 0 -- that is indistinguishable from a real vruntime 0 and
+    // used to drag Scheduler::wakeTask's clamp floor to zero.
+    EXPECT_EQ(rq.minVruntime(), std::nullopt);
 }
 
 TEST(CfsRunQueueTest, FirstIsMinimumVruntime)
@@ -40,7 +43,7 @@ TEST(CfsRunQueueTest, FirstIsMinimumVruntime)
     rq.enqueue(b.get());
     rq.enqueue(c.get());
     EXPECT_EQ(rq.first(), b.get());
-    EXPECT_EQ(rq.minVruntime(), 100u);
+    EXPECT_EQ(rq.minVruntime(), std::optional<Tick>(100));
     EXPECT_EQ(rq.size(), 3u);
     EXPECT_TRUE(rq.validate());
 }

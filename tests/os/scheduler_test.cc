@@ -257,6 +257,25 @@ TEST(RefreshAwareSchedulerTest, EtaThreshBoundsTheWalk)
     EXPECT_EQ(f.sched.fallbackPicks.value(), 1.0);
 }
 
+TEST(RefreshAwareSchedulerTest, EtaThreshBoundaryIsInclusive)
+{
+    // Algorithm 3 examines AT MOST eta_thresh candidates and the
+    // boundary is inclusive: a clean task sitting exactly at
+    // position eta_thresh is still examined and picked.  Pins the
+    // walk bound's `<` (an off-by-one `<=`/`<` slip either stops the
+    // walk one candidate early, failing here, or walks one past the
+    // budget, failing EtaThreshBoundsTheWalk and the OsAuditor's
+    // strict n > eta_thresh check).
+    RefreshAwareFixture f(/*eta=*/2, /*bestEffort=*/false);
+    auto *a = f.addTask(1);
+    auto *b = f.addTask(2);
+    f.putPages(a, 0, 5);
+    // b is clean and second in line: eta=2 must reach it.
+    EXPECT_EQ(f.sched.pickNextTask(0, {0}), b);
+    EXPECT_EQ(f.sched.cleanPicks.value(), 1.0);
+    EXPECT_EQ(f.sched.fallbackPicks.value(), 0.0);
+}
+
 TEST(RefreshAwareSchedulerTest, BestEffortPicksMinimalResident)
 {
     // Section 5.4.1: when nobody is clean, pick the task with the

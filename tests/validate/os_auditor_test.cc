@@ -153,11 +153,34 @@ TEST(OsAuditorTest, BankMaskConfinementFlagged)
     }
     {
         // The same allocation marked as an Algorithm 2 fallback is
-        // legitimate.
+        // legitimate -- but only once the permitted bank is full.
         OsAuditor aud(mapping, nullptr, false, 64, true);
-        aud.onPageAlloc(alloc(1, 1, pfn, /*fallback=*/true, &mask));
-        EXPECT_EQ(aud.violationCount(), 0u);
+        Tick t = 1;
+        for (const auto full : framesInBank(mapping, 1))
+            aud.onPageAlloc(alloc(t++, 1, full, /*fallback=*/false,
+                                  &mask));
+        aud.onPageAlloc(alloc(t, 1, pfn, /*fallback=*/true, &mask));
+        EXPECT_EQ(aud.violationCount(), 0u)
+            << aud.violations().front().message;
     }
+}
+
+TEST(OsAuditorTest, UnjustifiedSpillFlagged)
+{
+    dram::AddressMapping mapping(smallOrg());
+    // Bank 1 is permitted and still has every frame free: a fallback
+    // allocation spilling into bank 0 means Algorithm 2's rotation
+    // skipped a bank with free pages -- the soft partition was
+    // violated without need.
+    std::vector<bool> mask(
+        static_cast<std::size_t>(mapping.totalBanks()), false);
+    mask[1] = true;
+    const auto pfn = framesInBank(mapping, 0).front();
+
+    OsAuditor aud(mapping, nullptr, false, 64, true);
+    aud.onPageAlloc(alloc(1, 1, pfn, /*fallback=*/true, &mask));
+    EXPECT_EQ(aud.violationCount(), 1u);
+    EXPECT_TRUE(hasViolation(aud, "unjustified spill"));
 }
 
 TEST(OsAuditorTest, ConservationMismatchFlagged)

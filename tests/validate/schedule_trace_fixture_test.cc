@@ -2,21 +2,25 @@
  * @file
  * Schedule-invariance fixtures for the wake-precise controller.
  *
- * tests/validate/data/<policy>.trace were recorded with the
- * every-edge-polling controller (commit a545fe5, before wake-precise
- * scheduling) via
+ * tests/validate/data/<policy>.trace were recorded via
  *
  *   golden_diff record --workload WL-8 --density 32 --scale 1024
  *                      --warmup 1 --measure 3 --policy <policy>
  *
- * one file per refresh policy.  The current controller must
- * reproduce every fixture byte-for-byte: sleeping until the earliest
- * timing-gate crossing instead of polling every memory-clock edge is
- * a host-side scheduling optimization and may not move, add, or drop
- * a single DRAM command, scheduler pick, or page movement.  Any
- * intended change to simulated behaviour must re-record the fixtures
- * (and say so): a diff here means the simulated machine changed, not
- * just the simulator's speed.
+ * one file per refresh policy.  The originals came from the
+ * every-edge-polling controller (commit a545fe5, before wake-precise
+ * scheduling) and proved the wake-precise rewrite was a pure
+ * host-side optimization.  They were re-recorded once since, when
+ * the open-page policy gained the idle-row auto-close timeout
+ * (ControllerParams::openRowIdleTimeout, found by the differential
+ * fuzzer's dominance oracle) -- an intended change to the simulated
+ * machine, which moves PRE commands by design.  The current
+ * controller must reproduce every fixture byte-for-byte: host-side
+ * scheduling changes may not move, add, or drop a single DRAM
+ * command, scheduler pick, or page movement.  Any intended change to
+ * simulated behaviour must re-record the fixtures (and say so): a
+ * diff here means the simulated machine changed, not just the
+ * simulator's speed.
  */
 
 #include <gtest/gtest.h>

@@ -26,11 +26,23 @@ run_pass() {
 run_pass asan address
 echo "=== asan: ctest ==="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+echo "=== asan: differential fuzz (corpus replay + short random run) ==="
+# The randomized samples drive every refresh policy through configs
+# the fixed tests never reach -- exactly where sanitizers earn their
+# keep.  Shrinking is disabled: a sanitizer abort is its own repro.
+./build-asan/tools/fuzz_policies --replay-dir tests/fuzz/corpus \
+    --samples 25 --seed 7 --shrink-budget 0
 
 run_pass tsan thread
 echo "=== tsan: parallel-runner determinism suite ==="
 ctest --test-dir build-tsan --output-on-failure -R 'ParallelRunner|GoldenTraceJobs'
 echo "=== tsan: full suite ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+echo "=== tsan: fuzz system sweep (parallel policy workers) ==="
+# System-mode samples run the policy sweep on worker threads and
+# cross-check jobs=1 vs jobs=N traces -- the fuzzer is itself a
+# race detector target.
+./build-tsan/tools/fuzz_policies --mode system --samples 5 --seed 11 \
+    --shrink-budget 0
 
 echo "all sanitizer passes clean"
