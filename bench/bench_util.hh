@@ -32,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "core/parallel_runner.hh"
 #include "core/report.hh"
 #include "core/system.hh"
+#include "obs/timeline.hh"
 #include "simcore/logging.hh"
 #include "workload/workloads.hh"
 
@@ -62,6 +64,12 @@ struct BenchOptions
     /** Run the invariant checkers on every cell; any violation
      *  fails the bench with a diagnostic. */
     bool validate = false;
+    /** When non-empty, each grid cell writes a Chrome trace-event
+     *  timeline to "<prefix>.cell<N>.json". */
+    std::string timelinePrefix;
+    /** When non-empty, each grid cell writes its stats/metrics JSON
+     *  to "<prefix>.cell<N>.json". */
+    std::string statsJsonPrefix;
 };
 
 namespace detail
@@ -164,7 +172,11 @@ usage(const char *argv0)
            "  --json FILE  archive emitted tables as JSON"
            " (e.g. BENCH_fig10.json)\n"
            "  --validate   run the invariant checkers on every cell"
-           " (fails on any violation)\n";
+           " (fails on any violation)\n"
+           "  --timeline-prefix P   write a Chrome trace-event"
+           " timeline per grid cell (P.cellN.json)\n"
+           "  --stats-json-prefix P write stats/metrics JSON per"
+           " grid cell (P.cellN.json)\n";
     std::exit(2);
 }
 
@@ -199,6 +211,14 @@ parseArgs(int argc, char **argv)
             opts.jsonPath = argv[++i];
         } else if (std::strcmp(argv[i], "--validate") == 0) {
             opts.validate = true;
+        } else if (std::strcmp(argv[i], "--timeline-prefix") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opts.timelinePrefix = argv[++i];
+        } else if (std::strcmp(argv[i], "--stats-json-prefix") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opts.statsJsonPrefix = argv[++i];
         } else {
             usage(argv[0]);
         }
@@ -264,8 +284,45 @@ class GridRunner
     std::size_t
     add(core::SystemConfig cfg)
     {
-        core::CellSpec cell;
         cfg.validate = opts_.validate;
+
+        // With per-cell observability artifacts requested, wrap the
+        // cell in a thunk that attaches a timeline recorder and
+        // writes one artifact per cell.  The simulation itself is
+        // unchanged (probes observe, never steer), so results stay
+        // byte-identical to the plain path and across --jobs.
+        if (!opts_.timelinePrefix.empty()
+            || !opts_.statsJsonPrefix.empty()) {
+            const std::size_t idx = cells_.size();
+            const auto run = runOptions();
+            const std::string tlPrefix = opts_.timelinePrefix;
+            const std::string sjPrefix = opts_.statsJsonPrefix;
+            return add([cfg = std::move(cfg), run, tlPrefix, sjPrefix,
+                        idx]() {
+                core::System sys(cfg);
+                std::unique_ptr<obs::TimelineRecorder> tl;
+                if (!tlPrefix.empty()) {
+                    tl = std::make_unique<obs::TimelineRecorder>(
+                        sys.controller().config().org, cfg.numCores);
+                    sys.attachProbe(tl.get());
+                }
+                const auto m = sys.run(run.warmupQuanta,
+                                       run.measureQuanta);
+                const std::string cell =
+                    ".cell" + std::to_string(idx) + ".json";
+                if (tl)
+                    tl->writeFile(tlPrefix + cell);
+                if (!sjPrefix.empty()) {
+                    std::ofstream f(sjPrefix + cell);
+                    if (!f)
+                        fatal("cannot write ", sjPrefix + cell);
+                    sys.writeStatsJson(f, m);
+                }
+                return m;
+            });
+        }
+
+        core::CellSpec cell;
         cell.cfg = std::move(cfg);
         cell.opts = runOptions();
         cells_.push_back(std::move(cell));

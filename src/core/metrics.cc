@@ -27,4 +27,59 @@ Metrics::summary() const
     return os.str();
 }
 
+void
+Metrics::toJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string in = pad + "  ";
+    os << "{\n"
+       << in << "\"harmonicMeanIpc\": " << harmonicMeanIpc << ",\n"
+       << in << "\"weightedIpcSum\": " << weightedIpcSum << ",\n"
+       << in << "\"avgReadLatencyMemCycles\": "
+       << avgReadLatencyMemCycles << ",\n"
+       << in << "\"rowHitRate\": " << rowHitRate << ",\n"
+       << in << "\"dramReads\": " << dramReads << ",\n"
+       << in << "\"dramWrites\": " << dramWrites << ",\n"
+       << in << "\"refreshCommands\": " << refreshCommands << ",\n"
+       << in << "\"readsBlockedByRefresh\": " << readsBlockedByRefresh
+       << ",\n"
+       << in << "\"blockedReadFraction\": " << blockedReadFraction
+       << ",\n"
+       << in << "\"scheduler\": {\"quanta\": " << quantaScheduled
+       << ", \"clean\": " << cleanPicks
+       << ", \"deferred\": " << deferredPicks
+       << ", \"bestEffort\": " << bestEffortPicks
+       << ", \"fallback\": " << fallbackPicks << "},\n"
+       << in << "\"vruntimeSpreadQuanta\": " << vruntimeSpreadQuanta
+       << ",\n"
+       << in << "\"energy\": {\"totalPj\": " << energy.totalPj()
+       << ", \"activatePj\": " << energy.activatePj
+       << ", \"readWritePj\": " << energy.readWritePj
+       << ", \"refreshPj\": " << energy.refreshPj
+       << ", \"backgroundPj\": " << energy.backgroundPj
+       << ", \"refreshShare\": " << energy.refreshShare() << "},\n"
+       << in << "\"energyPerInstructionPj\": "
+       << energyPerInstructionPj << ",\n"
+       << in << "\"measuredTicks\": " << measuredTicks << ",\n"
+       << in << "\"validationViolations\": " << validationViolations
+       << ",\n"
+       << in << "\"tasks\": [";
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const auto &t = tasks[i];
+        os << (i ? "," : "") << "\n" << in
+           << "  {\"pid\": " << t.pid << ", \"benchmark\": \""
+           << t.benchmark << "\", \"ipc\": " << t.ipc
+           << ", \"mpki\": " << t.mpki
+           << ", \"instructions\": " << t.instructions
+           << ", \"quanta\": " << t.quantaRun
+           << ", \"dramReads\": " << t.dramReads
+           << ", \"pageFaults\": " << t.pageFaults
+           << ", \"residentPages\": " << t.residentPages
+           << ", \"fallbackPages\": " << t.fallbackAllocs << "}";
+    }
+    if (!tasks.empty())
+        os << "\n" << in;
+    os << "]\n" << pad << "}";
+}
+
 } // namespace refsched::core

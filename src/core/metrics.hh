@@ -12,6 +12,7 @@
 #define REFSCHED_CORE_METRICS_HH
 
 #include <cstdint>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,11 @@ struct Metrics
 
     /** One-line summary for logs. */
     std::string summary() const;
+
+    /** Machine-readable JSON rendering (headline numbers, energy,
+     *  scheduler behaviour, per-task table).  @p indent is the
+     *  leading indentation of the emitted object. */
+    void toJson(std::ostream &os, int indent = 0) const;
 };
 
 } // namespace refsched::core

@@ -1,6 +1,7 @@
 #include "core/system.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "simcore/logging.hh"
 #include "validate/checker.hh"
@@ -12,9 +13,25 @@
 namespace refsched::core
 {
 
+namespace
+{
+
+using ProfileClock = std::chrono::steady_clock;
+
+double
+msSince(ProfileClock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               ProfileClock::now() - start)
+        .count();
+}
+
+} // namespace
+
 System::System(const SystemConfig &cfg)
     : cfg_(cfg), dev_(cfg.deviceConfig())
 {
+    const auto t0 = ProfileClock::now();
     cfg_.check();
 
     // Default workload when none given: mcf on every task.
@@ -96,6 +113,7 @@ System::System(const SystemConfig &cfg)
     assignBankMasks();
     if (cfg_.preTouchPages)
         preTouchFootprints();
+    profile_.constructMs = msSince(t0);
 }
 
 System::~System() = default;
@@ -286,14 +304,47 @@ System::run(int warmupQuanta, int measureQuanta)
     const Tick q = cfg_.effectiveQuantum();
     sched_->start();
 
-    eq_.runUntil(static_cast<Tick>(warmupQuanta) * q);
+    const auto w0 = ProfileClock::now();
+    profile_.warmupEvents =
+        eq_.runUntil(static_cast<Tick>(warmupQuanta) * q);
+    profile_.warmupMs = msSince(w0);
     resetMeasurement();
 
     const Tick start = eq_.now();
-    eq_.runUntil(static_cast<Tick>(warmupQuanta + measureQuanta) * q);
+    const auto m0 = ProfileClock::now();
+    profile_.measureEvents = eq_.runUntil(
+        static_cast<Tick>(warmupQuanta + measureQuanta) * q);
+    profile_.measureMs = msSince(m0);
     if (probeHub_)
         probeHub_->finalize(eq_.now());
     return collectMetrics(eq_.now() - start);
+}
+
+void
+System::writeStatsJson(std::ostream &os, const Metrics &m) const
+{
+    os << "{\n"
+       << "  \"policy\": \"" << toString(cfg_.policy) << "\",\n"
+       << "  \"density\": \"" << dram::toString(cfg_.density)
+       << "\",\n"
+       << "  \"timeScale\": " << cfg_.timeScale << ",\n"
+       << "  \"seed\": " << cfg_.seed << ",\n"
+       << "  \"cores\": " << cfg_.numCores << ",\n"
+       << "  \"tasksPerCore\": " << cfg_.tasksPerCore << ",\n"
+       << "  \"metrics\": ";
+    m.toJson(os, 2);
+    os << ",\n"
+       << "  \"selfProfile\": {\"constructMs\": "
+       << profile_.constructMs
+       << ", \"warmupMs\": " << profile_.warmupMs
+       << ", \"measureMs\": " << profile_.measureMs
+       << ", \"warmupEvents\": " << profile_.warmupEvents
+       << ", \"measureEvents\": " << profile_.measureEvents
+       << ", \"measureEventsPerSec\": "
+       << profile_.measureEventsPerSec() << "},\n"
+       << "  \"stats\": ";
+    registry_.dumpJson(os, 2);
+    os << "\n}\n";
 }
 
 Metrics

@@ -74,6 +74,41 @@ class System
     /** Dump every registered statistic. */
     void dumpStats(std::ostream &os) const { registry_.dump(os); }
 
+    /**
+     * Simulator self-profiling: host wall-clock and event-kernel
+     * throughput per run phase.  Populated by the constructor and
+     * run(); values are host-dependent and must never feed back into
+     * simulated behaviour.
+     */
+    struct SelfProfile
+    {
+        double constructMs = 0.0;
+        double warmupMs = 0.0;
+        double measureMs = 0.0;
+        std::uint64_t warmupEvents = 0;
+        std::uint64_t measureEvents = 0;
+
+        /** Measured-phase event throughput (events/s of host time). */
+        double
+        measureEventsPerSec() const
+        {
+            return measureMs > 0.0
+                ? static_cast<double>(measureEvents)
+                    / (measureMs / 1000.0)
+                : 0.0;
+        }
+    };
+
+    const SelfProfile &profile() const { return profile_; }
+
+    /**
+     * Machine-readable run artifact: configuration identity, the
+     * measured Metrics, the simulator self-profile, and every
+     * registered statistic (StatRegistry::dumpJson), as one JSON
+     * document.
+     */
+    void writeStatsJson(std::ostream &os, const Metrics &m) const;
+
     /** Collect metrics for the interval since the last stat reset. */
     Metrics collectMetrics(Tick measuredTicks) const;
 
@@ -116,6 +151,7 @@ class System
     /** Fan-out hub for checkers + externally attached probes. */
     std::unique_ptr<validate::CheckerSet> probeHub_;
 
+    SelfProfile profile_;
     bool ran_ = false;
 };
 

@@ -87,12 +87,24 @@ MemoryController::enqueue(Request req)
         req.enqueuedAt = now;
         req.seq = nextSeq_++;
         c.readQ.push(std::move(req), bankIdx);
+        REFSCHED_PROBE(
+            probe_,
+            onMcQueue({now, ch, true, true,
+                       static_cast<int>(c.readQ.size()),
+                       static_cast<int>(c.writeQ.size()),
+                       c.blockedReadsNow}));
     } else {
         if (c.writeQ.full())
             return false;
         req.enqueuedAt = now;
         req.seq = nextSeq_++;
         c.writeQ.push(std::move(req), bankIdx);
+        REFSCHED_PROBE(
+            probe_,
+            onMcQueue({now, ch, true, false,
+                       static_cast<int>(c.readQ.size()),
+                       static_cast<int>(c.writeQ.size()),
+                       c.blockedReadsNow}));
     }
 
     scheduleTick(ch, clock_.nextEdgeAtOrAfter(now));
@@ -332,14 +344,20 @@ MemoryController::refreshEngineStep(Channel &c, int ch, Tick &wake)
 void
 MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
 {
-    c.stats.readLatency.sample(
-        static_cast<double>(dataAt - req.enqueuedAt));
-    c.stats.readLatencyDist.sample(
-        static_cast<double>(dataAt - req.enqueuedAt));
+    const auto latency = static_cast<double>(dataAt - req.enqueuedAt);
+    c.stats.readLatency.sample(latency);
+    c.stats.readLatencyDist.sample(latency);
     c.stats.readQueueWait.sample(
         static_cast<double>(eq_.now() - req.enqueuedAt));
-    if (req.blockedByRefresh)
+    c.stats.readQueueWaitHist.sample(
+        static_cast<double>(eq_.now() - req.enqueuedAt));
+    if (req.blockedByRefresh) {
         ++c.stats.readsBlockedByRefresh;
+        c.stats.readLatencyBlocked.sample(latency);
+        --c.blockedReadsNow;
+    } else {
+        c.stats.readLatencyClean.sample(latency);
+    }
 
     // Intrusive completion: the (callee, cookies) triple goes into
     // the event slot as plain data, so the hottest path in the
@@ -392,6 +410,8 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         const int frontBank =
             bankIndex(front.coord.rank, front.coord.bank);
         if (bankBlocked(frontBank)) {
+            if (!isWriteQueue && !front.blockedByRefresh)
+                ++c.blockedReadsNow;
             front.blockedByRefresh = true;
             c.blockedMark = now;
             c.blockedMarkValid = true;
@@ -459,6 +479,12 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         c.lastCasWasWrite = isWriteQueue;
         c.busyTicks += t.tBURST;
         q.erase(slot);
+        REFSCHED_PROBE(
+            probe_,
+            onMcQueue({now, ch, false, !isWriteQueue,
+                       static_cast<int>(c.readQ.size()),
+                       static_cast<int>(c.writeQ.size()),
+                       c.blockedReadsNow}));
         notifyRetry();
         return true;
     };
@@ -882,6 +908,9 @@ MemoryController::registerStats(StatRegistry &reg,
         reg.add(p + "readLatency", &s.readLatency);
         reg.add(p + "readQueueWait", &s.readQueueWait);
         reg.add(p + "readLatencyDist", &s.readLatencyDist);
+        reg.add(p + "readLatencyClean", &s.readLatencyClean);
+        reg.add(p + "readLatencyBlocked", &s.readLatencyBlocked);
+        reg.add(p + "readQueueWaitHist", &s.readQueueWaitHist);
         reg.add(p + "energyActivatePj", &s.energyActivatePj);
         reg.add(p + "energyReadWritePj", &s.energyReadWritePj);
         reg.add(p + "energyRefreshPj", &s.energyRefreshPj);

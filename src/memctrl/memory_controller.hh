@@ -192,6 +192,12 @@ class MemoryController : public dram::McRefreshView
         Average readLatency;   ///< enqueue -> data (ticks)
         Average readQueueWait; ///< enqueue -> CAS issue (ticks)
         Distribution readLatencyDist;
+        /** Read latency split by refresh interference: a read that
+         *  ever waited on a refreshing/frozen bank lands in the
+         *  blocked histogram, every other read in the clean one. */
+        Histogram readLatencyClean;
+        Histogram readLatencyBlocked;
+        Histogram readQueueWaitHist;
 
         // DRAM energy (picojoules; background added at collection).
         Scalar energyActivatePj;
@@ -253,6 +259,10 @@ class MemoryController : public dram::McRefreshView
          *  at the next tick instead of tCK per polled edge. */
         Tick blockedMark = 0;
         bool blockedMarkValid = false;
+
+        /** Queued reads whose blockedByRefresh flag is set (feeds
+         *  the McQueueEvent blocked-reads counter track). */
+        int blockedReadsNow = 0;
 
         ChannelStats stats;
     };

@@ -181,6 +181,7 @@ Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
         ev.chosen = chosen ? chosen->pid() : -1;
         ev.etaThresh = params_.etaThresh;
         ev.bestEffort = params_.bestEffort;
+        ev.quantum = params_.quantum;
         ev.refreshBanks = &refreshBanks;
         ev.candidates = &cand;
         probe_->onSchedPick(ev);

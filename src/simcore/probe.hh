@@ -105,6 +105,9 @@ struct SchedPickEvent
     Pid chosen = -1;
     int etaThresh = 0;
     bool bestEffort = false;
+    /** Scheduler quantum length (ticks); the picked task runs until
+     *  tick + quantum unless it blocks.  0 when unknown. */
+    Tick quantum = 0;
     /** Global bank ids under refresh at pick time (may be null for
      *  Baseline/Idle picks). */
     const std::vector<int> *refreshBanks = nullptr;
@@ -146,6 +149,29 @@ struct PageFreeEvent
 };
 
 /**
+ * Memory-controller queue occupancy change: a request entering the
+ * read/write queue or a CAS issuing (leaving the queue).  Emitted
+ * after the depth change is applied, so @p readDepth / @p writeDepth
+ * are the post-event occupancies.
+ */
+struct McQueueEvent
+{
+    Tick tick = 0;
+    int channel = 0;
+    /** True for an enqueue, false for a CAS issue (dequeue). */
+    bool enqueue = false;
+    /** True when the affected request is a read. */
+    bool isRead = false;
+    /** Read-queue depth after this event. */
+    int readDepth = 0;
+    /** Write-queue depth after this event. */
+    int writeDepth = 0;
+    /** Reads currently waiting whose target bank was observed under
+     *  refresh (refresh-blocked reads). */
+    int blockedReads = 0;
+};
+
+/**
  * Instrumentation sink.  All callbacks default to no-ops so a probe
  * implements only what it needs; emission sites fire in simulated
  * time order within each component.
@@ -161,6 +187,7 @@ class Probe
     virtual void onRqDequeue(const RqEvent &) {}
     virtual void onPageAlloc(const PageAllocEvent &) {}
     virtual void onPageFree(const PageFreeEvent &) {}
+    virtual void onMcQueue(const McQueueEvent &) {}
 
     /** End of simulation: whole-run invariants (refresh-window
      *  coverage, allocator conservation) are settled here. */

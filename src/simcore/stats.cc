@@ -9,6 +9,26 @@
 namespace refsched
 {
 
+namespace
+{
+
+/** Shortest round-trip double rendering (matches operator<<). */
+std::string
+jsonNumber(double v)
+{
+    std::ostringstream os;
+    os << v;
+    const std::string s = os.str();
+    // JSON has no inf/nan literals; they only arise from broken
+    // inputs, but emit null rather than corrupt the document.
+    if (s.find("inf") != std::string::npos
+        || s.find("nan") != std::string::npos)
+        return "null";
+    return s;
+}
+
+} // namespace
+
 std::string
 Scalar::render() const
 {
@@ -18,10 +38,25 @@ Scalar::render() const
 }
 
 std::string
+Scalar::renderJson() const
+{
+    return jsonNumber(val);
+}
+
+std::string
 Average::render() const
 {
     std::ostringstream os;
     os << mean() << " (" << count << " samples)";
+    return os.str();
+}
+
+std::string
+Average::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"mean\": " << jsonNumber(mean()) << ", \"count\": "
+       << count << ", \"sum\": " << jsonNumber(sum) << "}";
     return os.str();
 }
 
@@ -103,6 +138,132 @@ Distribution::render() const
     return os.str();
 }
 
+std::string
+Distribution::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"mean\": " << jsonNumber(mean())
+       << ", \"min\": " << jsonNumber(minValue())
+       << ", \"max\": " << jsonNumber(maxValue())
+       << ", \"count\": " << count
+       << ", \"lo\": " << jsonNumber(lo)
+       << ", \"hi\": " << jsonNumber(hi)
+       << ", \"underflow\": " << underflow
+       << ", \"overflow\": " << overflow << ", \"buckets\": [";
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        os << (i ? ", " : "") << buckets[i];
+    os << "]}";
+    return os.str();
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count == 0) {
+        minV = maxV = v;
+    } else {
+        minV = std::min(minV, v);
+        maxV = std::max(maxV, v);
+    }
+    sum += v;
+    ++count;
+
+    std::size_t b = 0;
+    if (v >= 1.0) {
+        const auto iv = v >= 1.8446744073709552e19
+            ? ~std::uint64_t{0}
+            : static_cast<std::uint64_t>(v);
+        while ((std::uint64_t{1} << b) <= iv && b < kNumBuckets - 1)
+            ++b;
+    }
+    ++buckets[b];
+}
+
+double
+Histogram::bucketLo(std::size_t b)
+{
+    if (b == 0)
+        return 0.0;
+    return std::ldexp(1.0, static_cast<int>(b) - 1);
+}
+
+double
+Histogram::bucketHi(std::size_t b)
+{
+    if (b == 0)
+        return 1.0;
+    return std::ldexp(1.0, static_cast<int>(b));
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(count));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        if (seen + buckets[b] >= target) {
+            const double frac = buckets[b]
+                ? (static_cast<double>(target - seen))
+                    / static_cast<double>(buckets[b])
+                : 0.0;
+            return bucketLo(b)
+                + frac * (bucketHi(b) - bucketLo(b));
+        }
+        seen += buckets[b];
+    }
+    return maxV;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    count = 0;
+    sum = 0.0;
+    minV = maxV = 0.0;
+}
+
+std::string
+Histogram::render() const
+{
+    std::ostringstream os;
+    os << "mean=" << mean() << " p50=" << quantile(0.5)
+       << " p99=" << quantile(0.99) << " min=" << minValue()
+       << " max=" << maxValue() << " n=" << count;
+    return os.str();
+}
+
+std::string
+Histogram::renderJson() const
+{
+    std::ostringstream os;
+    os << "{\"mean\": " << jsonNumber(mean())
+       << ", \"min\": " << jsonNumber(minValue())
+       << ", \"max\": " << jsonNumber(maxValue())
+       << ", \"count\": " << count
+       << ", \"p50\": " << jsonNumber(quantile(0.5))
+       << ", \"p99\": " << jsonNumber(quantile(0.99))
+       << ", \"log2Buckets\": [";
+    // Sparse rendering: [bucketIndex, count] pairs for occupied
+    // buckets only (65 mostly-zero counters would dominate a dump).
+    bool first = true;
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+        if (buckets[b] == 0)
+            continue;
+        os << (first ? "" : ", ") << "[" << b << ", " << buckets[b]
+           << "]";
+        first = false;
+    }
+    os << "]}";
+    return os.str();
+}
+
 void
 StatRegistry::add(const std::string &name, StatBase *stat)
 {
@@ -132,6 +293,22 @@ StatRegistry::dump(std::ostream &os) const
 {
     for (const auto &[name, stat] : stats)
         os << name << " " << stat->render() << "\n";
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os, int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    os << "{";
+    bool first = true;
+    for (const auto &[name, stat] : stats) {
+        os << (first ? "" : ",") << "\n" << pad << "  \"" << name
+           << "\": " << stat->renderJson();
+        first = false;
+    }
+    if (!first)
+        os << "\n" << pad;
+    os << "}";
 }
 
 } // namespace refsched

@@ -31,6 +31,9 @@ class StatBase
 
     /** One-line textual rendering of the value. */
     virtual std::string render() const = 0;
+
+    /** JSON rendering of the value (a number or an object). */
+    virtual std::string renderJson() const = 0;
 };
 
 /** Monotonic counter / gauge. */
@@ -47,6 +50,7 @@ class Scalar : public StatBase
 
     void reset() override { val = 0.0; }
     std::string render() const override;
+    std::string renderJson() const override;
 
   private:
     double val = 0.0;
@@ -75,6 +79,7 @@ class Average : public StatBase
     }
 
     std::string render() const override;
+    std::string renderJson() const override;
 
   private:
     double sum = 0.0;
@@ -111,11 +116,56 @@ class Distribution : public StatBase
 
     void reset() override;
     std::string render() const override;
+    std::string renderJson() const override;
 
   private:
     double lo = 0.0, hi = 1.0, width = 1.0;
     std::vector<std::uint64_t> buckets;
     std::uint64_t underflow = 0, overflow = 0;
+    std::uint64_t count = 0;
+    double sum = 0.0, minV = 0.0, maxV = 0.0;
+};
+
+/**
+ * Log2-bucketed histogram for long-tailed quantities (latencies,
+ * queue residencies): bucket b counts samples v with
+ * floor(v) in [2^(b-1), 2^b), bucket 0 counts v < 1.  Needs no
+ * a-priori range, never loses a sample, and covers the full uint64
+ * dynamic range in 65 counters.  Running count/sum/min/max are exact;
+ * quantiles interpolate within the covering bucket.
+ */
+class Histogram : public StatBase
+{
+  public:
+    static constexpr std::size_t kNumBuckets = 65;
+
+    void sample(double v);
+
+    std::uint64_t samples() const { return count; }
+    double mean() const { return count ? sum / count : 0.0; }
+    double minValue() const { return count ? minV : 0.0; }
+    double maxValue() const { return count ? maxV : 0.0; }
+    const std::vector<std::uint64_t> &bucketCounts() const
+    {
+        return buckets;
+    }
+
+    /** Inclusive lower edge of bucket @p b (0, 1, 2, 4, 8, ...). */
+    static double bucketLo(std::size_t b);
+    /** Exclusive upper edge of bucket @p b (1, 2, 4, 8, 16, ...). */
+    static double bucketHi(std::size_t b);
+
+    /** Approximate p-quantile (0..1), linearly interpolated inside
+     *  the covering bucket. */
+    double quantile(double q) const;
+
+    void reset() override;
+    std::string render() const override;
+    std::string renderJson() const override;
+
+  private:
+    std::vector<std::uint64_t> buckets =
+        std::vector<std::uint64_t>(kNumBuckets, 0);
     std::uint64_t count = 0;
     double sum = 0.0, minV = 0.0, maxV = 0.0;
 };
@@ -138,6 +188,9 @@ class StatRegistry
 
     /** Dump "name value" lines, sorted by name. */
     void dump(std::ostream &os) const;
+
+    /** Dump a JSON object {"name": value, ...}, sorted by name. */
+    void dumpJson(std::ostream &os, int indent = 0) const;
 
     std::size_t size() const { return stats.size(); }
 

@@ -155,6 +155,12 @@ class CheckerSet final : public Probe
     }
 
     void
+    onMcQueue(const McQueueEvent &ev) override
+    {
+        dispatch([&](Probe &p) { p.onMcQueue(ev); });
+    }
+
+    void
     finalize(Tick endTick) override
     {
         dispatch([&](Probe &p) { p.finalize(endTick); });

@@ -97,6 +97,89 @@ TEST(DistributionTest, BadBoundsPanic)
     EXPECT_THROW(Distribution(0.0, 10.0, 0), PanicError);
 }
 
+TEST(HistogramTest, Log2Bucketing)
+{
+    Histogram h;
+    h.sample(0.0);     // bucket 0 (v < 1)
+    h.sample(0.9);     // bucket 0
+    h.sample(1.0);     // bucket 1: [1, 2)
+    h.sample(1.9);     // bucket 1
+    h.sample(2.0);     // bucket 2: [2, 4)
+    h.sample(3.0);     // bucket 2
+    h.sample(4.0);     // bucket 3: [4, 8)
+    h.sample(1024.0);  // bucket 11: [1024, 2048)
+
+    EXPECT_EQ(h.samples(), 8u);
+    EXPECT_EQ(h.bucketCounts()[0], 2u);
+    EXPECT_EQ(h.bucketCounts()[1], 2u);
+    EXPECT_EQ(h.bucketCounts()[2], 2u);
+    EXPECT_EQ(h.bucketCounts()[3], 1u);
+    EXPECT_EQ(h.bucketCounts()[11], 1u);
+    EXPECT_DOUBLE_EQ(h.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 1024.0);
+}
+
+TEST(HistogramTest, BucketEdges)
+{
+    EXPECT_DOUBLE_EQ(Histogram::bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHi(0), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketLo(1), 1.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHi(1), 2.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketLo(11), 1024.0);
+    EXPECT_DOUBLE_EQ(Histogram::bucketHi(11), 2048.0);
+}
+
+TEST(HistogramTest, NegativeAndHugeSamplesAreNotLost)
+{
+    Histogram h;
+    h.sample(-5.0);   // clamps into bucket 0
+    h.sample(1e30);   // clamps into the top bucket
+    EXPECT_EQ(h.samples(), 2u);
+    EXPECT_EQ(h.bucketCounts()[0], 1u);
+    EXPECT_EQ(h.bucketCounts()[Histogram::kNumBuckets - 1], 1u);
+    EXPECT_DOUBLE_EQ(h.minValue(), -5.0);
+}
+
+TEST(HistogramTest, QuantileInterpolation)
+{
+    Histogram h;
+    for (int i = 0; i < 1000; ++i)
+        h.sample(static_cast<double>(i));
+    // Log2 buckets are coarse; the quantile must land in the right
+    // bucket (within a factor of two), not at an exact value.
+    const double p50 = h.quantile(0.5);
+    EXPECT_GE(p50, 256.0);
+    EXPECT_LE(p50, 1024.0);
+    EXPECT_LE(h.quantile(0.99), 1024.0);
+    // q=1 covers the whole population: at least the true max, at
+    // most the upper edge of the max's bucket.
+    EXPECT_GE(h.quantile(1.0), h.maxValue());
+    EXPECT_LE(h.quantile(1.0), 1024.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything)
+{
+    Histogram h;
+    h.sample(42.0);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucketCounts()[6], 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.maxValue(), 0.0);
+}
+
+TEST(HistogramTest, JsonRenderingIsSparse)
+{
+    Histogram h;
+    h.sample(3.0);
+    h.sample(3.0);
+    const std::string json = h.renderJson();
+    EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(json.find("[2, 2]"), std::string::npos);
+    // Only one occupied bucket pair in the sparse encoding.
+    EXPECT_EQ(json.find("[0, "), std::string::npos);
+}
+
 TEST(StatRegistryTest, AddFindAndDump)
 {
     StatRegistry reg;
@@ -140,6 +223,43 @@ TEST(StatRegistryTest, ResetAllResetsEveryStat)
     reg.resetAll();
     EXPECT_DOUBLE_EQ(s.value(), 0.0);
     EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(StatRegistryTest, DumpJsonRendersEveryStatType)
+{
+    StatRegistry reg;
+    Scalar s;
+    Average a;
+    Distribution d(0.0, 10.0, 2);
+    Histogram h;
+    s += 3;
+    a.sample(4.0);
+    d.sample(5.0);
+    h.sample(6.0);
+    reg.add("scalar", &s);
+    reg.add("avg", &a);
+    reg.add("dist", &d);
+    reg.add("hist", &h);
+
+    std::ostringstream os;
+    reg.dumpJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"scalar\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"avg\": {\"mean\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"dist\": {\"mean\": 5"), std::string::npos);
+    EXPECT_NE(json.find("\"hist\": {\"mean\": 6"), std::string::npos);
+    // Keys are emitted sorted (std::map order).
+    EXPECT_LT(json.find("\"avg\""), json.find("\"dist\""));
+    EXPECT_LT(json.find("\"dist\""), json.find("\"hist\""));
+    EXPECT_LT(json.find("\"hist\""), json.find("\"scalar\""));
+}
+
+TEST(StatRegistryTest, EmptyRegistryDumpsEmptyObject)
+{
+    StatRegistry reg;
+    std::ostringstream os;
+    reg.dumpJson(os);
+    EXPECT_EQ(os.str(), "{}");
 }
 
 } // namespace

@@ -13,13 +13,16 @@
  */
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/report.hh"
 #include "core/system.hh"
+#include "obs/timeline.hh"
 #include "workload/workloads.hh"
 
 using namespace refsched;
@@ -48,6 +51,9 @@ struct CliOptions
     bool csv = false;
     bool json = false;
     bool verbose = false;
+    std::string timelinePath;
+    std::string statsJsonPath;
+    obs::TimelineOptions window;
 };
 
 /** Minimal JSON rendering of the metrics (machine consumption). */
@@ -60,40 +66,9 @@ printJson(std::ostream &os, const core::SystemConfig &cfg,
        << "  \"density\": \"" << dram::toString(cfg.density)
        << "\",\n"
        << "  \"timeScale\": " << cfg.timeScale << ",\n"
-       << "  \"harmonicMeanIpc\": " << m.harmonicMeanIpc << ",\n"
-       << "  \"avgReadLatencyMemCycles\": "
-       << m.avgReadLatencyMemCycles << ",\n"
-       << "  \"rowHitRate\": " << m.rowHitRate << ",\n"
-       << "  \"dramReads\": " << m.dramReads << ",\n"
-       << "  \"dramWrites\": " << m.dramWrites << ",\n"
-       << "  \"refreshCommands\": " << m.refreshCommands << ",\n"
-       << "  \"blockedReadFraction\": " << m.blockedReadFraction
-       << ",\n"
-       << "  \"energyTotalPj\": " << m.energy.totalPj() << ",\n"
-       << "  \"energyRefreshShare\": " << m.energy.refreshShare()
-       << ",\n"
-       << "  \"energyPerInstructionPj\": "
-       << m.energyPerInstructionPj << ",\n"
-       << "  \"vruntimeSpreadQuanta\": " << m.vruntimeSpreadQuanta
-       << ",\n"
-       << "  \"scheduler\": {\"clean\": " << m.cleanPicks
-       << ", \"deferred\": " << m.deferredPicks
-       << ", \"bestEffort\": " << m.bestEffortPicks
-       << ", \"fallback\": " << m.fallbackPicks << "},\n"
-       << "  \"validationViolations\": " << m.validationViolations
-       << ",\n"
-       << "  \"tasks\": [\n";
-    for (std::size_t i = 0; i < m.tasks.size(); ++i) {
-        const auto &t = m.tasks[i];
-        os << "    {\"pid\": " << t.pid << ", \"benchmark\": \""
-           << t.benchmark << "\", \"ipc\": " << t.ipc
-           << ", \"mpki\": " << t.mpki << ", \"quanta\": "
-           << t.quantaRun << ", \"dramReads\": " << t.dramReads
-           << ", \"residentPages\": " << t.residentPages
-           << ", \"fallbackPages\": " << t.fallbackAllocs << "}"
-           << (i + 1 < m.tasks.size() ? "," : "") << "\n";
-    }
-    os << "  ]\n}\n";
+       << "  \"metrics\": ";
+    m.toJson(os, 2);
+    os << "\n}\n";
 }
 
 [[noreturn]] void
@@ -133,7 +108,18 @@ usage(const char *argv0, const std::string &error = "")
         << "output:\n"
         << "  --dump-stats           print every registered stat\n"
         << "  --csv                  per-task table as CSV\n"
-        << "  --verbose              inform-level logging\n";
+        << "  --verbose              inform-level logging\n\n"
+        << "observability:\n"
+        << "  --timeline FILE        write a Chrome trace-event "
+           "timeline\n"
+        << "                         (open in Perfetto / "
+           "chrome://tracing)\n"
+        << "  --stats-json FILE      write metrics + self-profile + "
+           "all stats as JSON\n"
+        << "  --trace-window S:E     restrict the timeline to "
+           "simulated ticks [S, E)\n"
+        << "                         (picoseconds; default: whole "
+           "run)\n";
     std::exit(2);
 }
 
@@ -204,6 +190,25 @@ parse(int argc, char **argv)
                 std::strtoull(need(i), nullptr, 10));
         } else if (a == "--validate") {
             o.validate = true;
+        } else if (a == "--timeline") {
+            o.timelinePath = need(i);
+        } else if (a == "--stats-json") {
+            o.statsJsonPath = need(i);
+        } else if (a == "--trace-window") {
+            const std::string w = need(i);
+            const auto colon = w.find(':');
+            if (colon == std::string::npos)
+                usage(argv[0], "--trace-window wants START:END");
+            o.window.windowStart = static_cast<Tick>(
+                std::strtoull(w.substr(0, colon).c_str(), nullptr,
+                              10));
+            const std::string endStr = w.substr(colon + 1);
+            o.window.windowEnd = endStr.empty()
+                ? kMaxTick
+                : static_cast<Tick>(
+                      std::strtoull(endStr.c_str(), nullptr, 10));
+            if (o.window.windowStart >= o.window.windowEnd)
+                usage(argv[0], "--trace-window is empty");
         } else if (a == "--dump-stats") {
             o.dumpStats = true;
         } else if (a == "--json") {
@@ -277,8 +282,27 @@ main(int argc, char **argv)
     try {
         const auto cfg = buildConfig(opts, argv[0]);
         core::System sys(cfg);
+
+        std::unique_ptr<obs::TimelineRecorder> timeline;
+        if (!opts.timelinePath.empty()) {
+            timeline = std::make_unique<obs::TimelineRecorder>(
+                sys.controller().config().org, cfg.numCores,
+                opts.window);
+            sys.attachProbe(timeline.get());
+        }
+
         const auto m =
             sys.run(opts.warmupQuanta, opts.measureQuanta);
+
+        if (timeline)
+            timeline->writeFile(opts.timelinePath);
+        if (!opts.statsJsonPath.empty()) {
+            std::ofstream f(opts.statsJsonPath);
+            if (!f)
+                fatal("cannot open --stats-json file: ",
+                      opts.statsJsonPath);
+            sys.writeStatsJson(f, m);
+        }
 
         const auto validationStatus = [&]() -> int {
             if (!opts.validate)

@@ -23,9 +23,29 @@ run_pass() {
     cmake --build "$dir" -j "$JOBS"
 }
 
+# One observability export per policy: the timeline recorder, stats
+# JSON writer, and JSON parser all run allocation-heavy string paths
+# that only sanitizers audit properly.  timeline_check re-parses each
+# artifact so the exporter and the validator cover each other.
+obs_smoke() {
+    local dir="$1" out="$1/obs-smoke"
+    mkdir -p "$out"
+    for policy in all-bank per-bank per-bank-ooo ddr4-2x ddr4-4x \
+            adaptive co-design no-refresh; do
+        echo "--- ${dir}: --stats-json/--timeline smoke (${policy}) ---"
+        "./$dir/tools/refsched_cli" --policy "$policy" --workload WL-5 \
+            --warmup 1 --measure 4 --seed 7 \
+            --timeline "$out/$policy.timeline.json" \
+            --stats-json "$out/$policy.stats.json" >/dev/null
+        "./$dir/tools/timeline_check" "$out/$policy.timeline.json"
+    done
+}
+
 run_pass asan address
 echo "=== asan: ctest ==="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+echo "=== asan: per-policy observability exports ==="
+obs_smoke build-asan
 echo "=== asan: differential fuzz (corpus replay + short random run) ==="
 # The randomized samples drive every refresh policy through configs
 # the fixed tests never reach -- exactly where sanitizers earn their
@@ -38,6 +58,8 @@ echo "=== tsan: parallel-runner determinism suite ==="
 ctest --test-dir build-tsan --output-on-failure -R 'ParallelRunner|GoldenTraceJobs'
 echo "=== tsan: full suite ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+echo "=== tsan: per-policy observability exports ==="
+obs_smoke build-tsan
 echo "=== tsan: fuzz system sweep (parallel policy workers) ==="
 # System-mode samples run the policy sweep on worker threads and
 # cross-check jobs=1 vs jobs=N traces -- the fuzzer is itself a
