@@ -14,6 +14,8 @@
 #include "os/buddy_allocator.hh"
 #include "os/cfs_runqueue.hh"
 #include "os/rbtree.hh"
+#include "os/scheduler.hh"
+#include "os/task.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/rng.hh"
 #include "workload/trace_generator.hh"
@@ -203,6 +205,93 @@ BM_ControllerSaturatedPick(benchmark::State &state)
         static_cast<double>(completed.count);
 }
 BENCHMARK(BM_ControllerSaturatedPick);
+
+void
+BM_SchedulerAlg3Pick(benchmark::State &state)
+{
+    // Algorithm 3 pick cost: mask-intersection cleanliness test over
+    // a populated runqueue, as a function of the fairness threshold
+    // eta (arg).  pickNextTask is side-effect free -- the quantum
+    // handler dequeues -- so the same queue is re-picked each
+    // iteration.
+    constexpr int kBanks = 64;
+    EventQueue eq;
+    os::SchedulerParams params;
+    params.refreshAware = true;
+    params.etaThresh = static_cast<int>(state.range(0));
+    os::Scheduler sched(eq, params);
+
+    class IdleCpu : public os::CpuContext
+    {
+        void setTask(os::Task *, Tick) override {}
+    } cpu;
+    sched.attachCpus({&cpu});
+
+    Rng rng(5);
+    std::vector<std::unique_ptr<os::Task>> tasks;
+    for (int i = 0; i < 16; ++i) {
+        tasks.push_back(std::make_unique<os::Task>(
+            static_cast<Pid>(i + 1), "bench", kBanks));
+        // Each task resident in 8 random banks: most picks must walk
+        // a few dirty candidates before finding a clean one.
+        for (int j = 0; j < 8; ++j)
+            tasks.back()->addResidentPage(
+                static_cast<int>(rng.below(kBanks)));
+        sched.addTask(tasks.back().get(), 0);
+    }
+
+    std::vector<int> refreshBanks(2);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        refreshBanks[0] = static_cast<int>(n % kBanks);
+        refreshBanks[1] = static_cast<int>((n + kBanks / 2) % kBanks);
+        ++n;
+        benchmark::DoNotOptimize(sched.pickNextTask(0, refreshBanks));
+    }
+}
+BENCHMARK(BM_SchedulerAlg3Pick)->Arg(1)->Arg(3)->Arg(8);
+
+void
+BM_ControllerGateBatchReeval(benchmark::State &state)
+{
+    // Batched timing-gate re-evaluation: demand reads spread over
+    // every bank while dense per-bank refresh constantly freezes and
+    // thaws banks, so each service window re-derives gate deadlines
+    // for whole banks at a time rather than per request.
+    const auto dev = dram::makeDdr3_1600(dram::DensityGb::d32,
+                                         milliseconds(64.0), 64);
+    EventQueue eq;
+    memctrl::MemoryController mc(
+        eq, dev,
+        dram::makeRefreshScheduler(
+            dram::RefreshPolicy::SequentialPerBank, dev));
+    Rng rng(6);
+    CompletionCounter completed;
+    const int banks = dev.org.banksTotal();
+    int nextBank = 0;
+    for (auto _ : state) {
+        while (mc.readQueueSize(0) < 64) {
+            dram::DramCoord c;
+            c.rank = nextBank / dev.org.banksPerRank;
+            c.bank = nextBank % dev.org.banksPerRank;
+            nextBank = (nextBank + 1) % banks;
+            c.row = rng.below(4);
+            c.column = rng.below(8);
+            memctrl::Request r;
+            r.paddr = mc.mapping().compose(c);
+            r.type = memctrl::Request::Type::Read;
+            r.completion = &completed;
+            if (!mc.enqueue(std::move(r)))
+                break;
+        }
+        // A window long enough to cross refresh starts/ends, where
+        // the controller re-gates every queued request per bank.
+        eq.runUntil(eq.now() + dev.timings.tRFCpb);
+    }
+    state.counters["readsCompleted"] =
+        static_cast<double>(completed.count);
+}
+BENCHMARK(BM_ControllerGateBatchReeval);
 
 void
 BM_CfsEnqueueDequeue(benchmark::State &state)

@@ -9,7 +9,7 @@
  *
  *   simMs            simulated milliseconds covered by the run
  *   wallMs           host wall-clock for System::run
- *   events           kernel events executed (EventQueue::executedCount)
+ *   events           kernel events executed across every lane
  *   events/quantum   executed events per simulated scheduling quantum
  *   Mticks/s         simulated ticks per wall second, in millions
  *
@@ -24,11 +24,12 @@
  *   perf_smoke --check BASELINE.json [--wall-tol PCT] [--events-only]
  *
  * re-runs the set and compares against a previously archived
- * BENCH_PERF.json: events must match exactly (the simulation is
- * deterministic), wall-clock may regress by at most PCT percent
- * (default 20; faster is never a failure; --events-only skips the
- * wall check entirely for heterogeneous machines).  Exits non-zero
- * on any regression.
+ * BENCH_PERF.json: events and events/quantum must match exactly
+ * (the simulation is deterministic, sharded or not), wall-clock may
+ * regress by at most PCT percent and Mticks/s may drop by the same
+ * factor (default 20; faster is never a failure; --events-only
+ * skips both host-speed checks for heterogeneous machines).  Exits
+ * non-zero on any regression.
  */
 
 #include <chrono>
@@ -49,13 +50,20 @@ struct SmokeConfig
 {
     const char *name;
     Policy policy;
+    int channels = 1;
+    int shards = 0;  ///< 0 = legacy kernel, >0 = sharded kernel
 };
 
-/** The fixed config set; order is part of the archive format. */
+/** The fixed config set; order is part of the archive format.  The
+ *  2-channel co-design cell exercises the multi-controller scan
+ *  paths; the -sh2 cell runs the same machine on the sharded kernel
+ *  with one worker per channel. */
 constexpr SmokeConfig kConfigs[] = {
-    {"allbank-32gb", Policy::AllBank},
-    {"perbank-32gb", Policy::PerBank},
-    {"codesign-32gb", Policy::CoDesign},
+    {"allbank-32gb", Policy::AllBank, 1},
+    {"perbank-32gb", Policy::PerBank, 1},
+    {"codesign-32gb", Policy::CoDesign, 1},
+    {"codesign-32gb-2ch", Policy::CoDesign, 2},
+    {"codesign-32gb-2ch-sh2", Policy::CoDesign, 2, 2},
 };
 
 /**
@@ -93,6 +101,8 @@ runConfig(const SmokeConfig &sc, const BenchOptions &opts)
     core::SystemConfig cfg = core::makeConfig(
         "WL-1", sc.policy, dram::DensityGb::d32, milliseconds(64.0),
         /*numCores=*/2, /*tasksPerCore=*/4, opts.timeScale);
+    cfg.channels = sc.channels;
+    cfg.shards = sc.shards;
 
     core::System sys(cfg);
     const auto t0 = std::chrono::steady_clock::now();
@@ -106,7 +116,7 @@ runConfig(const SmokeConfig &sc, const BenchOptions &opts)
         .count();
     r.simMs = static_cast<double>(sys.eventQueue().now())
         / static_cast<double>(kPsPerMs);
-    r.events = sys.eventQueue().executedCount();
+    r.events = sys.executedEvents();
     const int quanta = opts.warmupQuanta + opts.measureQuanta;
     r.eventsPerQuantum =
         static_cast<double>(r.events) / static_cast<double>(quanta);
@@ -190,7 +200,7 @@ checkAgainstBaseline(const std::vector<SmokeResult> &now,
                 break;
             }
         }
-        if (!base || base->size() < 5) {
+        if (!base || base->size() < 7) {
             std::cerr << r.name << ": missing from baseline " << path
                       << "\n";
             ok = false;
@@ -199,6 +209,8 @@ checkAgainstBaseline(const std::vector<SmokeResult> &now,
         const std::uint64_t baseEvents =
             std::strtoull((*base)[4].c_str(), nullptr, 10);
         const double baseWall = std::atof((*base)[3].c_str());
+        const std::string &baseEpq = (*base)[5];
+        const double baseMticks = std::atof((*base)[6].c_str());
 
         if (r.events != baseEvents) {
             std::cerr << r.name << ": events REGRESSED: " << r.events
@@ -209,6 +221,16 @@ checkAgainstBaseline(const std::vector<SmokeResult> &now,
         } else {
             std::cout << r.name << ": events ok (" << r.events
                       << ")\n";
+        }
+
+        // events/quantum is derived from the deterministic event
+        // count; compare the formatted cell so the archive and the
+        // live run round identically.
+        if (core::fmt(r.eventsPerQuantum, 1) != baseEpq) {
+            std::cerr << r.name << ": events/quantum REGRESSED: "
+                      << core::fmt(r.eventsPerQuantum, 1)
+                      << " vs baseline " << baseEpq << "\n";
+            ok = false;
         }
 
         if (eventsOnly)
@@ -225,6 +247,19 @@ checkAgainstBaseline(const std::vector<SmokeResult> &now,
             std::cout << r.name << ": wall-clock ok ("
                       << core::fmt(r.wallMs, 1) << " ms vs "
                       << core::fmt(baseWall, 1) << " ms baseline)\n";
+        }
+        const double floor =
+            baseMticks / (1.0 + wallTolPct / 100.0);
+        if (baseMticks > 0.0 && r.mticksPerSec < floor) {
+            std::cerr << r.name << ": Mticks/s REGRESSED: "
+                      << core::fmt(r.mticksPerSec, 2)
+                      << " vs baseline " << core::fmt(baseMticks, 2)
+                      << " (floor " << core::fmt(floor, 2) << ")\n";
+            ok = false;
+        } else {
+            std::cout << r.name << ": Mticks/s ok ("
+                      << core::fmt(r.mticksPerSec, 2) << " vs "
+                      << core::fmt(baseMticks, 2) << " baseline)\n";
         }
     }
     return ok ? 0 : 1;
@@ -283,7 +318,9 @@ main(int argc, char **argv)
         core::Table traj({"config", "seed events/q", "events/q",
                           "events reduction", "seed wallMs", "wallMs",
                           "wall speedup"});
-        for (std::size_t i = 0; i < results.size(); ++i) {
+        const std::size_t refs =
+            sizeof(kSeedRef) / sizeof(kSeedRef[0]);
+        for (std::size_t i = 0; i < results.size() && i < refs; ++i) {
             const auto &r = results[i];
             const auto &s = kSeedRef[i];
             traj.addRow(

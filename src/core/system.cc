@@ -45,6 +45,20 @@ System::System(const SystemConfig &cfg)
         eq_, dev_, std::move(refresh), cfg_.mcParams);
     mc_->registerStats(registry_, "mc");
 
+    // Sharded kernel: one controller lane per channel plus the
+    // cross-shard router; cores then talk to the router, not the
+    // controller.  The worker count is fixed at run() time (probes
+    // force sequential lanes).
+    if (cfg_.shards > 0) {
+        shardKernel_ = std::make_unique<ShardKernel>(
+            eq_, cfg_.channels, cfg_.shardEpoch);
+        shardRouter_ = std::make_unique<memctrl::ShardRouter>(
+            *shardKernel_, *mc_);
+    }
+    memctrl::MemoryPort &memPort =
+        shardRouter_ ? static_cast<memctrl::MemoryPort &>(*shardRouter_)
+                     : static_cast<memctrl::MemoryPort &>(*mc_);
+
     buddy_ = std::make_unique<os::BuddyAllocator>(mc_->mapping());
     vm_ = std::make_unique<os::VirtualMemory>(mc_->mapping(), *buddy_);
     caches_ = std::make_unique<cache::CacheHierarchy>(
@@ -53,7 +67,7 @@ System::System(const SystemConfig &cfg)
 
     for (int i = 0; i < cfg_.numCores; ++i) {
         cores_.push_back(std::make_unique<cpu::Core>(
-            eq_, i, cfg_.coreParams, *caches_, *mc_, *vm_));
+            eq_, i, cfg_.coreParams, *caches_, memPort, *vm_));
         cores_.back()->registerStats(registry_,
                                      "core" + std::to_string(i));
     }
@@ -304,15 +318,26 @@ System::run(int warmupQuanta, int measureQuanta)
     const Tick q = cfg_.effectiveQuantum();
     sched_->start();
 
+    // Worker threads only pay off without instrumentation: probes
+    // fan into one shared hub, so any attached probe (or checker
+    // set) forces sequential lane execution.  Results are identical
+    // either way -- the sharded kernel's phase order is fixed.
+    if (shardKernel_)
+        shardKernel_->setWorkers(probeHub_ ? 1 : cfg_.shards);
+    const auto runKernel = [this](Tick limit) {
+        return shardKernel_ ? shardKernel_->runUntil(limit)
+                            : eq_.runUntil(limit);
+    };
+
     const auto w0 = ProfileClock::now();
     profile_.warmupEvents =
-        eq_.runUntil(static_cast<Tick>(warmupQuanta) * q);
+        runKernel(static_cast<Tick>(warmupQuanta) * q);
     profile_.warmupMs = msSince(w0);
     resetMeasurement();
 
     const Tick start = eq_.now();
     const auto m0 = ProfileClock::now();
-    profile_.measureEvents = eq_.runUntil(
+    profile_.measureEvents = runKernel(
         static_cast<Tick>(warmupQuanta + measureQuanta) * q);
     profile_.measureMs = msSince(m0);
     if (probeHub_)

@@ -29,9 +29,11 @@
 #include "os/buddy_allocator.hh"
 #include "os/scheduler.hh"
 #include "os/task.hh"
+#include "memctrl/shard_router.hh"
 #include "os/virtual_memory.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/probe.hh"
+#include "simcore/shard_kernel.hh"
 #include "simcore/stats.hh"
 #include "workload/trace_generator.hh"
 
@@ -61,6 +63,17 @@ class System
 
     // --- Component access (examples, tests, custom experiments) ---
     EventQueue &eventQueue() { return eq_; }
+
+    /** The sharded kernel, or null under the legacy kernel. */
+    ShardKernel *shardKernel() { return shardKernel_.get(); }
+
+    /** Events executed across every lane (legacy: the one queue). */
+    std::uint64_t
+    executedEvents() const
+    {
+        return shardKernel_ ? shardKernel_->executedTotal()
+                            : eq_.executedCount();
+    }
     memctrl::MemoryController &controller() { return *mc_; }
     os::BuddyAllocator &buddy() { return *buddy_; }
     os::VirtualMemory &vm() { return *vm_; }
@@ -139,6 +152,8 @@ class System
     StatRegistry registry_;
 
     std::unique_ptr<memctrl::MemoryController> mc_;
+    std::unique_ptr<ShardKernel> shardKernel_;
+    std::unique_ptr<memctrl::ShardRouter> shardRouter_;
     std::unique_ptr<os::BuddyAllocator> buddy_;
     std::unique_ptr<os::VirtualMemory> vm_;
     std::unique_ptr<cache::CacheHierarchy> caches_;

@@ -137,6 +137,10 @@ SystemConfig::check() const
     }
     if (etaThresh < 1)
         fatal("etaThresh must be >= 1");
+    if (shards < 0)
+        fatal("shards must be >= 0 (0 = legacy kernel)");
+    if (shards > 0 && shardEpoch <= 0)
+        fatal("sharded kernel needs a positive epoch");
 }
 
 } // namespace refsched::core

@@ -111,6 +111,30 @@ struct SystemConfig
      */
     bool validate = false;
 
+    // --- Sharded event kernel ---
+    /**
+     * 0 (default): the legacy exact kernel -- every component on
+     * one event queue, results bit-identical to prior releases.
+     * >= 1: the sharded kernel -- each channel's controller runs on
+     * its own event-queue lane, synchronized with the cores at
+     * shardEpoch boundaries; `shards` is the phase-B worker-thread
+     * count (clamped to the channel count; 1 = sequential lanes).
+     * Results are identical for every shards >= 1 value and differ
+     * slightly from the legacy kernel (requests cross into their
+     * channel at the next epoch boundary instead of immediately;
+     * see simcore/shard_kernel.hh).
+     */
+    int shards = 0;
+
+    /**
+     * Epoch window length E of the sharded kernel, in ticks.  Read
+     * completions cross back exactly when E <= tCL + tBURST; the
+     * default 15 ns sits under that bound for DDR3-1600 (~18.75 ns)
+     * while keeping the barrier overhead amortized over ~12 memory
+     * clocks per window.
+     */
+    Tick shardEpoch = 15000;
+
     // --- Components ---
     cpu::CoreParams coreParams;
     cache::HierarchyParams cacheParams;

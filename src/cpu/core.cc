@@ -10,7 +10,7 @@ namespace refsched::cpu
 
 Core::Core(EventQueue &eq, int id, const CoreParams &params,
            cache::CacheHierarchy &caches,
-           memctrl::MemoryController &mc, os::VirtualMemory &vm)
+           memctrl::MemoryPort &mc, os::VirtualMemory &vm)
     : eq_(eq), id_(id), params_(params), caches_(caches), mc_(mc),
       vm_(vm)
 {
@@ -18,6 +18,14 @@ Core::Core(EventQueue &eq, int id, const CoreParams &params,
         fatal("core needs positive issue width and ROB size");
     if (params_.cpuPeriod == 0)
         fatal("cpu period must be non-zero");
+    resumeCallee_.core = this;
+}
+
+void
+Core::ResumeCallee::fire(Tick, std::uint64_t epoch, std::uint64_t)
+{
+    if (epoch == core->epoch_)
+        core->advance();
 }
 
 void
@@ -64,6 +72,15 @@ Core::setTask(os::Task *task, Tick runUntil)
         cpiTicks_ = std::max(task_->source->baseCpi(),
                              1.0 / params_.issueWidth)
             * static_cast<double>(params_.cpuPeriod);
+        if (cpiTicks_ != chargeTableCpi_) {
+            chargeTableCpi_ = cpiTicks_;
+            chargeTable_.resize(
+                static_cast<std::size_t>(params_.robSize) + 1);
+            for (std::size_t n = 0; n < chargeTable_.size(); ++n) {
+                chargeTable_[n] = static_cast<Tick>(std::llround(
+                    static_cast<double>(n) * cpiTicks_));
+            }
+        }
         localTick_ = eq_.now();
         instrIdx_ = 0;
         advance();
@@ -84,8 +101,10 @@ Core::chargeInstructions(std::uint64_t n)
 {
     if (n == 0)
         return;
-    localTick_ += static_cast<Tick>(
-        std::llround(static_cast<double>(n) * cpiTicks_));
+    localTick_ += n < chargeTable_.size()
+        ? chargeTable_[n]
+        : static_cast<Tick>(
+              std::llround(static_cast<double>(n) * cpiTicks_));
     instrIdx_ += n;
     task_->instrsRetired += n;
     instrsIssued += static_cast<double>(n);
@@ -102,10 +121,7 @@ void
 Core::scheduleResume(Tick when)
 {
     resumeEvent_.cancel();
-    resumeEvent_ = eq_.schedule(when, [this, e = epoch_] {
-        if (e == epoch_)
-            advance();
-    });
+    resumeEvent_ = eq_.schedule(when, resumeCallee_, epoch_, 0);
 }
 
 bool

@@ -24,10 +24,11 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "cache/cache_hierarchy.hh"
 #include "cpu/instruction_source.hh"
-#include "memctrl/memory_controller.hh"
+#include "memctrl/memory_port.hh"
 #include "os/scheduler.hh"
 #include "os/task.hh"
 #include "os/virtual_memory.hh"
@@ -71,7 +72,7 @@ class Core : public os::CpuContext, public Callee
 {
   public:
     Core(EventQueue &eq, int id, const CoreParams &params,
-         cache::CacheHierarchy &caches, memctrl::MemoryController &mc,
+         cache::CacheHierarchy &caches, memctrl::MemoryPort &mc,
          os::VirtualMemory &vm);
 
     Core(const Core &) = delete;
@@ -135,11 +136,22 @@ class Core : public os::CpuContext, public Callee
     /** Schedule advance() to resume at @p when. */
     void scheduleResume(Tick when);
 
+    /** Intrusive resume event: fires advance() if the scheduling
+     *  epoch is still current.  A separate Callee from the Core
+     *  itself, whose fire() is the read-completion path. */
+    class ResumeCallee : public Callee
+    {
+      public:
+        void fire(Tick now, std::uint64_t epoch,
+                  std::uint64_t arg1) override;
+        Core *core = nullptr;
+    };
+
     EventQueue &eq_;
     int id_;
     CoreParams params_;
     cache::CacheHierarchy &caches_;
-    memctrl::MemoryController &mc_;
+    memctrl::MemoryPort &mc_;
     os::VirtualMemory &vm_;
 
     os::Task *task_ = nullptr;
@@ -170,8 +182,17 @@ class Core : public os::CpuContext, public Callee
     bool waitingRetry_ = false;
     Tick stallStart_ = 0;
     EventHandle resumeEvent_;
+    ResumeCallee resumeCallee_;
 
     double cpiTicks_ = 0.0;  ///< ticks per non-memory instruction
+
+    /** chargeTable_[n] = llround(n * cpiTicks_) for n in [0,
+     *  robSize]; chargeInstructions' n is ROB-bounded, so the hot
+     *  path replaces an llround per call with a table load.  Rebuilt
+     *  only when cpiTicks_ changes (context switch to a different
+     *  CPI), yielding identical tick charges. */
+    std::vector<Tick> chargeTable_;
+    double chargeTableCpi_ = -1.0;
 };
 
 } // namespace refsched::cpu

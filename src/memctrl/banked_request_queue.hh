@@ -192,6 +192,14 @@ class BankedRequestQueue
         return false;
     }
 
+    /**
+     * First word of the ready-bank bitmask (banks 0..63).  The
+     * word-scan issue passes intersect this with the controller's
+     * open-row and row-hit masks; the controller asserts at
+     * construction that a channel has at most 64 banks.
+     */
+    std::uint64_t occupiedWord() const { return occupied_[0]; }
+
     /** Invoke @p fn(bank) for every bank with queued requests, in
      *  ascending bank order. */
     template <typename Fn>

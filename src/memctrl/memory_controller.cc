@@ -1,6 +1,7 @@
 #include "memctrl/memory_controller.hh"
 
 #include <algorithm>
+#include <bit>
 
 #include "simcore/logging.hh"
 
@@ -17,6 +18,14 @@ MemoryController::Channel::Channel(const dram::DramDeviceConfig &cfg,
 {
     ranks.assign(static_cast<std::size_t>(cfg.org.ranksPerChannel),
                  dram::Rank(cfg.org));
+    const std::size_t banksTotal =
+        static_cast<std::size_t>(cfg.org.banksTotal());
+    bank.reserve(banksTotal);
+    for (auto &r : ranks)
+        for (auto &b : r.banks)
+            bank.push_back(&b);
+    readHitCnt.assign(banksTotal, 0);
+    writeHitCnt.assign(banksTotal, 0);
     stats.readLatencyDist.init(
         0.0, 4.0e6 /* ps: 4 us */, 64);
 }
@@ -34,14 +43,19 @@ MemoryController::MemoryController(
       epochLength_(cfg.timings.tREFIab)
 {
     REFSCHED_ASSERT(refresh_ != nullptr, "null refresh scheduler");
+    if (cfg_.org.banksTotal() > 64)
+        fatal("controller bank bitmaps support at most 64 banks per "
+              "channel, got ", cfg_.org.banksTotal());
     if (params_.writeLowWatermark >= params_.writeHighWatermark)
         fatal("write drain watermarks inverted");
     if (params_.writeHighWatermark > params_.writeQueueCapacity)
         fatal("write high watermark exceeds queue capacity");
 
     channels_.reserve(static_cast<std::size_t>(cfg_.org.channels));
-    for (int ch = 0; ch < cfg_.org.channels; ++ch)
+    for (int ch = 0; ch < cfg_.org.channels; ++ch) {
         channels_.emplace_back(cfg_, params_);
+        channels_.back().eq = &eq_;
+    }
 
     // Arm each channel for its first refresh command.
     for (int ch = 0; ch < cfg_.org.channels; ++ch) {
@@ -57,7 +71,7 @@ MemoryController::enqueue(Request req)
     req.coord = mapping_.decompose(req.paddr);
     const int ch = req.coord.channel;
     auto &c = channels_[static_cast<std::size_t>(ch)];
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
 
     const int bankIdx = bankIndex(req.coord.rank, req.coord.bank);
     if (req.isRead()) {
@@ -74,8 +88,14 @@ MemoryController::enqueue(Request req)
                 ++c.stats.reads;
                 const Tick doneAt = now + cfg_.timings.tCK;
                 if (req.completion) {
-                    eq_.schedule(doneAt, *req.completion, req.cookie0,
-                                 req.cookie1);
+                    if (completionSink_) {
+                        completionSink_->complete(
+                            ch, doneAt, *req.completion, req.cookie0,
+                            req.cookie1);
+                    } else {
+                        eq_.schedule(doneAt, *req.completion,
+                                     req.cookie0, req.cookie1);
+                    }
                 }
                 c.stats.readLatency.sample(
                     static_cast<double>(cfg_.timings.tCK));
@@ -85,8 +105,10 @@ MemoryController::enqueue(Request req)
         if (c.readQ.full())
             return false;
         req.enqueuedAt = now;
-        req.seq = nextSeq_++;
+        req.seq = c.nextSeq++;
+        const std::uint64_t row = req.coord.row;
         c.readQ.push(std::move(req), bankIdx);
+        noteQueuedRequest(c, bankIdx, row, true, +1);
         REFSCHED_PROBE(
             probe_,
             onMcQueue({now, ch, true, true,
@@ -97,8 +119,10 @@ MemoryController::enqueue(Request req)
         if (c.writeQ.full())
             return false;
         req.enqueuedAt = now;
-        req.seq = nextSeq_++;
+        req.seq = c.nextSeq++;
+        const std::uint64_t row = req.coord.row;
         c.writeQ.push(std::move(req), bankIdx);
+        noteQueuedRequest(c, bankIdx, row, false, +1);
         REFSCHED_PROBE(
             probe_,
             onMcQueue({now, ch, true, false,
@@ -109,6 +133,23 @@ MemoryController::enqueue(Request req)
 
     scheduleTick(ch, clock_.nextEdgeAtOrAfter(now));
     return true;
+}
+
+void
+MemoryController::setChannelLane(int channel, EventQueue *lane)
+{
+    REFSCHED_ASSERT(lane != nullptr, "null channel lane");
+    auto &c = channels_[static_cast<std::size_t>(channel)];
+    REFSCHED_ASSERT(lane->now() == c.eq->now(),
+                    "channel lane migration requires queues in sync");
+    // Re-arm a pending tick on the new lane (the constructor arms
+    // the first refresh before lanes exist).
+    const Tick at = c.tickScheduledAt;
+    c.tickEvent.cancel();
+    c.eq = lane;
+    c.tickScheduledAt = kMaxTick;
+    if (at != kMaxTick)
+        scheduleTick(channel, at);
 }
 
 void
@@ -171,19 +212,20 @@ void
 MemoryController::scheduleTick(int ch, Tick when)
 {
     auto &c = channels_[static_cast<std::size_t>(ch)];
-    when = clock_.nextEdgeAtOrAfter(std::max(when, eq_.now()));
+    when = clock_.nextEdgeAtOrAfter(std::max(when, c.eq->now()));
     if (c.tickEvent.pending() && c.tickScheduledAt <= when)
         return;
     c.tickEvent.cancel();
     c.tickScheduledAt = when;
-    c.tickEvent = eq_.schedule(
-        when, [this, ch] { tick(ch); }, EventPriority::ClockEdge);
+    c.tickEvent = c.eq->schedule(
+        when, *this, static_cast<std::uint64_t>(ch), 0,
+        EventPriority::ClockEdge);
 }
 
 void
 MemoryController::rollUtilizationEpoch(Channel &c)
 {
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
     while (now >= c.epochStart + epochLength_) {
         c.lastUtil = std::min(
             1.0, static_cast<double>(c.busyTicks)
@@ -196,7 +238,7 @@ MemoryController::rollUtilizationEpoch(Channel &c)
 void
 MemoryController::harvestDueRefreshes(Channel &c, int ch)
 {
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
     while (refresh_->nextDue(ch) <= now) {
         RefreshCommand cmd = refresh_->pop(ch, *this);
         if (cmd.tRFC == 0 || cmd.rows == 0) {
@@ -213,11 +255,122 @@ MemoryController::frozenByRefresh(const Channel &c, int rank,
 {
     // Deferred (not yet engaged) refreshes do not block traffic --
     // that is the whole point of elastic postponement.  Only the
-    // committed front command freezes its targets.
-    if (!c.refreshEngaged || c.pendingRefreshes.empty())
+    // committed front command freezes its targets; the target is
+    // cached on the channel when the engine engages.
+    return (c.frozenMask >> bankIndex(rank, bank)) & 1;
+}
+
+void
+MemoryController::noteQueuedRequest(Channel &c, int bankIdx,
+                                    std::uint64_t row, bool isRead,
+                                    int delta)
+{
+    const dram::Bank &b = *c.bank[static_cast<std::size_t>(bankIdx)];
+    if (!b.isOpen() || b.openRow != static_cast<std::int64_t>(row))
+        return;
+    auto &cnt = isRead ? c.readHitCnt : c.writeHitCnt;
+    auto &mask = isRead ? c.readHitMask : c.writeHitMask;
+    auto &n = cnt[static_cast<std::size_t>(bankIdx)];
+    n = static_cast<std::uint16_t>(static_cast<int>(n) + delta);
+    if (n == 0)
+        mask &= ~(1ULL << bankIdx);
+    else
+        mask |= 1ULL << bankIdx;
+}
+
+void
+MemoryController::mcActivate(Channel &c, int bankIdx,
+                             std::uint64_t row,
+                             const dram::DramTimings &t)
+{
+    dram::Bank &b = *c.bank[static_cast<std::size_t>(bankIdx)];
+    b.activate(c.eq->now(), static_cast<std::int64_t>(row), t);
+    c.openMask |= 1ULL << bankIdx;
+
+    // Recompute this bank's hit counts: the requests matching the
+    // newly opened row are exactly the hit candidates now.
+    const auto recount = [&](const BankedRequestQueue &q) {
+        std::uint16_t n = 0;
+        for (auto s = q.bankFront(bankIdx);
+             s != BankedRequestQueue::kNone; s = q.nextInBank(s)) {
+            if (q.request(s).coord.row == row)
+                ++n;
+        }
+        return n;
+    };
+    const std::uint64_t bit = 1ULL << bankIdx;
+    const std::uint16_t r = recount(c.readQ);
+    const std::uint16_t w = recount(c.writeQ);
+    c.readHitCnt[static_cast<std::size_t>(bankIdx)] = r;
+    c.writeHitCnt[static_cast<std::size_t>(bankIdx)] = w;
+    c.readHitMask = r ? (c.readHitMask | bit) : (c.readHitMask & ~bit);
+    c.writeHitMask =
+        w ? (c.writeHitMask | bit) : (c.writeHitMask & ~bit);
+}
+
+void
+MemoryController::mcPrecharge(Channel &c, int bankIdx,
+                              const dram::DramTimings &t)
+{
+    dram::Bank &b = *c.bank[static_cast<std::size_t>(bankIdx)];
+    b.precharge(c.eq->now(), t);
+    const std::uint64_t bit = 1ULL << bankIdx;
+    c.openMask &= ~bit;
+    c.readHitCnt[static_cast<std::size_t>(bankIdx)] = 0;
+    c.writeHitCnt[static_cast<std::size_t>(bankIdx)] = 0;
+    c.readHitMask &= ~bit;
+    c.writeHitMask &= ~bit;
+}
+
+bool
+MemoryController::checkHitBitmapInvariant(int channel,
+                                          std::string *why) const
+{
+    const auto &c = channels_[static_cast<std::size_t>(channel)];
+    auto fail = [&](const std::string &msg) {
+        if (why)
+            *why = msg;
         return false;
-    const auto &cmd = c.pendingRefreshes.front();
-    return cmd.rank == rank && (cmd.isAllBank() || cmd.bank == bank);
+    };
+
+    std::uint64_t openMask = 0;
+    for (int bi = 0; bi < cfg_.org.banksTotal(); ++bi) {
+        const dram::Bank &b = *c.bank[static_cast<std::size_t>(bi)];
+        if (b.isOpen())
+            openMask |= 1ULL << bi;
+        const auto naive = [&](const BankedRequestQueue &q) {
+            std::uint16_t n = 0;
+            for (auto s = q.bankFront(bi);
+                 s != BankedRequestQueue::kNone;
+                 s = q.nextInBank(s)) {
+                if (b.isOpen()
+                    && static_cast<std::int64_t>(
+                           q.request(s).coord.row)
+                        == b.openRow) {
+                    ++n;
+                }
+            }
+            return n;
+        };
+        const std::uint16_t r = naive(c.readQ);
+        const std::uint16_t w = naive(c.writeQ);
+        if (r != c.readHitCnt[static_cast<std::size_t>(bi)])
+            return fail("read hit count mismatch on bank "
+                        + std::to_string(bi));
+        if (w != c.writeHitCnt[static_cast<std::size_t>(bi)])
+            return fail("write hit count mismatch on bank "
+                        + std::to_string(bi));
+        const std::uint64_t bit = 1ULL << bi;
+        if (static_cast<bool>(c.readHitMask & bit) != (r != 0))
+            return fail("read hit mask mismatch on bank "
+                        + std::to_string(bi));
+        if (static_cast<bool>(c.writeHitMask & bit) != (w != 0))
+            return fail("write hit mask mismatch on bank "
+                        + std::to_string(bi));
+    }
+    if (openMask != c.openMask)
+        return fail("open-bank mask mismatch");
+    return true;
 }
 
 bool
@@ -237,7 +390,7 @@ MemoryController::refreshEngineStep(Channel &c, int ch, Tick &wake)
     if (c.pendingRefreshes.empty())
         return false;
 
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
     auto cand = [&](Tick t) {
         if (t > now)
             wake = std::min(wake, t);
@@ -255,6 +408,12 @@ MemoryController::refreshEngineStep(Channel &c, int ch, Tick &wake)
             return false;
         c.refreshEngaged = true;
         c.refreshForced = forced;
+        c.frozenRank = cmd.rank;
+        c.frozenBank = cmd.bank;
+        const int rankBase = cmd.rank * cfg_.org.banksPerRank;
+        c.frozenMask = cmd.bank == RefreshCommand::kAllBanksInRank
+            ? (((1ULL << cfg_.org.banksPerRank) - 1) << rankBase)
+            : (1ULL << (rankBase + cmd.bank));
     }
 
     auto &rank = c.ranks[static_cast<std::size_t>(cmd.rank)];
@@ -277,7 +436,7 @@ MemoryController::refreshEngineStep(Channel &c, int ch, Tick &wake)
                                    static_cast<std::uint64_t>(
                                        b.openRow),
                                    0}));
-                b.precharge(now, t);
+                mcPrecharge(c, bankIndex(cmd.rank, bankInRank), t);
                 return 1;
             }
             cand(b.preAllowedAt);
@@ -337,6 +496,9 @@ MemoryController::refreshEngineStep(Channel &c, int ch, Tick &wake)
     ++c.stats.refreshCommands;
     c.pendingRefreshes.pop_front();
     c.refreshEngaged = false;
+    c.frozenRank = -1;
+    c.frozenBank = -2;
+    c.frozenMask = 0;
     (void)ch;
     return true;
 }
@@ -348,9 +510,9 @@ MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
     c.stats.readLatency.sample(latency);
     c.stats.readLatencyDist.sample(latency);
     c.stats.readQueueWait.sample(
-        static_cast<double>(eq_.now() - req.enqueuedAt));
+        static_cast<double>(c.eq->now() - req.enqueuedAt));
     c.stats.readQueueWaitHist.sample(
-        static_cast<double>(eq_.now() - req.enqueuedAt));
+        static_cast<double>(c.eq->now() - req.enqueuedAt));
     if (req.blockedByRefresh) {
         ++c.stats.readsBlockedByRefresh;
         c.stats.readLatencyBlocked.sample(latency);
@@ -362,8 +524,16 @@ MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
     // Intrusive completion: the (callee, cookies) triple goes into
     // the event slot as plain data, so the hottest path in the
     // simulator schedules without allocating.
-    if (req.completion)
-        eq_.schedule(dataAt, *req.completion, req.cookie0, req.cookie1);
+    if (req.completion) {
+        if (completionSink_) {
+            completionSink_->complete(req.coord.channel, dataAt,
+                                      *req.completion, req.cookie0,
+                                      req.cookie1);
+        } else {
+            eq_.schedule(dataAt, *req.completion, req.cookie0,
+                         req.cookie1);
+        }
+    }
 }
 
 bool
@@ -374,7 +544,7 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         return false;
 
     constexpr auto kNone = BankedRequestQueue::kNone;
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
     const auto &t = cfg_.timings;
     const int banksPerRank = cfg_.org.banksPerRank;
 
@@ -384,8 +554,7 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
     };
 
     auto bankState = [&](int bankIdx) -> Bank & {
-        return c.ranks[static_cast<std::size_t>(bankIdx / banksPerRank)]
-            .banks[static_cast<std::size_t>(bankIdx % banksPerRank)];
+        return *c.bank[static_cast<std::size_t>(bankIdx)];
     };
 
     auto bankBlocked = [&](int bankIdx) {
@@ -396,8 +565,7 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         }
         // Frozen banks unblock through refresh-engine progress; the
         // engine folds its own earliest-progress tick into the wake.
-        return frozenByRefresh(c, bankIdx / banksPerRank,
-                               bankIdx % banksPerRank);
+        return ((c.frozenMask >> bankIdx) & 1) != 0;
     };
 
     // Track refresh interference on the oldest request.  Blocked
@@ -452,7 +620,8 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
 
     auto issueCas = [&](std::uint32_t slot) {
         Request &r = q.request(slot);
-        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
+        const int bankIdx = bankIndex(r.coord.rank, r.coord.bank);
+        Bank &b = bankState(bankIdx);
         if (!r.neededAct)
             ++c.stats.rowHits;
         else
@@ -478,6 +647,8 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         c.lastCasRank = r.coord.rank;
         c.lastCasWasWrite = isWriteQueue;
         c.busyTicks += t.tBURST;
+        // A served CAS always targets the open row: retire its hit.
+        noteQueuedRequest(c, bankIdx, r.coord.row, !isWriteQueue, -1);
         q.erase(slot);
         REFSCHED_PROBE(
             probe_,
@@ -491,14 +662,14 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
 
     auto issueAct = [&](std::uint32_t slot) {
         Request &r = q.request(slot);
-        Bank &b = bankState(bankIndex(r.coord.rank, r.coord.bank));
         auto &rank = c.ranks[static_cast<std::size_t>(r.coord.rank)];
         REFSCHED_PROBE(
             probe_,
             onDramCommand({now, validate::DramOp::Act, ch,
                            r.coord.rank, r.coord.bank, r.coord.row,
                            0}));
-        b.activate(now, static_cast<std::int64_t>(r.coord.row), t);
+        mcActivate(c, bankIndex(r.coord.rank, r.coord.bank),
+                   r.coord.row, t);
         rank.noteActivate(now, t);
         c.stats.energyActivatePj += params_.energy.actPrePj;
         r.neededAct = true;
@@ -506,13 +677,15 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
     };
 
     auto issuePre = [&](int rankIdx, int bankInRank) {
-        Bank &b = bankState(bankIndex(rankIdx, bankInRank));
+        const int bankIdx = bankIndex(rankIdx, bankInRank);
         REFSCHED_PROBE(
             probe_,
             onDramCommand({now, validate::DramOp::Pre, ch, rankIdx,
                            bankInRank,
-                           static_cast<std::uint64_t>(b.openRow), 0}));
-        b.precharge(now, t);
+                           static_cast<std::uint64_t>(
+                               bankState(bankIdx).openRow),
+                           0}));
+        mcPrecharge(c, bankIdx, t);
         return true;
     };
 
@@ -581,29 +754,37 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         }
     }
 
-    // Each pass scans occupied banks (ready-bank bitmask) instead of
-    // the whole queue; FR-FCFS age order is preserved by taking the
-    // minimum request sequence number over per-bank candidates.
+    // Each pass is a single-word scan: the occupied-bank mask is
+    // intersected with the open-bank mask and the incrementally
+    // maintained row-hit mask, so only banks that can possibly yield
+    // the pass's command are visited at all.  FR-FCFS age order is
+    // preserved by taking the minimum request sequence number over
+    // per-bank candidates.
+    const std::uint64_t occupied = q.occupiedWord();
+    const std::uint64_t hitMask =
+        isWriteQueue ? c.writeHitMask : c.readHitMask;
     std::uint32_t best = kNone;
     std::uint64_t bestSeq = ~std::uint64_t{0};
 
-    // Pass 1 (FR): oldest ready row hit.  All gating conditions are
-    // bank- or rank-level, so within a bank the candidate is simply
-    // the oldest request targeting the open row.
-    q.forEachOccupiedBank([&](int bankIdx) {
+    // Pass 1 (FR): oldest ready row hit, over banks with a queued
+    // open-row hit.  Banks without a hit candidate contribute
+    // neither an issue nor a wake: the hit set only changes through
+    // enqueues and activates, which wake the channel themselves.
+    std::uint64_t word = occupied & c.openMask & hitMask;
+    while (word != 0) {
+        const int bankIdx = std::countr_zero(word);
+        word &= word - 1;
         Bank &b = bankState(bankIdx);
-        if (!b.isOpen() || bankBlocked(bankIdx))
-            return;
+        if (bankBlocked(bankIdx))
+            continue;
         const Tick casAllowed =
             isWriteQueue ? b.wrAllowedAt : b.rdAllowedAt;
         // Bus constraints: burst spacing plus rank-to-rank switch
         // and read<->write turnaround penalties.
         const Tick busReady = busReadyFor(bankIdx / banksPerRank);
         if (now < casAllowed || now < busReady) {
-            // Conservative: recorded whether or not a row hit is
-            // actually queued -- an early wake just re-sleeps.
             cand(std::max(casAllowed, busReady));
-            return;
+            continue;
         }
         for (auto s = q.bankFront(bankIdx); s != kNone;
              s = q.nextInBank(s)) {
@@ -613,10 +794,10 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
                     bestSeq = r.seq;
                     best = s;
                 }
-                return;
+                break;
             }
         }
-    });
+    }
     if (best != kNone)
         return issueCas(best);
 
@@ -625,60 +806,59 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
     // candidate is the bank's oldest request.
     best = kNone;
     bestSeq = ~std::uint64_t{0};
-    q.forEachOccupiedBank([&](int bankIdx) {
+    word = occupied & ~c.openMask;
+    while (word != 0) {
+        const int bankIdx = std::countr_zero(word);
+        word &= word - 1;
         Bank &b = bankState(bankIdx);
-        if (b.isOpen() || bankBlocked(bankIdx))
-            return;
+        if (bankBlocked(bankIdx))
+            continue;
         auto &rank =
             c.ranks[static_cast<std::size_t>(bankIdx / banksPerRank)];
         if (rank.underRefresh(now)) {
             cand(rank.refreshingUntil);
-            return;
+            continue;
         }
         if (now < b.actAllowedAt || now < rank.actAllowedAt
             || rank.fawBlocked(now, t)) {
             cand(std::max({b.actAllowedAt, rank.actAllowedAt,
                            rank.fawClearAt(t)}));
-            return;
+            continue;
         }
         const Request &r = q.request(q.bankFront(bankIdx));
         if (r.seq < bestSeq) {
             bestSeq = r.seq;
             best = q.bankFront(bankIdx);
         }
-    });
+    }
     if (best != kNone)
         return issueAct(best);
 
     // Pass 3: precharge a conflicting row for the oldest conflicting
     // request, but only when no queued request still wants that row
-    // (open-row policy).  "Still wanted" is a property of the bank's
-    // open row, so a bank with any request for its open row is
-    // excluded outright.
+    // (open-row policy).  "Still wanted" is exactly the hit mask, so
+    // eligible banks are (occupied & open & ~hit) -- and on such a
+    // bank every queued request conflicts, making the bank's oldest
+    // request the candidate with no list walk.
     best = kNone;
     bestSeq = ~std::uint64_t{0};
-    q.forEachOccupiedBank([&](int bankIdx) {
+    word = occupied & c.openMask & ~hitMask;
+    while (word != 0) {
+        const int bankIdx = std::countr_zero(word);
+        word &= word - 1;
         Bank &b = bankState(bankIdx);
-        if (!b.isOpen() || bankBlocked(bankIdx))
-            return;
+        if (bankBlocked(bankIdx))
+            continue;
         if (now < b.preAllowedAt) {
             cand(b.preAllowedAt);
-            return;
+            continue;
         }
-        std::uint32_t oldest = kNone;
-        for (auto s = q.bankFront(bankIdx); s != kNone;
-             s = q.nextInBank(s)) {
-            const Request &r = q.request(s);
-            if (static_cast<std::int64_t>(r.coord.row) == b.openRow)
-                return;  // open row still wanted: bank excluded
-            if (oldest == kNone)
-                oldest = s;
-        }
-        if (oldest != kNone && q.request(oldest).seq < bestSeq) {
+        const std::uint32_t oldest = q.bankFront(bankIdx);
+        if (q.request(oldest).seq < bestSeq) {
             bestSeq = q.request(oldest).seq;
             best = oldest;
         }
-    });
+    }
     if (best != kNone) {
         const Request &r = q.request(best);
         return issuePre(r.coord.rank, r.coord.bank);
@@ -692,7 +872,7 @@ MemoryController::closedPagePrecharge(Channel &c,
                                       [[maybe_unused]] int ch,
                                       Tick &wake)
 {
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
     const auto &t = cfg_.timings;
 
     auto cand = [&](Tick when) {
@@ -700,47 +880,34 @@ MemoryController::closedPagePrecharge(Channel &c,
             wake = std::min(wake, when);
     };
 
-    auto rowWanted = [&](int bankIdx, std::int64_t row) {
-        auto scan = [&](const BankedRequestQueue &q) {
-            for (auto s = q.bankFront(bankIdx);
-                 s != BankedRequestQueue::kNone; s = q.nextInBank(s)) {
-                if (static_cast<std::int64_t>(
-                        q.request(s).coord.row) == row) {
-                    return true;
-                }
-            }
-            return false;
-        };
-        return scan(c.readQ) || scan(c.writeQ);
-    };
-
-    for (int rank = 0; rank < cfg_.org.ranksPerChannel; ++rank) {
-        for (int bank = 0; bank < cfg_.org.banksPerRank; ++bank) {
-            dram::Bank &b = c.ranks[static_cast<std::size_t>(rank)]
-                .banks[static_cast<std::size_t>(bank)];
-            if (!b.isOpen())
-                continue;
-            if (b.underRefresh(now)) {
-                cand(b.refreshingUntil);
-                continue;
-            }
-            if (frozenByRefresh(c, rank, bank))
-                continue;
-            if (now < b.preAllowedAt) {
-                cand(b.preAllowedAt);
-                continue;
-            }
-            if (rowWanted(bankIndex(rank, bank), b.openRow))
-                continue;
-            REFSCHED_PROBE(
-                probe_,
-                onDramCommand({now, validate::DramOp::Pre, ch, rank,
-                               bank,
-                               static_cast<std::uint64_t>(b.openRow),
-                               0}));
-            b.precharge(now, t);
-            return true;
+    // Only open, unfrozen banks whose row no queued request still
+    // wants are precharge candidates -- exactly
+    // open & ~frozen & ~(readHit | writeHit), a single word op.
+    // Hit banks lose their conservative preAllowedAt wake fold, but
+    // no precharge can issue there until the hit is served, and
+    // serving happens inside a tick that re-arms the wake itself.
+    std::uint64_t word = c.openMask & ~c.frozenMask
+        & ~(c.readHitMask | c.writeHitMask);
+    while (word != 0) {
+        const int bankIdx = std::countr_zero(word);
+        word &= word - 1;
+        dram::Bank &b = *c.bank[static_cast<std::size_t>(bankIdx)];
+        if (b.underRefresh(now)) {
+            cand(b.refreshingUntil);
+            continue;
         }
+        if (now < b.preAllowedAt) {
+            cand(b.preAllowedAt);
+            continue;
+        }
+        const int rank = bankIdx / cfg_.org.banksPerRank;
+        const int bank = bankIdx % cfg_.org.banksPerRank;
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::Pre, ch, rank, bank,
+                           static_cast<std::uint64_t>(b.openRow), 0}));
+        mcPrecharge(c, bankIdx, t);
+        return true;
     }
     return false;
 }
@@ -750,7 +917,7 @@ MemoryController::idleRowPrecharge(Channel &c,
                                    [[maybe_unused]] int ch,
                                    Tick &wake)
 {
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
     const auto &t = cfg_.timings;
 
     auto cand = [&](Tick when) {
@@ -758,54 +925,38 @@ MemoryController::idleRowPrecharge(Channel &c,
             wake = std::min(wake, when);
     };
 
-    auto rowWanted = [&](int bankIdx, std::int64_t row) {
-        auto scan = [&](const BankedRequestQueue &q) {
-            for (auto s = q.bankFront(bankIdx);
-                 s != BankedRequestQueue::kNone; s = q.nextInBank(s)) {
-                if (static_cast<std::int64_t>(
-                        q.request(s).coord.row) == row) {
-                    return true;
-                }
-            }
-            return false;
-        };
-        return scan(c.readQ) || scan(c.writeQ);
-    };
-
-    for (int rank = 0; rank < cfg_.org.ranksPerChannel; ++rank) {
-        for (int bank = 0; bank < cfg_.org.banksPerRank; ++bank) {
-            dram::Bank &b = c.ranks[static_cast<std::size_t>(rank)]
-                .banks[static_cast<std::size_t>(bank)];
-            if (!b.isOpen())
-                continue;
-            if (b.underRefresh(now)) {
-                cand(b.refreshingUntil);
-                continue;
-            }
-            if (frozenByRefresh(c, rank, bank))
-                continue;
-            if (rowWanted(bankIndex(rank, bank), b.openRow))
-                continue;  // pass 1 owns it; serving resets the clock
-            const Tick expiry =
-                b.lastAccessAt + params_.openRowIdleTimeout;
-            if (now < expiry) {
-                cand(expiry);
-                continue;
-            }
-            if (now < b.preAllowedAt) {
-                cand(b.preAllowedAt);
-                continue;
-            }
-            REFSCHED_PROBE(
-                probe_,
-                onDramCommand({now, validate::DramOp::Pre, ch, rank,
-                               bank,
-                               static_cast<std::uint64_t>(b.openRow),
-                               0}));
-            b.precharge(now, t);
-            ++c.stats.idleRowCloses;
-            return true;
+    // Banks with a queued hit are pass 1's business (serving resets
+    // the idle clock), frozen banks contribute neither an issue nor
+    // a fold -- both drop out of the scan word up front.
+    std::uint64_t word = c.openMask & ~c.frozenMask
+        & ~(c.readHitMask | c.writeHitMask);
+    while (word != 0) {
+        const int bankIdx = std::countr_zero(word);
+        word &= word - 1;
+        dram::Bank &b = *c.bank[static_cast<std::size_t>(bankIdx)];
+        if (b.underRefresh(now)) {
+            cand(b.refreshingUntil);
+            continue;
         }
+        const Tick expiry =
+            b.lastAccessAt + params_.openRowIdleTimeout;
+        if (now < expiry) {
+            cand(expiry);
+            continue;
+        }
+        if (now < b.preAllowedAt) {
+            cand(b.preAllowedAt);
+            continue;
+        }
+        REFSCHED_PROBE(
+            probe_,
+            onDramCommand({now, validate::DramOp::Pre, ch,
+                           bankIdx / cfg_.org.banksPerRank,
+                           bankIdx % cfg_.org.banksPerRank,
+                           static_cast<std::uint64_t>(b.openRow), 0}));
+        mcPrecharge(c, bankIdx, t);
+        ++c.stats.idleRowCloses;
+        return true;
     }
     return false;
 }
@@ -815,7 +966,7 @@ MemoryController::tick(int ch)
 {
     auto &c = channels_[static_cast<std::size_t>(ch)];
     c.tickScheduledAt = kMaxTick;
-    const Tick now = eq_.now();
+    const Tick now = c.eq->now();
 
     // Close the open refresh-blocked interval.  Between the tick
     // that opened it and this one, no command issued and no engine

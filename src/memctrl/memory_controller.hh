@@ -48,6 +48,7 @@
 #include "dram/refresh_scheduler.hh"
 #include "dram/timings.hh"
 #include "memctrl/banked_request_queue.hh"
+#include "memctrl/memory_port.hh"
 #include "memctrl/request.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/probe.hh"
@@ -125,9 +126,30 @@ struct ControllerParams
     Tick openRowIdleTimeout = 250000;
 };
 
-class MemoryController : public dram::McRefreshView
+class MemoryController : public MemoryPort,
+                         public dram::McRefreshView,
+                         public Callee
 {
   public:
+    /**
+     * Receiver for read-completion events in sharded mode: instead
+     * of scheduling req.completion on its own event queue, the
+     * controller hands the (when, callee, cookies) quadruple to the
+     * sink, which stages it for cross-shard delivery to the lane the
+     * requesting core lives on.  Null (the default) schedules
+     * directly -- the legacy single-queue path.
+     */
+    class CompletionSink
+    {
+      public:
+        virtual void complete(int channel, Tick when, Callee &callee,
+                              std::uint64_t cookie0,
+                              std::uint64_t cookie1) = 0;
+
+      protected:
+        ~CompletionSink() = default;
+    };
+
     MemoryController(EventQueue &eq, const dram::DramDeviceConfig &cfg,
                      std::unique_ptr<dram::RefreshScheduler> refresh,
                      const ControllerParams &params = {});
@@ -142,10 +164,25 @@ class MemoryController : public dram::McRefreshView
      * data-burst-done time.  Reads that hit a queued write are
      * forwarded and complete on the next cycle.
      */
-    bool enqueue(Request req);
+    bool enqueue(Request req) override;
 
     /** One-shot callback fired when queue space frees up. */
-    void requestRetryNotification(std::function<void()> cb);
+    void requestRetryNotification(std::function<void()> cb) override;
+
+    /**
+     * Move @p channel onto its own event-queue lane (sharded
+     * kernel).  All of the channel's controller state -- its clock
+     * ticks, its notion of now() -- migrates to @p lane; a pending
+     * tick event is re-armed there.  Call only while all queues
+     * agree on the current tick (i.e. before running).
+     */
+    void setChannelLane(int channel, EventQueue *lane);
+
+    /** Redirect read completions through @p sink (null = direct). */
+    void setCompletionSink(CompletionSink *sink)
+    {
+        completionSink_ = sink;
+    }
 
     /** Register this controller's stats under @p prefix. */
     void registerStats(StatRegistry &reg, const std::string &prefix);
@@ -171,6 +208,23 @@ class MemoryController : public dram::McRefreshView
     std::size_t writeQueueSize(int channel) const;
     const dram::Bank &bank(int channel, int rank, int bank) const;
     bool draining(int channel) const;
+
+    /** Callee: per-channel tick events carry the channel index, so
+     *  arming the controller clock never heap-allocates. */
+    void
+    fire(Tick, std::uint64_t ch, std::uint64_t) override
+    {
+        tick(static_cast<int>(ch));
+    }
+
+    /**
+     * Verify the incrementally-maintained row-hit bitmaps and
+     * open-bank mask of @p channel against a naive recompute from
+     * queue and bank state.  For the property tests; O(banks +
+     * queued requests).
+     */
+    bool checkHitBitmapInvariant(int channel,
+                                 std::string *why = nullptr) const;
 
     /** Aggregate statistics (exposed for metrics collection). */
     struct ChannelStats
@@ -226,6 +280,21 @@ class MemoryController : public dram::McRefreshView
         std::vector<dram::Rank> ranks;
         BankedRequestQueue readQ;
         BankedRequestQueue writeQ;
+
+        /**
+         * The event queue this channel's controller clock lives on.
+         * The legacy kernel points every channel at the system
+         * queue; the sharded kernel gives each channel its own lane
+         * so channels tick concurrently between epoch barriers.
+         * All channel-scoped code derives now() from here.
+         */
+        EventQueue *eq = nullptr;
+
+        /** Request age stamp.  Per channel (not global) so lanes
+         *  never share a counter: FR-FCFS only ever compares ages
+         *  within one channel's queues, where a per-channel counter
+         *  yields the same relative order as a global one. */
+        std::uint64_t nextSeq = 0;
         std::deque<dram::RefreshCommand> pendingRefreshes;
 
         /** The front pending refresh is committed to issue: its
@@ -263,6 +332,38 @@ class MemoryController : public dram::McRefreshView
         /** Queued reads whose blockedByRefresh flag is set (feeds
          *  the McQueueEvent blocked-reads counter track). */
         int blockedReadsNow = 0;
+
+        // --- Flattened per-bank hot state (global bank id order) ---
+
+        /** Flat pointer array over ranks[r].banks[b]: bank[idx]
+         *  replaces a divide/modulo pair per bank access on every
+         *  scheduler pass.  Pointers stay valid across Channel moves
+         *  (the ranks vector keeps its heap buffer). */
+        std::vector<dram::Bank *> bank;
+
+        /** Bit b set iff bank b has an open row. */
+        std::uint64_t openMask = 0;
+
+        /**
+         * Row-hit tracking, maintained incrementally at enqueue,
+         * serve, activate and precharge: hit counts are the number
+         * of queued requests targeting the bank's open row, and the
+         * masks mirror count != 0.  The FR pass and both precharge
+         * scans become single-word scans over them.
+         */
+        std::vector<std::uint16_t> readHitCnt;
+        std::vector<std::uint16_t> writeHitCnt;
+        std::uint64_t readHitMask = 0;
+        std::uint64_t writeHitMask = 0;
+
+        /** Cached target of the engaged front refresh (avoids
+         *  re-deriving from the pending deque per bank per pass):
+         *  frozenRank < 0 means no bank is frozen.  frozenMask is
+         *  the same target as a global-bank-id bitmask, so the scan
+         *  passes test or exclude frozen banks in one word op. */
+        int frozenRank = -1;
+        int frozenBank = -2;
+        std::uint64_t frozenMask = 0;
 
         ChannelStats stats;
     };
@@ -305,6 +406,20 @@ class MemoryController : public dram::McRefreshView
     /** True if the bank is frozen by an in-flight/pending refresh. */
     bool frozenByRefresh(const Channel &c, int rank, int bank) const;
 
+    /** Activate @p row on the bank, maintaining the open-bank mask
+     *  and recomputing that bank's row-hit counts. */
+    void mcActivate(Channel &c, int bankIdx, std::uint64_t row,
+                    const dram::DramTimings &t);
+
+    /** Precharge the bank, clearing its mask/hit-count state. */
+    void mcPrecharge(Channel &c, int bankIdx,
+                     const dram::DramTimings &t);
+
+    /** Adjust hit tracking when a request enters or leaves a
+     *  queue. @p isRead selects the read- or write-queue counters. */
+    void noteQueuedRequest(Channel &c, int bankIdx,
+                           std::uint64_t row, bool isRead, int delta);
+
     /** Demand reads queued for the command's target bank(s)? */
     bool demandQueuedForRefresh(const Channel &c,
                                 const dram::RefreshCommand &cmd) const;
@@ -326,9 +441,9 @@ class MemoryController : public dram::McRefreshView
     ClockDomain clock_;
     std::vector<Channel> channels_;
     std::vector<std::function<void()>> retryWaiters_;
-    std::uint64_t nextSeq_ = 0;
     Tick epochLength_;
     validate::Probe *probe_ = nullptr;
+    CompletionSink *completionSink_ = nullptr;
 };
 
 } // namespace refsched::memctrl

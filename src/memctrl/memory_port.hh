@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The request-side interface cores see of the memory system.
+ *
+ * Cores issue requests against this narrow port rather than against
+ * the MemoryController directly so the sharded kernel can interpose
+ * a ShardRouter: in the legacy single-queue kernel the port IS the
+ * controller, in sharded mode it is a staging router that defers the
+ * cross-shard hand-off to the next epoch boundary.
+ */
+
+#ifndef REFSCHED_MEMCTRL_MEMORY_PORT_HH
+#define REFSCHED_MEMCTRL_MEMORY_PORT_HH
+
+#include <functional>
+
+#include "memctrl/request.hh"
+
+namespace refsched::memctrl
+{
+
+class MemoryPort
+{
+  public:
+    virtual ~MemoryPort() = default;
+
+    /**
+     * Try to enqueue @p req.  Returns false when the target queue is
+     * full; the caller should wait for a retry notification.  Writes
+     * are posted (no completion); reads fire req.completion at
+     * data-burst-done time.
+     */
+    virtual bool enqueue(Request req) = 0;
+
+    /** One-shot callback fired when queue space frees up. */
+    virtual void requestRetryNotification(std::function<void()> cb) = 0;
+};
+
+} // namespace refsched::memctrl
+
+#endif // REFSCHED_MEMCTRL_MEMORY_PORT_HH

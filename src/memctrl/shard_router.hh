@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Cross-shard mailboxes between the cores (main lane) and the
+ * per-channel controller lanes of the sharded kernel.
+ *
+ * The router is the MemoryPort the cores see in sharded mode and
+ * the CompletionSink the controller reports into.  Both directions
+ * are staged, never delivered mid-window:
+ *
+ *   main -> channel   enqueue() stages the request in the target
+ *     channel's inbox (phase A, main lane only).  At the window
+ *     boundary the inbox moves onto the channel's pending list and
+ *     a delivery event is armed on the channel lane at the boundary
+ *     tick; the delivery calls MemoryController::enqueue on the
+ *     channel's own lane.  A full controller queue bounces the
+ *     request back onto the pending list -- the router retries at
+ *     the next boundary and the core never sees a NACK (sharded
+ *     mode has no core-side retry protocol).
+ *
+ *   channel -> main   complete() stages the controller's read
+ *     completion in the channel's outbox (phase B, that channel's
+ *     worker only).  The boundary drains every outbox in channel
+ *     order and schedules each completion on the main lane at
+ *     max(when, boundary); with epoch <= tCL + tBURST the max never
+ *     clamps a CAS completion (see shard_kernel.hh).
+ *
+ * Each mailbox has exactly one writer phase and one reader phase,
+ * separated by the kernel's barrier, so no locks are needed even
+ * when phase B runs on worker threads.
+ */
+
+#ifndef REFSCHED_MEMCTRL_SHARD_ROUTER_HH
+#define REFSCHED_MEMCTRL_SHARD_ROUTER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memctrl/memory_controller.hh"
+#include "memctrl/memory_port.hh"
+#include "simcore/shard_kernel.hh"
+
+namespace refsched::memctrl
+{
+
+class ShardRouter final : public MemoryPort,
+                          public MemoryController::CompletionSink,
+                          public Callee
+{
+  public:
+    /** Wires itself up: installs the boundary hook on @p kernel and
+     *  the completion sink on @p mc. */
+    ShardRouter(ShardKernel &kernel, MemoryController &mc);
+
+    // --- MemoryPort (main lane, phase A) ---
+    bool enqueue(Request req) override;
+    void requestRetryNotification(std::function<void()> cb) override;
+
+    // --- CompletionSink (channel lane, phase B) ---
+    void complete(int channel, Tick when, Callee &callee,
+                  std::uint64_t cookie0,
+                  std::uint64_t cookie1) override;
+
+    // --- Callee: per-channel delivery event (channel lane) ---
+    void fire(Tick now, std::uint64_t channel, std::uint64_t) override;
+
+    /** Window boundary (phase C, single-threaded). */
+    void onBoundary(Tick boundary);
+
+    /** Requests staged or bounced, not yet in a controller queue. */
+    std::size_t inFlight(int channel) const;
+
+  private:
+    struct Completion
+    {
+        Tick when;
+        Callee *callee;
+        std::uint64_t cookie0;
+        std::uint64_t cookie1;
+    };
+
+    struct LaneBox
+    {
+        std::vector<Request> inbox;       ///< staged by phase A
+        std::vector<Request> pending;     ///< awaiting delivery
+        std::vector<Completion> outbox;   ///< staged by phase B
+        bool deliveryArmed = false;
+    };
+
+    ShardKernel &kernel_;
+    MemoryController &mc_;
+    std::vector<LaneBox> boxes_;
+    std::vector<std::function<void()>> retryWaiters_;
+};
+
+} // namespace refsched::memctrl
+
+#endif // REFSCHED_MEMCTRL_SHARD_ROUTER_HH

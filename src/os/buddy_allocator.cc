@@ -1,6 +1,7 @@
 #include "os/buddy_allocator.hh"
 
 #include <algorithm>
+#include <set>
 
 #include "simcore/logging.hh"
 
@@ -23,7 +24,7 @@ BuddyAllocator::BuddyAllocator(const dram::AddressMapping &mapping)
                    || pfn + (1ULL << order) > totalFrames_)) {
             --order;
         }
-        freeLists_[static_cast<std::size_t>(order)].insert(pfn);
+        freeLists_[static_cast<std::size_t>(order)].push(pfn);
         pfn += 1ULL << order;
     }
     freeFrames_ = totalFrames_;
@@ -42,15 +43,14 @@ BuddyAllocator::allocBlock(int order)
     if (cur > kMaxOrder)
         return std::nullopt;
 
-    auto &list = freeLists_[static_cast<std::size_t>(cur)];
-    const std::uint64_t block = *list.begin();
-    list.erase(list.begin());
+    const std::uint64_t block =
+        freeLists_[static_cast<std::size_t>(cur)].popMin();
 
     // Split down to the requested order, returning upper halves.
     while (cur > order) {
         --cur;
         const std::uint64_t buddy = block + (1ULL << cur);
-        freeLists_[static_cast<std::size_t>(cur)].insert(buddy);
+        freeLists_[static_cast<std::size_t>(cur)].push(buddy);
     }
 
     freeFrames_ -= 1ULL << order;
@@ -71,14 +71,14 @@ BuddyAllocator::freeBlock(std::uint64_t pfn, int order)
     while (order < kMaxOrder) {
         const std::uint64_t buddy = pfn ^ (1ULL << order);
         auto &list = freeLists_[static_cast<std::size_t>(order)];
-        auto it = list.find(buddy);
-        if (it == list.end() || buddy + (1ULL << order) > totalFrames_)
+        if (buddy + (1ULL << order) > totalFrames_
+            || !list.erase(buddy)) {
             break;
-        list.erase(it);
+        }
         pfn = std::min(pfn, buddy);
         ++order;
     }
-    freeLists_[static_cast<std::size_t>(order)].insert(pfn);
+    freeLists_[static_cast<std::size_t>(order)].push(pfn);
 }
 
 std::optional<std::uint64_t>
@@ -113,8 +113,7 @@ BuddyAllocator::allocPage(Task &task)
             ++pagesAllocated_;
             freeFrames_ -= 1;  // cached pages count as free
             task.lastAllocedBank = allocBank;
-            ++task.residentPagesPerBank[static_cast<std::size_t>(
-                allocBank)];
+            task.addResidentPage(allocBank);
             REFSCHED_PROBE(probe_,
                            onPageAlloc({clock_ ? clock_->now() : 0,
                                         task.pid(), *pfn, false,
@@ -133,8 +132,7 @@ BuddyAllocator::allocPage(Task &task)
             if (bank == allocBank) {
                 ++pagesAllocated_;
                 task.lastAllocedBank = allocBank;
-                ++task.residentPagesPerBank[static_cast<std::size_t>(
-                    allocBank)];
+                task.addResidentPage(allocBank);
                 REFSCHED_PROBE(
                     probe_,
                     onPageAlloc({clock_ ? clock_->now() : 0,
@@ -165,8 +163,7 @@ BuddyAllocator::allocPageAnyBank(Task *task)
             freeFrames_ -= 1;
             if (task) {
                 task->lastAllocedBank = bank;
-                ++task->residentPagesPerBank[
-                    static_cast<std::size_t>(bank)];
+                task->addResidentPage(bank);
                 ++task->fallbackAllocs;
             }
             REFSCHED_PROBE(
@@ -184,8 +181,7 @@ BuddyAllocator::allocPageAnyBank(Task *task)
         if (task) {
             const int bank = mapping_.bankOfFrame(*page);
             task->lastAllocedBank = bank;
-            ++task->residentPagesPerBank[
-                static_cast<std::size_t>(bank)];
+            task->addResidentPage(bank);
             ++task->fallbackAllocs;
         }
         REFSCHED_PROBE(
@@ -236,7 +232,7 @@ BuddyAllocator::checkInvariants(std::string *why) const
 
     for (int order = 0; order <= kMaxOrder; ++order) {
         for (const auto pfn :
-             freeLists_[static_cast<std::size_t>(order)]) {
+             freeLists_[static_cast<std::size_t>(order)].items()) {
             if ((pfn & ((1ULL << order) - 1)) != 0)
                 return fail("misaligned free block");
             if (pfn + (1ULL << order) > totalFrames_)
@@ -252,7 +248,7 @@ BuddyAllocator::checkInvariants(std::string *why) const
                 const std::uint64_t buddy = pfn ^ (1ULL << order);
                 if (buddy + (1ULL << order) <= totalFrames_
                     && freeLists_[static_cast<std::size_t>(order)]
-                           .count(buddy)
+                           .contains(buddy)
                     && buddy > pfn) {
                     return fail("uncoalesced buddy pair");
                 }

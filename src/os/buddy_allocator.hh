@@ -21,9 +21,10 @@
 #ifndef REFSCHED_OS_BUDDY_ALLOCATOR_HH
 #define REFSCHED_OS_BUDDY_ALLOCATOR_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,67 @@
 
 namespace refsched::os
 {
+
+/**
+ * Free-block list for one buddy order: a binary min-heap over a flat
+ * vector.  The allocator only ever pops the minimum (deterministic
+ * lowest-address-first, same order a std::set yields) and pushes
+ * split halves, both O(log n) with no node allocation -- the hot
+ * demand-paging path used to spend ~10% of a co-design run inside
+ * red-black-tree erase.  Arbitrary-element erase (coalescing) is
+ * linear but only runs on teardown paths.
+ */
+class PfnMinHeap
+{
+  public:
+    bool empty() const { return v_.empty(); }
+    std::size_t size() const { return v_.size(); }
+
+    void
+    push(std::uint64_t pfn)
+    {
+        v_.push_back(pfn);
+        std::push_heap(v_.begin(), v_.end(),
+                       std::greater<std::uint64_t>{});
+    }
+
+    /** Remove and return the smallest pfn; heap must be non-empty. */
+    std::uint64_t
+    popMin()
+    {
+        std::pop_heap(v_.begin(), v_.end(),
+                      std::greater<std::uint64_t>{});
+        const std::uint64_t pfn = v_.back();
+        v_.pop_back();
+        return pfn;
+    }
+
+    /** Remove @p pfn if present; false when absent. */
+    bool
+    erase(std::uint64_t pfn)
+    {
+        auto it = std::find(v_.begin(), v_.end(), pfn);
+        if (it == v_.end())
+            return false;
+        *it = v_.back();
+        v_.pop_back();
+        std::make_heap(v_.begin(), v_.end(),
+                       std::greater<std::uint64_t>{});
+        return true;
+    }
+
+    bool
+    contains(std::uint64_t pfn) const
+    {
+        return std::find(v_.begin(), v_.end(), pfn) != v_.end();
+    }
+
+    /** Unordered view of the stored pfns (for invariant checks). */
+    const std::vector<std::uint64_t> &items() const { return v_; }
+
+  private:
+    std::vector<std::uint64_t> v_;
+};
 
 class BuddyAllocator
 {
@@ -142,9 +204,9 @@ class BuddyAllocator
     std::uint64_t freeFrames_ = 0;
     int numBanks_;
 
-    /** Buddy free lists, one ordered set of block-start pfns per
-     *  order (ordered => deterministic lowest-address-first). */
-    std::vector<std::set<std::uint64_t>> freeLists_;
+    /** Buddy free lists, one min-heap of block-start pfns per order
+     *  (min-pop => deterministic lowest-address-first). */
+    std::vector<PfnMinHeap> freeLists_;
 
     /** Per-bank caches of order-0 pages (Algorithm 2). */
     std::vector<std::vector<std::uint64_t>> perBankFree_;

@@ -70,6 +70,7 @@ Scheduler::addTask(Task *task, int cpu)
     queues_[static_cast<std::size_t>(cpu)].enqueue(task);
     emitRq(&validate::Probe::onRqEnqueue, cpu, task);
     allTasks_.push_back(task);
+    maskWords_ = std::max(maskWords_, task->residentBanksMask.size());
 }
 
 int
@@ -139,10 +140,13 @@ Scheduler::start()
 }
 
 bool
-Scheduler::cleanOf(const Task &t, const std::vector<int> &banks)
+Scheduler::cleanOf(const Task &t,
+                   const std::vector<std::uint64_t> &mask)
 {
-    for (const int b : banks) {
-        if (t.residentPagesPerBank[static_cast<std::size_t>(b)] != 0)
+    // Word intersection of the task's resident-bank bitmap with the
+    // refreshing-bank mask: clean iff every word is disjoint.
+    for (std::size_t w = 0; w < mask.size(); ++w) {
+        if (t.residentBanksMask[w] & mask[w])
             return false;
     }
     return true;
@@ -198,6 +202,15 @@ Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
         return first;
     }
 
+    // The refreshing banks as a word mask, built once per pick; each
+    // candidate's clean test is then one intersection against its
+    // resident-bank bitmap instead of a per-bank count loop.
+    refreshMask_.assign(maskWords_, 0);
+    for (const int b : refreshBanks) {
+        refreshMask_[static_cast<std::size_t>(b) / 64] |=
+            1ULL << (b % 64);
+    }
+
     // Algorithm 3: walk the red-black tree from the left, looking
     // for a task with no data in the bank(s) to be refreshed,
     // examining at most eta_thresh candidates.
@@ -210,7 +223,7 @@ Scheduler::pickNextTask(int cpu, const std::vector<int> &refreshBanks)
         ++count;
         if (count == 1)
             firstSchedEntity = p;
-        const bool clean = cleanOf(*p, refreshBanks);
+        const bool clean = cleanOf(*p, refreshMask_);
         if (capture)
             cand.push_back({p->pid(), p->vruntime, clean,
                             residentIn(*p, refreshBanks)});

@@ -134,8 +134,10 @@ class Scheduler
     void emitRq(void (validate::Probe::*hook)(const validate::RqEvent &),
                 int cpu, const Task *task);
 
-    /** True iff @p t has no pages in any of @p banks. */
-    static bool cleanOf(const Task &t, const std::vector<int> &banks);
+    /** True iff @p t's resident-bank bitmap is disjoint from the
+     *  refreshing-bank word mask. */
+    static bool cleanOf(const Task &t,
+                        const std::vector<std::uint64_t> &mask);
 
     /** Sum of @p t's resident fractions over @p banks. */
     static double residentIn(const Task &t,
@@ -147,6 +149,11 @@ class Scheduler
     std::vector<CfsRunQueue> queues_;
     std::vector<Task *> current_;
     std::vector<Task *> allTasks_;
+
+    /** Scratch refreshing-bank word mask, rebuilt per pick (sized
+     *  to the widest attached task's resident-bank bitmap). */
+    std::vector<std::uint64_t> refreshMask_;
+    std::size_t maskWords_ = 0;
     std::function<std::vector<int>(Tick)> refreshQuery_;
     bool started_ = false;
     validate::Probe *probe_ = nullptr;

@@ -11,6 +11,8 @@ Task::Task(Pid pid, std::string name, int numGlobalBanks)
     : possibleBanksVector(static_cast<std::size_t>(numGlobalBanks),
                           true),
       residentPagesPerBank(static_cast<std::size_t>(numGlobalBanks), 0),
+      residentBanksMask(
+          (static_cast<std::size_t>(numGlobalBanks) + 63) / 64, 0),
       pid_(pid),
       name_(std::move(name))
 {

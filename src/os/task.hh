@@ -16,6 +16,7 @@
 #ifndef REFSCHED_OS_TASK_HH
 #define REFSCHED_OS_TASK_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -102,8 +103,47 @@ class Task
     /** vpn -> pfn demand-paged mappings. */
     std::unordered_map<std::uint64_t, std::uint64_t> pageTable;
 
+    /**
+     * Direct-mapped vpn -> pfn cache over pageTable (a simulator
+     * fast path, not an architectural TLB: no hit/miss accounting,
+     * no latency).  Tags store vpn + 1 so 0 means empty.  Contents
+     * always mirror pageTable; mappings are only ever dropped
+     * wholesale at address-space teardown, which flushes it.
+     */
+    static constexpr std::size_t kTlbEntries = 256;
+    std::array<std::uint64_t, kTlbEntries> tlbTag{};
+    std::array<std::uint64_t, kTlbEntries> tlbPfn{};
+
     /** Resident page count per global bank. */
     std::vector<std::uint32_t> residentPagesPerBank;
+
+    /**
+     * Bit b of word b/64 set iff residentPagesPerBank[b] != 0.
+     * Algorithm 3's clean test intersects this with the refreshing-
+     * bank mask, one word op instead of a per-bank count loop.
+     * Mutations go through addResidentPage/clearResidentPages so the
+     * two views cannot drift.
+     */
+    std::vector<std::uint64_t> residentBanksMask;
+
+    /** Account one more resident page in @p globalBank. */
+    void
+    addResidentPage(int globalBank)
+    {
+        ++residentPagesPerBank[static_cast<std::size_t>(globalBank)];
+        residentBanksMask[static_cast<std::size_t>(globalBank) / 64] |=
+            1ULL << (globalBank % 64);
+    }
+
+    /** Drop the whole footprint (address-space teardown). */
+    void
+    clearResidentPages()
+    {
+        std::fill(residentPagesPerBank.begin(),
+                  residentPagesPerBank.end(), 0);
+        std::fill(residentBanksMask.begin(), residentBanksMask.end(),
+                  0);
+    }
 
     std::uint64_t
     residentPages() const

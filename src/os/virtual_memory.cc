@@ -18,8 +18,17 @@ VirtualMemory::translate(Task &task, Addr vaddr, bool *faulted)
     const std::uint64_t vpn = vaddr >> shift;
     const Addr offset = vaddr & ((1ULL << shift) - 1);
 
+    const std::size_t slot = vpn & (Task::kTlbEntries - 1);
+    if (task.tlbTag[slot] == vpn + 1) {
+        if (faulted)
+            *faulted = false;
+        return (task.tlbPfn[slot] << shift) | offset;
+    }
+
     auto it = task.pageTable.find(vpn);
     if (it != task.pageTable.end()) {
+        task.tlbTag[slot] = vpn + 1;
+        task.tlbPfn[slot] = it->second;
         if (faulted)
             *faulted = false;
         return (it->second << shift) | offset;
@@ -40,6 +49,8 @@ VirtualMemory::translate(Task &task, Addr vaddr, bool *faulted)
               buddy_.freeFrames(), " free frames");
 
     task.pageTable.emplace(vpn, *pfn);
+    task.tlbTag[slot] = vpn + 1;
+    task.tlbPfn[slot] = *pfn;
     ++task.pageFaults;
     ++pageFaults_;
     if (faulted)
@@ -53,8 +64,8 @@ VirtualMemory::releaseTask(Task &task)
     for (const auto &[vpn, pfn] : task.pageTable)
         buddy_.freePage(pfn);
     task.pageTable.clear();
-    std::fill(task.residentPagesPerBank.begin(),
-              task.residentPagesPerBank.end(), 0);
+    task.tlbTag.fill(0);
+    task.clearResidentPages();
 }
 
 } // namespace refsched::os

@@ -26,7 +26,10 @@ EventQueue::schedule(Tick when, Callback cb, EventPriority prio)
     const std::uint32_t idx = allocSlot();
     Slot &s = slotAt(idx);
     s.cb = std::move(cb);
-    pq.push(Entry{when, static_cast<int>(prio), nextSeq++, idx, s.gen});
+    heapPush(Entry{when,
+                   (static_cast<std::uint64_t>(prio) << kPrioShift)
+                       | nextSeq++,
+                   idx, s.gen});
     ++live;
     return EventHandle(this, idx, s.gen);
 }
@@ -42,7 +45,10 @@ EventQueue::schedule(Tick when, Callee &callee, std::uint64_t arg0,
     s.callee = &callee;
     s.arg0 = arg0;
     s.arg1 = arg1;
-    pq.push(Entry{when, static_cast<int>(prio), nextSeq++, idx, s.gen});
+    heapPush(Entry{when,
+                   (static_cast<std::uint64_t>(prio) << kPrioShift)
+                       | nextSeq++,
+                   idx, s.gen});
     ++live;
     return EventHandle(this, idx, s.gen);
 }
@@ -59,8 +65,8 @@ EventQueue::cancelSlot(std::uint32_t slot, std::uint32_t gen)
 void
 EventQueue::skipDead() const
 {
-    while (!pq.empty() && !entryLive(pq.top()))
-        pq.pop();
+    while (!heap_.empty() && !entryLive(heap_.front()))
+        heapPopTop();
 }
 
 bool
@@ -73,17 +79,12 @@ Tick
 EventQueue::nextEventTick() const
 {
     skipDead();
-    return pq.empty() ? kMaxTick : pq.top().when;
+    return heap_.empty() ? kMaxTick : heap_.front().when;
 }
 
-bool
-EventQueue::runOne()
+void
+EventQueue::execEntry(const Entry &e)
 {
-    skipDead();
-    if (pq.empty())
-        return false;
-    const Entry e = pq.top();
-    pq.pop();
     curTick = e.when;
     // Move the payload out and retire the slot before invoking: the
     // callback may schedule new events (possibly reusing this very
@@ -96,13 +97,24 @@ EventQueue::runOne()
         --live;
         ++executed;
         callee->fire(curTick, a0, a1);
-        return true;
+        return;
     }
     Callback cb = std::move(s.cb);
     retireSlot(e.slot);
     --live;
     ++executed;
     cb();
+}
+
+bool
+EventQueue::runOne()
+{
+    skipDead();
+    if (heap_.empty())
+        return false;
+    const Entry e = heap_.front();
+    heapPopTop();
+    execEntry(e);
     return true;
 }
 
@@ -112,9 +124,11 @@ EventQueue::runUntil(Tick limit)
     std::uint64_t count = 0;
     while (true) {
         skipDead();
-        if (pq.empty() || pq.top().when > limit)
+        if (heap_.empty() || heap_.front().when > limit)
             break;
-        runOne();
+        const Entry e = heap_.front();
+        heapPopTop();
+        execEntry(e);
         ++count;
     }
     if (curTick < limit)

@@ -29,7 +29,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "simcore/types.hh"
@@ -189,28 +188,34 @@ class EventQueue
         std::uint32_t nextFree = kNoSlot;
     };
 
-    /** Heap entry; points into the slot pool, no owned resources. */
+    /**
+     * Heap entry; points into the slot pool, no owned resources.
+     * Priority and sequence are packed into one key word (priority in
+     * the top byte, sequence below), so the (tick, priority, seq)
+     * order reduces to two integer compares and the entry to 24
+     * bytes -- the heap is the kernel's hottest data structure.
+     */
     struct Entry
     {
         Tick when;
-        int prio;
-        std::uint64_t seq;
+        std::uint64_t key;  ///< (prio << kPrioShift) | seq
         std::uint32_t slot;
         std::uint32_t gen;
     };
 
-    struct Later
+    static constexpr unsigned kPrioShift = 56;
+
+    /** True iff @p a fires after @p b.  (when, key) is a strict
+     *  total order -- sequence numbers are unique -- so ANY correct
+     *  heap pops entries in one global order and the heap layout is
+     *  not observable: determinism does not depend on the arity. */
+    static bool
+    laterThan(const Entry &a, const Entry &b)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            if (a.prio != b.prio)
-                return a.prio > b.prio;
-            return a.seq > b.seq;
-        }
-    };
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.key > b.key;
+    }
 
     Slot &
     slotAt(std::uint32_t idx) const
@@ -250,7 +255,61 @@ class EventQueue
     /** Pop stale (cancelled) entries off the top. */
     void skipDead() const;
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> pq;
+    /** Fire the already-popped live entry @p e. */
+    void execEntry(const Entry &e);
+
+    /**
+     * Implicit 4-ary min-heap (earliest entry at heap_[0]).  Versus
+     * the binary std::priority_queue this halves the sift depth and
+     * keeps each child scan inside one or two cache lines -- the
+     * heap is the kernel's hottest data structure and most pushed
+     * entries are later cancelled, so cheap sifts matter more than
+     * minimal comparisons.  Hole-based sifting avoids swaps.
+     */
+    void
+    heapPush(const Entry &e) const
+    {
+        std::size_t i = heap_.size();
+        heap_.push_back(e);
+        while (i > 0) {
+            const std::size_t p = (i - 1) >> 2;
+            if (!laterThan(heap_[p], e))
+                break;
+            heap_[i] = heap_[p];
+            i = p;
+        }
+        heap_[i] = e;
+    }
+
+    /** Remove heap_[0]. */
+    void
+    heapPopTop() const
+    {
+        const Entry e = heap_.back();
+        heap_.pop_back();
+        const std::size_t n = heap_.size();
+        if (n == 0)
+            return;
+        std::size_t i = 0;
+        while (true) {
+            const std::size_t c = 4 * i + 1;
+            if (c >= n)
+                break;
+            std::size_t m = c;
+            const std::size_t end = c + 4 < n ? c + 4 : n;
+            for (std::size_t k = c + 1; k < end; ++k) {
+                if (laterThan(heap_[m], heap_[k]))
+                    m = k;
+            }
+            if (!laterThan(e, heap_[m]))
+                break;
+            heap_[i] = heap_[m];
+            i = m;
+        }
+        heap_[i] = e;
+    }
+
+    mutable std::vector<Entry> heap_;
     std::vector<std::unique_ptr<Slot[]>> slabs;
     std::uint32_t freeHead = kNoSlot;
     std::uint32_t slotCount = 0;

@@ -41,8 +41,12 @@ Rng::geometric(double p, std::uint64_t maxGap)
     if (p <= 0.0)
         return maxGap;
     // Inverse-CDF sampling: floor(log(U) / log(1-p)).
+    if (p != geomP_) {
+        geomP_ = p;
+        geomLogQ_ = std::log1p(-p);
+    }
     const double u = real();
-    const double g = std::floor(std::log1p(-u) / std::log1p(-p));
+    const double g = std::floor(std::log1p(-u) / geomLogQ_);
     if (g >= static_cast<double>(maxGap))
         return maxGap;
     return static_cast<std::uint64_t>(g);

@@ -89,6 +89,11 @@ class Rng
     }
 
     std::uint64_t s[4];
+
+    /** geometric() is called with the same p for a whole trace
+     *  stream; cache log1p(-p) instead of recomputing per sample. */
+    double geomP_ = -1.0;
+    double geomLogQ_ = 0.0;
 };
 
 } // namespace refsched

@@ -1,0 +1,144 @@
+#include "simcore/shard_kernel.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace refsched
+{
+
+ShardKernel::ShardKernel(EventQueue &main, int lanes, Tick epoch)
+    : main_(main), epoch_(epoch)
+{
+    REFSCHED_ASSERT(lanes > 0, "sharded kernel needs >= 1 lane");
+    REFSCHED_ASSERT(epoch > 0, "shard epoch must be positive");
+    for (int i = 0; i < lanes; ++i)
+        lanes_.push_back(std::make_unique<EventQueue>());
+}
+
+ShardKernel::~ShardKernel()
+{
+    stopWorkers();
+}
+
+void
+ShardKernel::setWorkers(int n)
+{
+    REFSCHED_ASSERT(threads_.empty(),
+                    "setWorkers must precede the first runUntil");
+    workers_ = std::clamp(n, 1, laneCount());
+}
+
+void
+ShardKernel::startWorkers()
+{
+    if (workers_ <= 1 || !threads_.empty())
+        return;
+    threads_.reserve(static_cast<std::size_t>(workers_));
+    for (int w = 0; w < workers_; ++w)
+        threads_.emplace_back([this, w] { workerLoop(w); });
+}
+
+void
+ShardKernel::stopWorkers()
+{
+    if (threads_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        quit_ = true;
+    }
+    cvStart_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+}
+
+void
+ShardKernel::runLaneRange(int first, int last)
+{
+    for (int i = first; i < last; ++i)
+        lanes_[static_cast<std::size_t>(i)]->runUntil(target_);
+}
+
+void
+ShardKernel::workerLoop(int workerId)
+{
+    // Static block partition of the lanes over the workers: lane
+    // ownership never changes, so a lane's events always run on the
+    // same thread and successive windows of one lane are ordered by
+    // the barrier alone.
+    const int lanes = laneCount();
+    const int per = (lanes + workers_ - 1) / workers_;
+    const int first = std::min(workerId * per, lanes);
+    const int last = std::min(first + per, lanes);
+
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cvStart_.wait(lk,
+                          [&] { return quit_ || gen_ != seen; });
+            if (quit_)
+                return;
+            seen = gen_;
+        }
+        runLaneRange(first, last);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (--pending_ == 0)
+                cvDone_.notify_one();
+        }
+    }
+}
+
+std::uint64_t
+ShardKernel::runUntil(Tick limit)
+{
+    startWorkers();
+
+    const std::uint64_t before = executedTotal();
+    do {
+        // Window [t, end); `end - 1` is inclusive for runUntil.  The
+        // final window absorbs the ragged remainder so every lane
+        // finishes exactly at `limit` (events AT limit included,
+        // matching EventQueue::runUntil's contract).
+        const Tick t = main_.now();
+        const Tick end = std::min(t + epoch_, limit + 1);
+        target_ = end - 1;
+
+        // Phase A: the main lane, alone.
+        main_.runUntil(target_);
+
+        // Phase B: channel lanes, mutually independent.
+        if (threads_.empty()) {
+            runLaneRange(0, laneCount());
+        } else {
+            {
+                std::lock_guard<std::mutex> lk(mu_);
+                pending_ = workers_;
+                ++gen_;
+            }
+            cvStart_.notify_all();
+            std::unique_lock<std::mutex> lk(mu_);
+            cvDone_.wait(lk, [&] { return pending_ == 0; });
+        }
+
+        // Phase C: seal the window; cross-lane deliveries land at
+        // >= end, i.e. inside the next window.
+        if (boundaryHook_)
+            boundaryHook_(end);
+    } while (main_.now() < limit);
+    return executedTotal() - before;
+}
+
+std::uint64_t
+ShardKernel::executedTotal() const
+{
+    std::uint64_t total = main_.executedCount();
+    for (const auto &l : lanes_)
+        total += l->executedCount();
+    return total;
+}
+
+} // namespace refsched

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The sharded discrete-event kernel: one event-queue lane per DRAM
+ * channel beside the main lane, synchronized at epoch boundaries.
+ *
+ * The legacy kernel interleaves every component on one EventQueue.
+ * The sharded kernel splits the event population by owner:
+ *
+ *   lane 0 (the "main" lane, the caller's EventQueue) -- cores, OS
+ *     scheduler, caches, virtual memory: everything that shares
+ *     state with the software side.
+ *   lane 1..C (owned by the kernel) -- one per DRAM channel: the
+ *     memory controller's per-channel clock ticks.
+ *
+ * Time advances in epoch windows [T, T+E).  Within a window every
+ * lane runs its own events independently; anything that crosses a
+ * lane boundary (a core's request entering a channel, a channel's
+ * read completion returning to a core) is staged in a mailbox and
+ * delivered at the next window boundary, never mid-window.  That
+ * makes the window execution order unobservable: lanes may run
+ * sequentially in any order or concurrently on worker threads and
+ * the simulation is bit-for-bit identical, because no lane can read
+ * another lane's state until the single-threaded boundary phase has
+ * sealed the window.
+ *
+ * Window phasing (runUntil):
+ *
+ *   phase A  main lane runs [T, T+E) on the caller's thread, alone.
+ *            Cross-lane READS that the software side performs (the
+ *            refresh-aware scheduler's analytic schedule query) are
+ *            safe here because channel lanes are quiescent.
+ *   phase B  channel lanes run [T, T+E), mutually independent --
+ *            sequentially, or in parallel when workers > 1.
+ *   phase C  barrier; the boundary hook runs single-threaded and
+ *            drains the mailboxes, scheduling deliveries at >= T+E.
+ *
+ * Exactness: a read CAS issued inside a window completes tCL+tBURST
+ * later, so with E <= tCL+tBURST every staged completion already
+ * lies at or beyond the next boundary and delivery never distorts
+ * its tick.  Requests travelling main->channel are delivered at the
+ * boundary, adding up to E of queueing latency -- the documented
+ * approximation of sharded mode (shard counts never change results;
+ * the epoch length is the accuracy knob).
+ */
+
+#ifndef REFSCHED_SIMCORE_SHARD_KERNEL_HH
+#define REFSCHED_SIMCORE_SHARD_KERNEL_HH
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "simcore/event_queue.hh"
+#include "simcore/types.hh"
+
+namespace refsched
+{
+
+class ShardKernel
+{
+  public:
+    /**
+     * @p main   the system's main event queue (lane 0, not owned).
+     * @p lanes  number of channel lanes to create.
+     * @p epoch  window length E in ticks.
+     */
+    ShardKernel(EventQueue &main, int lanes, Tick epoch);
+    ~ShardKernel();
+
+    ShardKernel(const ShardKernel &) = delete;
+    ShardKernel &operator=(const ShardKernel &) = delete;
+
+    /** Channel lane @p i in [0, lanes). */
+    EventQueue &lane(int i)
+    {
+        return *lanes_[static_cast<std::size_t>(i)];
+    }
+
+    /** Lane 0: the caller's main event queue. */
+    EventQueue &mainLane() { return main_; }
+
+    int laneCount() const { return static_cast<int>(lanes_.size()); }
+    Tick epoch() const { return epoch_; }
+
+    /**
+     * Worker threads for phase B.  1 (default) runs channel lanes
+     * sequentially on the caller's thread; n > 1 spreads them over
+     * min(n, lanes) persistent workers.  The thread count never
+     * affects results.  Must be set before the first runUntil.
+     */
+    void setWorkers(int n);
+    int workers() const { return workers_; }
+
+    /**
+     * Invoked single-threaded at every window boundary with the
+     * boundary tick (the start of the next window).  The router
+     * drains its mailboxes here; deliveries must be scheduled at or
+     * after the boundary tick.
+     */
+    void setBoundaryHook(std::function<void(Tick boundary)> hook)
+    {
+        boundaryHook_ = std::move(hook);
+    }
+
+    /**
+     * Run every lane up to and including @p limit (same contract as
+     * EventQueue::runUntil), in epoch windows.  All lanes end with
+     * now() == limit.  @return events executed across all lanes.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Lifetime events executed across the main and channel lanes. */
+    std::uint64_t executedTotal() const;
+
+  private:
+    void startWorkers();
+    void stopWorkers();
+    void workerLoop(int workerId);
+    /** Run channel lanes [first, last) up to target_. */
+    void runLaneRange(int first, int last);
+
+    EventQueue &main_;
+    std::vector<std::unique_ptr<EventQueue>> lanes_;
+    Tick epoch_;
+    int workers_ = 1;
+    std::function<void(Tick)> boundaryHook_;
+
+    // Phase-B thread pool: a generation barrier.  The coordinator
+    // bumps gen_ to release the workers on target_, then waits for
+    // pending_ to drain; both transitions synchronize through mu_,
+    // which is what orders mailbox writes against phase C.
+    std::vector<std::thread> threads_;
+    std::mutex mu_;
+    std::condition_variable cvStart_;
+    std::condition_variable cvDone_;
+    std::uint64_t gen_ = 0;
+    int pending_ = 0;
+    Tick target_ = 0;
+    bool quit_ = false;
+};
+
+} // namespace refsched
+
+#endif // REFSCHED_SIMCORE_SHARD_KERNEL_HH

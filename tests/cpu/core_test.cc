@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "memctrl/memory_controller.hh"
 #include "simcore/logging.hh"
 
 namespace refsched::cpu

@@ -173,8 +173,10 @@ TEST(CfsRunQueuePropertyTest, RefreshAwarePickMatchesReference)
                 static_cast<Pid>(i + 1), "t", kNumBanks);
             t->vruntime = rng.below(4);  // force ties
             for (int b = 0; b < kNumBanks; ++b) {
-                t->residentPagesPerBank[static_cast<std::size_t>(b)] =
+                const auto pages =
                     static_cast<std::uint32_t>(rng.below(3));
+                for (std::uint32_t k = 0; k < pages; ++k)
+                    t->addResidentPage(b);
             }
             all.push_back(t.get());
             sched.addTask(t.get(), 0);
@@ -214,7 +216,8 @@ TEST(CfsRunQueuePropertyTest, EtaOneNeverDeviates)
     Task dirty(1, "dirty", kNumBanks), clean(2, "clean", kNumBanks);
     dirty.vruntime = 0;
     clean.vruntime = 100;
-    dirty.residentPagesPerBank[0] = 5;
+    for (int k = 0; k < 5; ++k)
+        dirty.addResidentPage(0);
     sched.addTask(&dirty, 0);
     sched.addTask(&clean, 0);
 

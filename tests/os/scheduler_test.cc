@@ -205,8 +205,8 @@ struct RefreshAwareFixture : Fixture
     static void
     putPages(Task *task, int bank, std::uint32_t pages)
     {
-        task->residentPagesPerBank[static_cast<std::size_t>(bank)] =
-            pages;
+        for (std::uint32_t i = 0; i < pages; ++i)
+            task->addResidentPage(bank);
     }
 };
 
@@ -321,9 +321,10 @@ TEST(RefreshAwareSchedulerTest, EndToEndFairnessWithRotation)
         auto *t = f.addTask(static_cast<Pid>(i + 1));
         // Task i holds pages everywhere EXCEPT banks {2i, 2i+1}.
         for (int b = 0; b < 8; ++b) {
-            if (b / 2 != i)
-                t->residentPagesPerBank[static_cast<std::size_t>(b)] =
-                    10;
+            if (b / 2 != i) {
+                for (int k = 0; k < 10; ++k)
+                    t->addResidentPage(b);
+            }
         }
         ts.push_back(t);
     }

@@ -9,10 +9,12 @@
 # are quoted from) and runs bench/perf_smoke against the checked-in
 # baseline tools/perf_baseline.json:
 #
-#   events      must match the baseline exactly (deterministic sim)
-#   wall-clock  may regress by at most 20% (skipped by --events-only,
-#               which is what CI uses: wall time is machine-dependent,
-#               event counts are not)
+#   events, events/quantum   must match the baseline exactly, for
+#               the legacy-kernel rows and the sharded-kernel row
+#               alike (the simulation is deterministic either way)
+#   wall-clock, Mticks/s     may regress by at most 20% (skipped by
+#               --events-only, which is what CI uses: host speed is
+#               machine-dependent, event counts are not)
 #
 # --update re-records tools/perf_baseline.json from the current build
 # instead of checking; use it when a change intentionally alters the

@@ -39,6 +39,9 @@ struct CliOptions
     double retentionMs = 64.0;
     int cores = 2;
     int tasksPerCore = 4;
+    int channels = 1;
+    int shards = 0;
+    Tick shardEpoch = 0;  // 0 keeps the config default
     unsigned timeScale = 128;
     int warmupQuanta = 8;
     int measureQuanta = 16;
@@ -92,6 +95,7 @@ usage(const char *argv0, const std::string &error = "")
         << "  --density G            8 | 16 | 24 | 32  (default 32)\n"
         << "  --retention MS         64 or 32 (default 64)\n"
         << "  --cores N              (default 2)\n"
+        << "  --channels N           memory channels (default 1)\n"
         << "  --tasks-per-core N     consolidation ratio (default 4)\n"
         << "  --banks-per-task N     override the 8 - 8/ratio rule\n"
         << "  --partition M          soft | hard | none (default: "
@@ -104,7 +108,13 @@ usage(const char *argv0, const std::string &error = "")
         << "  --measure N            measured quanta (default 16)\n"
         << "  --seed S               trace RNG seed\n"
         << "  --validate             run the invariant checkers; "
-           "exit 1 on any violation\n\n"
+           "exit 1 on any violation\n"
+        << "  --shards N             sharded event kernel: one lane "
+           "per channel,\n"
+        << "                         N phase-B workers (0 = legacy "
+           "kernel, default)\n"
+        << "  --shard-epoch PS       sharded-kernel window length "
+           "(default 15000)\n\n"
         << "output:\n"
         << "  --dump-stats           print every registered stat\n"
         << "  --csv                  per-task table as CSV\n"
@@ -171,6 +181,13 @@ parse(int argc, char **argv)
             o.retentionMs = std::atof(need(i));
         } else if (a == "--cores") {
             o.cores = std::atoi(need(i));
+        } else if (a == "--channels") {
+            o.channels = std::atoi(need(i));
+        } else if (a == "--shards") {
+            o.shards = std::atoi(need(i));
+        } else if (a == "--shard-epoch") {
+            o.shardEpoch = static_cast<Tick>(
+                std::strtoull(need(i), nullptr, 10));
         } else if (a == "--tasks-per-core") {
             o.tasksPerCore = std::atoi(need(i));
         } else if (a == "--banks-per-task") {
@@ -242,6 +259,10 @@ buildConfig(const CliOptions &o, const char *argv0)
     cfg.banksPerTaskPerRank = o.banksPerTask;
     cfg.seed = o.seed;
     cfg.validate = o.validate;
+    cfg.channels = o.channels;
+    cfg.shards = o.shards;
+    if (o.shardEpoch > 0)
+        cfg.shardEpoch = o.shardEpoch;
 
     if (!o.partition.empty()) {
         if (o.partition == "soft")

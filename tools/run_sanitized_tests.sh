@@ -54,8 +54,19 @@ echo "=== asan: differential fuzz (corpus replay + short random run) ==="
     --samples 25 --seed 7 --shrink-budget 0
 
 run_pass tsan thread
-echo "=== tsan: parallel-runner determinism suite ==="
-ctest --test-dir build-tsan --output-on-failure -R 'ParallelRunner|GoldenTraceJobs'
+echo "=== tsan: parallel-runner + sharded-kernel determinism suites ==="
+# ShardIdentityTest runs the channel lanes on real worker threads
+# (no probe attached) and asserts bit-identity with the sequential
+# run -- the primary TSan target for the sharded kernel.
+ctest --test-dir build-tsan --output-on-failure \
+    -R 'ParallelRunner|GoldenTraceJobs|ShardIdentity'
+echo "=== tsan: sharded CLI run (real worker threads) ==="
+# No --timeline here: attaching a probe forces workers=1, and the
+# point of this pass is the threaded phase-B path.
+mkdir -p build-tsan/shard-smoke
+./build-tsan/tools/refsched_cli --policy co-design --workload WL-5 \
+    --channels 2 --shards 2 --warmup 1 --measure 4 --seed 7 \
+    --stats-json build-tsan/shard-smoke/sh2.stats.json >/dev/null
 echo "=== tsan: full suite ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 echo "=== tsan: per-policy observability exports ==="
