@@ -7,7 +7,9 @@
 #include "validate/checker.hh"
 #include "validate/os_auditor.hh"
 #include "validate/refresh_window_monitor.hh"
+#include "validate/scenario_auditor.hh"
 #include "validate/timing_auditor.hh"
+#include "workload/hotspot_source.hh"
 #include "workload/profile.hh"
 
 namespace refsched::core
@@ -24,6 +26,19 @@ msSince(ProfileClock::time_point start)
     return std::chrono::duration<double, std::milli>(
                ProfileClock::now() - start)
         .count();
+}
+
+/** The SyntheticTraceGenerator behind a task's source (direct, or
+ *  wrapped by the adversarial hotspot source). */
+const workload::SyntheticTraceGenerator &
+generatorOf(const os::Task &t)
+{
+    if (const auto *adv =
+            dynamic_cast<const workload::AdversarialHotspotSource *>(
+                t.source))
+        return adv->generator();
+    return *static_cast<const workload::SyntheticTraceGenerator *>(
+        t.source);
 }
 
 } // namespace
@@ -55,9 +70,10 @@ System::System(const SystemConfig &cfg)
         shardRouter_ = std::make_unique<memctrl::ShardRouter>(
             *shardKernel_, *mc_);
     }
-    memctrl::MemoryPort &memPort =
-        shardRouter_ ? static_cast<memctrl::MemoryPort &>(*shardRouter_)
-                     : static_cast<memctrl::MemoryPort &>(*mc_);
+    memPort_ = shardRouter_
+        ? static_cast<memctrl::MemoryPort *>(shardRouter_.get())
+        : static_cast<memctrl::MemoryPort *>(mc_.get());
+    memctrl::MemoryPort &memPort = *memPort_;
 
     buddy_ = std::make_unique<os::BuddyAllocator>(mc_->mapping());
     vm_ = std::make_unique<os::VirtualMemory>(mc_->mapping(), *buddy_);
@@ -85,12 +101,15 @@ System::System(const SystemConfig &cfg)
     sched_->attachCpus(std::move(cpuPtrs));
     sched_->registerStats(registry_, "sched");
 
-    if (cfg_.refreshAwareScheduling) {
-        // The co-design's hardware/software contract: the MC exposes
-        // which bank each channel refreshes during a quantum.
+    // The co-design's hardware/software contract: the MC exposes
+    // which bank each channel refreshes during a quantum.  Built
+    // unconditionally (it returns empty under non-analytic policies)
+    // because the adversarial scenario generator consumes it even
+    // when refresh-aware scheduling is off.
+    {
         auto &rs = mc_->refreshScheduler();
         const int channels = cfg_.channels;
-        sched_->setRefreshQuery([&rs, channels](Tick from) {
+        refreshQuery_ = [&rs, channels](Tick from) {
             std::vector<int> banks;
             for (int ch = 0; ch < channels; ++ch) {
                 const auto chBanks = rs.banksUnderRefreshAt(ch, from);
@@ -98,8 +117,10 @@ System::System(const SystemConfig &cfg)
                              chBanks.end());
             }
             return banks;
-        });
+        };
     }
+    if (cfg_.refreshAwareScheduling)
+        sched_->setRefreshQuery(refreshQuery_);
 
     // Install the invariant checkers BEFORE the tasks build so the
     // OS auditor observes the pre-touch page allocations too.
@@ -120,6 +141,9 @@ System::System(const SystemConfig &cfg)
                 mc_->mapping(), buddy_.get(),
                 cfg_.refreshAwareScheduling, cfg_.etaThresh,
                 cfg_.bestEffort));
+            probeHub_->add(
+                std::make_unique<validate::ScenarioAuditor>(
+                    mc_->mapping()));
         }
     }
 
@@ -127,6 +151,28 @@ System::System(const SystemConfig &cfg)
     assignBankMasks();
     if (cfg_.preTouchPages)
         preTouchFootprints();
+
+    if (!cfg_.scenario.empty()) {
+        os::ScenarioDirector::Hooks hooks;
+        hooks.spawnTask = [this](const workload::ScenarioEvent &ev,
+                                 Pid pid) {
+            return spawnScenarioTask(ev, pid);
+        };
+        hooks.reassignMasks =
+            [this](const std::vector<os::Task *> &live) {
+                assignBankMasks(live);
+            };
+        hooks.phaseState = [](const os::Task &t) {
+            const auto &gen = generatorOf(t);
+            return std::make_pair(gen.phaseEpoch(),
+                                  gen.footprintBytes());
+        };
+        director_ = std::make_unique<os::ScenarioDirector>(
+            eq_, *sched_, *vm_, *buddy_, *memPort_, mc_->mapping(),
+            cfg_.scenario, std::move(hooks));
+        director_->registerStats(registry_, "scenario");
+        director_->setProbe(probeHub_.get());
+    }
     profile_.constructMs = msSince(t0);
 }
 
@@ -141,6 +187,8 @@ System::enableProbeHub()
     mc_->setProbe(probeHub_.get());
     sched_->setProbe(probeHub_.get());
     buddy_->setProbe(probeHub_.get(), &eq_);
+    if (director_)
+        director_->setProbe(probeHub_.get());
 }
 
 void
@@ -165,19 +213,35 @@ System::buildTasks()
     const int totalBanks = cfg_.totalBanks();
     const auto pageBytes = mc_->mapping().pageBytes();
 
+    // Per-task macro-phase schedules from the scenario script.
+    std::vector<workload::PhaseSchedule> phases(
+        static_cast<std::size_t>(cfg_.totalTasks()));
+    for (const auto &[idx, sched] : cfg_.scenario.initialPhases) {
+        if (idx < cfg_.totalTasks())
+            phases[static_cast<std::size_t>(idx)] = sched;
+        else
+            warn("scenario phase= names task ", idx, " but only ",
+                 cfg_.totalTasks(), " task(s) exist; ignored");
+    }
+
     // Capacity guard: scaled footprints must fit physical memory
     // (the paper's region-of-interest working sets fit its DIMM; at
     // low densities we shrink proportionally, mirroring how a real
-    // run would be memory-capacity limited).
+    // run would be memory-capacity limited).  Phase schedules can
+    // grow a footprint mid-run, so reserve each task's peak.
     std::uint64_t wanted = 0;
     std::vector<std::uint64_t> footprints;
-    for (const auto &name : cfg_.benchmarks) {
-        const auto &prof = workload::profileByName(name);
+    for (std::size_t i = 0; i < cfg_.benchmarks.size(); ++i) {
+        const auto &prof =
+            workload::profileByName(cfg_.benchmarks[i]);
         std::uint64_t fp = std::max<std::uint64_t>(
             prof.footprintBytes / cfg_.timeScale, prof.hotsetBytes);
         fp = divCeil(fp, pageBytes) * pageBytes;
         footprints.push_back(fp);
-        wanted += fp;
+        const double peak =
+            i < phases.size() ? phases[i].maxFootprintScale() : 1.0;
+        wanted += static_cast<std::uint64_t>(
+            static_cast<double>(fp) * std::max(peak, 1.0));
     }
     const std::uint64_t budget =
         mc_->mapping().totalFrames() * pageBytes * 9 / 10;
@@ -204,6 +268,7 @@ System::buildTasks()
         workload::BenchmarkProfile prof = workload::profileByName(name);
         prof.hotsetBytes = std::max<std::uint64_t>(
             prof.hotsetBytes / cfg_.timeScale, 4 * kKiB);
+        prof.phases = phases[static_cast<std::size_t>(i)];
         auto task = std::make_unique<os::Task>(
             static_cast<Pid>(i + 1), name, totalBanks);
         auto src = std::make_unique<workload::SyntheticTraceGenerator>(
@@ -214,6 +279,9 @@ System::buildTasks()
         // evenly (task i runs on core i % numCores and belongs to
         // per-core partition group i / numCores).
         sched_->addTask(task.get(), i % cfg_.numCores);
+        REFSCHED_PROBE(probeHub_.get(),
+                       onTaskSpawn({eq_.now(), task->pid(), true,
+                                    i % cfg_.numCores}));
         sources_.push_back(std::move(src));
         tasks_.push_back(std::move(task));
     }
@@ -222,6 +290,15 @@ System::buildTasks()
 void
 System::assignBankMasks()
 {
+    std::vector<os::Task *> all;
+    for (auto &t : tasks_)
+        all.push_back(t.get());
+    assignBankMasks(all);
+}
+
+void
+System::assignBankMasks(const std::vector<os::Task *> &live)
+{
     if (cfg_.partitioning == Partitioning::None)
         return;  // bank-oblivious: all banks allowed (default)
 
@@ -229,8 +306,8 @@ System::assignBankMasks()
     const int allowedPerRank = cfg_.effectiveBanksPerTask();
     const int excluded = bpr - allowedPerRank;
 
-    for (int i = 0; i < cfg_.totalTasks(); ++i) {
-        os::Task &t = *tasks_[static_cast<std::size_t>(i)];
+    for (int i = 0; i < static_cast<int>(live.size()); ++i) {
+        os::Task &t = *live[static_cast<std::size_t>(i)];
         const int group = i / cfg_.numCores;  // slot within its core
 
         std::vector<bool> allowedInRank(
@@ -277,12 +354,9 @@ System::preTouchFootprints()
     // shared free lists (soft partitioning shares banks by design).
     std::vector<std::uint64_t> nextPage(tasks_.size(), 0);
     std::vector<std::uint64_t> numPages;
-    for (auto &t : tasks_) {
-        auto *gen = static_cast<workload::SyntheticTraceGenerator *>(
-            t->source);
+    for (auto &t : tasks_)
         numPages.push_back(
-            divCeil(gen->footprintBytes(), pageBytes));
-    }
+            divCeil(generatorOf(*t).footprintBytes(), pageBytes));
 
     constexpr std::uint64_t kChunk = 64;
     bool progress = true;
@@ -297,6 +371,45 @@ System::preTouchFootprints()
             }
         }
     }
+}
+
+os::Task *
+System::spawnScenarioTask(const workload::ScenarioEvent &ev, Pid pid)
+{
+    const auto pageBytes = mc_->mapping().pageBytes();
+    workload::BenchmarkProfile prof =
+        workload::profileByName(ev.benchmark);
+    prof.hotsetBytes = std::max<std::uint64_t>(
+        prof.hotsetBytes / cfg_.timeScale, 4 * kKiB);
+    prof.phases = ev.phases;
+
+    std::uint64_t fp = std::max<std::uint64_t>(
+        prof.footprintBytes / cfg_.timeScale,
+        workload::profileByName(ev.benchmark).hotsetBytes);
+    fp = static_cast<std::uint64_t>(static_cast<double>(fp)
+                                    * ev.footprintScale);
+    fp = std::max<std::uint64_t>(fp, prof.hotsetBytes);
+    fp = divCeil(fp, pageBytes) * pageBytes;
+
+    auto task = std::make_unique<os::Task>(pid, ev.benchmark,
+                                           cfg_.totalBanks());
+    const std::uint64_t seed = cfg_.seed * 1000003ULL
+        + 7919ULL * static_cast<std::uint64_t>(pid);
+    std::unique_ptr<cpu::InstructionSource> src;
+    if (ev.adversarial) {
+        src = std::make_unique<workload::AdversarialHotspotSource>(
+            prof, seed, fp, task.get(), &mc_->mapping(),
+            refreshQuery_, [this] { return eq_.now(); });
+    } else {
+        src = std::make_unique<workload::SyntheticTraceGenerator>(
+            prof, seed, fp);
+    }
+    task->source = src.get();
+    // No pre-touch: an arriving tenant demand-pages its footprint,
+    // which is exactly the fragmentation regime churn should test.
+    sources_.push_back(std::move(src));
+    tasks_.push_back(std::move(task));
+    return tasks_.back().get();
 }
 
 void
@@ -317,6 +430,12 @@ System::run(int warmupQuanta, int measureQuanta)
 
     const Tick q = cfg_.effectiveQuantum();
     sched_->start();
+    if (director_) {
+        std::vector<os::Task *> initial;
+        for (auto &t : tasks_)
+            initial.push_back(t.get());
+        director_->start(initial);
+    }
 
     // Worker threads only pay off without instrumentation: probes
     // fan into one shared hub, so any attached probe (or checker
@@ -405,7 +524,10 @@ System::collectMetrics(Tick measuredTicks) const
             invIpcSum += 1.0 / tm.ipc;
             m.weightedIpcSum += tm.ipc;
             ++counted;
-        } else {
+        } else if (cfg_.scenario.empty()) {
+            // Under churn a task may legitimately exit before the
+            // measured interval (or spawn after it) -- zero IPC is
+            // expected, not a configuration bug.
             warn("task ", t->name(), " (pid ", t->pid(),
                  ") has zero IPC in the measured interval");
         }

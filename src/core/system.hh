@@ -27,6 +27,7 @@
 #include "cpu/core.hh"
 #include "memctrl/memory_controller.hh"
 #include "os/buddy_allocator.hh"
+#include "os/scenario_director.hh"
 #include "os/scheduler.hh"
 #include "os/task.hh"
 #include "memctrl/shard_router.hh"
@@ -81,6 +82,9 @@ class System
     os::Scheduler &scheduler() { return *sched_; }
     cpu::Core &core(int i) { return *cores_[static_cast<std::size_t>(i)]; }
     std::vector<os::Task *> tasks();
+
+    /** The scenario engine, or null when cfg.scenario is empty. */
+    os::ScenarioDirector *scenarioDirector() { return director_.get(); }
     const SystemConfig &config() const { return cfg_; }
     StatRegistry &stats() { return registry_; }
 
@@ -143,8 +147,16 @@ class System
     void enableProbeHub();
     void buildTasks();
     void assignBankMasks();
+    /** Re-binpack possible_banks_vector over @p live (list order
+     *  decides partition groups -- the consolidation semantics). */
+    void assignBankMasks(const std::vector<os::Task *> &live);
     void preTouchFootprints();
     void resetMeasurement();
+
+    /** ScenarioDirector spawn hook: create the Task + source for a
+     *  scenario spawn event and take ownership of both. */
+    os::Task *spawnScenarioTask(const workload::ScenarioEvent &ev,
+                                Pid pid);
 
     SystemConfig cfg_;
     dram::DramDeviceConfig dev_;
@@ -159,9 +171,17 @@ class System
     std::unique_ptr<cache::CacheHierarchy> caches_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::unique_ptr<os::Scheduler> sched_;
-    std::vector<std::unique_ptr<workload::SyntheticTraceGenerator>>
-        sources_;
+    std::vector<std::unique_ptr<cpu::InstructionSource>> sources_;
     std::vector<std::unique_ptr<os::Task>> tasks_;
+    std::unique_ptr<os::ScenarioDirector> director_;
+
+    /** The port cores (and the scenario engine's migration traffic)
+     *  enqueue into: the router in sharded mode, else the MC. */
+    memctrl::MemoryPort *memPort_ = nullptr;
+
+    /** Refresh-schedule exposure (empty result under non-analytic
+     *  policies); feeds Algorithm 3 and the adversarial generator. */
+    std::function<std::vector<int>(Tick)> refreshQuery_;
 
     /** Fan-out hub for checkers + externally attached probes. */
     std::unique_ptr<validate::CheckerSet> probeHub_;

@@ -29,6 +29,7 @@
 #include "dram/timings.hh"
 #include "memctrl/memory_controller.hh"
 #include "simcore/types.hh"
+#include "workload/scenario.hh"
 
 namespace refsched::core
 {
@@ -143,6 +144,13 @@ struct SystemConfig
     // --- Workload ---
     /** One benchmark name per task (numCores * tasksPerCore). */
     std::vector<std::string> benchmarks;
+
+    /**
+     * Dynamic-workload scenario: tenant churn, macro-phase changes
+     * and page migration, executed by a ScenarioDirector at quantum
+     * boundaries.  Empty (the default) runs the static task set.
+     */
+    workload::ScenarioScript scenario;
 
     std::uint64_t seed = 1;
 

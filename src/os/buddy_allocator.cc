@@ -196,14 +196,15 @@ BuddyAllocator::allocPageAnyBank(Task *task)
 }
 
 void
-BuddyAllocator::freePage(std::uint64_t pfn)
+BuddyAllocator::freePage(std::uint64_t pfn, Pid owner)
 {
     REFSCHED_ASSERT(pfn < totalFrames_, "freePage out of range");
     const int bank = mapping_.bankOfFrame(pfn);
     perBankFree_[static_cast<std::size_t>(bank)].push_back(pfn);
     freeFrames_ += 1;
     REFSCHED_PROBE(probe_,
-                   onPageFree({clock_ ? clock_->now() : 0, pfn}));
+                   onPageFree({clock_ ? clock_->now() : 0, pfn,
+                               owner}));
 }
 
 void

@@ -131,8 +131,11 @@ class BuddyAllocator
      */
     std::optional<std::uint64_t> allocPageAnyBank(Task *task);
 
-    /** Return one page; it lands in its bank's free-list cache. */
-    void freePage(std::uint64_t pfn);
+    /** Return one page; it lands in its bank's free-list cache.
+     *  @p owner is the releasing task's pid (reported to the probe so
+     *  auditors can keep per-task residency exact); -1 when the owner
+     *  is unknown. */
+    void freePage(std::uint64_t pfn, Pid owner = -1);
 
     // ------------------------------------------------------------------
     // Generic buddy interface

@@ -129,6 +129,29 @@ Scheduler::wakeTask(Task *task)
 }
 
 void
+Scheduler::removeTask(Task *task)
+{
+    REFSCHED_ASSERT(task != nullptr, "null task");
+    for (std::size_t i = 0; i < cpus_.size(); ++i) {
+        REFSCHED_ASSERT(current_[i] != task,
+                        "removeTask of task running on cpu ", i,
+                        " (sleep it and retry at the next boundary)");
+    }
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (queues_[i].contains(task)) {
+            queues_[i].dequeue(task);
+            emitRq(&validate::Probe::onRqDequeue,
+                   static_cast<int>(i), task);
+            break;
+        }
+    }
+    task->state = TaskState::Finished;
+    allTasks_.erase(
+        std::remove(allTasks_.begin(), allTasks_.end(), task),
+        allTasks_.end());
+}
+
+void
 Scheduler::start()
 {
     REFSCHED_ASSERT(!started_, "scheduler already started");
@@ -280,8 +303,9 @@ Scheduler::onQuantumExpiry()
         cur->scheduledTicks += params_.quantum;
         ++cur->quantaRun;
         current_[cpu] = nullptr;
-        if (cur->state == TaskState::Sleeping)
-            continue;  // slept while running; stays dequeued
+        if (cur->state == TaskState::Sleeping
+            || cur->state == TaskState::Finished)
+            continue;  // slept/exited while running; stays dequeued
         cur->state = TaskState::Runnable;
         queues_[cpu].enqueue(cur);
         emitRq(&validate::Probe::onRqEnqueue, static_cast<int>(cpu),

@@ -89,6 +89,15 @@ class Scheduler
     /** Wake a sleeping task back onto its CPU's queue. */
     void wakeTask(Task *task);
 
+    /**
+     * Remove @p task from the scheduler for good (process exit).
+     * The task must not be Running on a CPU -- a caller tearing down
+     * a running task sleeps it first and completes the removal at the
+     * next quantum boundary.  Dequeues if queued, marks the task
+     * Finished and forgets it.
+     */
+    void removeTask(Task *task);
+
     /** Begin scheduling: the first pick happens immediately. */
     void start();
 

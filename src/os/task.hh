@@ -135,6 +135,20 @@ class Task
             1ULL << (globalBank % 64);
     }
 
+    /** Drop one resident page from @p globalBank (page free or
+     *  migration source), clearing the mask bit when the count hits
+     *  zero so Algorithm 3's clean test stays exact. */
+    void
+    removeResidentPage(int globalBank)
+    {
+        auto &count =
+            residentPagesPerBank[static_cast<std::size_t>(globalBank)];
+        if (count > 0 && --count == 0) {
+            residentBanksMask[static_cast<std::size_t>(globalBank)
+                              / 64] &= ~(1ULL << (globalBank % 64));
+        }
+    }
+
     /** Drop the whole footprint (address-space teardown). */
     void
     clearResidentPages()

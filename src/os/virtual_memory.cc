@@ -1,5 +1,7 @@
 #include "os/virtual_memory.hh"
 
+#include <algorithm>
+
 #include "simcore/logging.hh"
 
 namespace refsched::os
@@ -61,11 +63,75 @@ VirtualMemory::translate(Task &task, Addr vaddr, bool *faulted)
 void
 VirtualMemory::releaseTask(Task &task)
 {
-    for (const auto &[vpn, pfn] : task.pageTable)
-        buddy_.freePage(pfn);
+    // Free in vpn order: pageTable iteration order is
+    // implementation-defined and the frees are probe-visible, so an
+    // unordered walk would leak hash-map layout into golden traces.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pages(
+        task.pageTable.begin(), task.pageTable.end());
+    std::sort(pages.begin(), pages.end());
+    for (const auto &[vpn, pfn] : pages)
+        buddy_.freePage(pfn, task.pid());
     task.pageTable.clear();
     task.tlbTag.fill(0);
     task.clearResidentPages();
+}
+
+std::vector<std::uint64_t>
+VirtualMemory::collectStalePages(const Task &task) const
+{
+    std::vector<std::uint64_t> stale;
+    for (const auto &[vpn, pfn] : task.pageTable) {
+        if (!task.allowsBank(mapping_.bankOfFrame(pfn)))
+            stale.push_back(vpn);
+    }
+    std::sort(stale.begin(), stale.end());
+    return stale;
+}
+
+std::optional<std::pair<std::uint64_t, std::uint64_t>>
+VirtualMemory::migratePage(Task &task, std::uint64_t vpn, bool freeOld)
+{
+    auto it = task.pageTable.find(vpn);
+    REFSCHED_ASSERT(it != task.pageTable.end(),
+                    "migratePage: vpn ", vpn, " not mapped for pid ",
+                    task.pid());
+    const std::uint64_t fromPfn = it->second;
+
+    // Algorithm 2 placement into the new mask; allocPage records the
+    // destination in the task's residency footprint.
+    const auto toPfn = buddy_.allocPage(task);
+    if (!toPfn)
+        return std::nullopt;  // permitted banks exhausted: stay put
+
+    it->second = *toPfn;
+    const std::size_t slot = vpn & (Task::kTlbEntries - 1);
+    if (task.tlbTag[slot] == vpn + 1)
+        task.tlbPfn[slot] = *toPfn;
+    if (freeOld) {
+        task.removeResidentPage(mapping_.bankOfFrame(fromPfn));
+        buddy_.freePage(fromPfn, task.pid());
+    }
+    return std::make_pair(fromPfn, *toPfn);
+}
+
+std::uint64_t
+VirtualMemory::trimFootprint(Task &task, std::uint64_t vpnBound)
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> doomed;
+    for (const auto &[vpn, pfn] : task.pageTable) {
+        if (vpn >= vpnBound)
+            doomed.emplace_back(vpn, pfn);
+    }
+    std::sort(doomed.begin(), doomed.end());
+    for (const auto &[vpn, pfn] : doomed) {
+        task.pageTable.erase(vpn);
+        const std::size_t slot = vpn & (Task::kTlbEntries - 1);
+        if (task.tlbTag[slot] == vpn + 1)
+            task.tlbTag[slot] = 0;
+        task.removeResidentPage(mapping_.bankOfFrame(pfn));
+        buddy_.freePage(pfn, task.pid());
+    }
+    return doomed.size();
 }
 
 } // namespace refsched::os

@@ -146,6 +146,43 @@ struct PageFreeEvent
 {
     Tick tick = 0;
     std::uint64_t pfn = 0;
+    /** Releasing task, or -1 when the owner is unknown (legacy
+     *  anonymous frees). */
+    Pid pid = -1;
+};
+
+/** A task entering (spawn) or leaving (exit) the system; emitted by
+ *  the scenario engine for churned tasks and by System for the
+ *  initial task set. */
+struct TaskLifeEvent
+{
+    Tick tick = 0;
+    Pid pid = -1;
+    /** True for a spawn, false for an exit. */
+    bool spawn = false;
+    /** Home CPU at spawn time; -1 for exits. */
+    int cpu = -1;
+};
+
+/**
+ * One page migrated by the OS after a task's possible_banks_vector
+ * changed (consolidation re-binpack).  Emitted after the mapping has
+ * been rewritten; the copy traffic follows as real read/write
+ * requests through the memory controller.
+ */
+struct PageMigrateEvent
+{
+    Tick tick = 0;
+    Pid pid = -1;
+    std::uint64_t vpn = 0;
+    std::uint64_t fromPfn = 0;
+    std::uint64_t toPfn = 0;
+    /** Cache lines copied through the controller for this page. */
+    int linesCopied = 0;
+    /** The task's possible_banks_vector at migration time (indexed by
+     *  global bank id).  Caller-owned, valid only for the duration of
+     *  the callback. */
+    const std::vector<bool> *allowedBanks = nullptr;
 };
 
 /**
@@ -188,6 +225,9 @@ class Probe
     virtual void onPageAlloc(const PageAllocEvent &) {}
     virtual void onPageFree(const PageFreeEvent &) {}
     virtual void onMcQueue(const McQueueEvent &) {}
+    virtual void onTaskSpawn(const TaskLifeEvent &) {}
+    virtual void onTaskExit(const TaskLifeEvent &) {}
+    virtual void onPageMigrate(const PageMigrateEvent &) {}
 
     /** End of simulation: whole-run invariants (refresh-window
      *  coverage, allocator conservation) are settled here. */

@@ -161,6 +161,24 @@ class CheckerSet final : public Probe
     }
 
     void
+    onTaskSpawn(const TaskLifeEvent &ev) override
+    {
+        dispatch([&](Probe &p) { p.onTaskSpawn(ev); });
+    }
+
+    void
+    onTaskExit(const TaskLifeEvent &ev) override
+    {
+        dispatch([&](Probe &p) { p.onTaskExit(ev); });
+    }
+
+    void
+    onPageMigrate(const PageMigrateEvent &ev) override
+    {
+        dispatch([&](Probe &p) { p.onPageMigrate(ev); });
+    }
+
+    void
     finalize(Tick endTick) override
     {
         dispatch([&](Probe &p) { p.finalize(endTick); });

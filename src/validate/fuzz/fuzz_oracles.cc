@@ -263,7 +263,11 @@ checkSystem(const FuzzSample &s, int jobs)
             }
             return suspects;
         };
-    if (!dominanceSuspects(results).empty()) {
+    // The adversarial hotspot source consumes the refresh schedule,
+    // so each policy cell sees a DIFFERENT access stream -- cross-
+    // policy IPC ordering is no longer an invariant there.
+    if (!s.scenario.hasAdversarial()
+        && !dominanceSuspects(results).empty()) {
         // Confirmation pass at a longer horizon: alignment noise
         // decays, a genuine inversion persists.
         FuzzSample longer = s;
@@ -293,8 +297,12 @@ checkSystem(const FuzzSample &s, int jobs)
     // Oracle: with the paper's partitioning rule and an eta wide
     // enough to reach every runqueue slot, Algorithms 1 + 3
     // guarantee a clean pick every quantum (section 5.3).
-    if (s.banksPerTaskPerRank == -1 && s.etaThresh >= s.tasksPerCore
-        && s.tasksPerCore >= 2) {
+    // Churn breaks the guarantee transiently: an arriving tenant
+    // holds the default all-banks mask until the post-churn
+    // re-binpack, and departures thin the mask cover, so the oracle
+    // only applies to static runs.
+    if (s.scenario.empty() && s.banksPerTaskPerRank == -1
+        && s.etaThresh >= s.tasksPerCore && s.tasksPerCore >= 2) {
         const auto &cd = results[std::size(kSystemPolicies) - 1];
         if (cd.fallbackPicks != 0 || cd.bestEffortPicks != 0) {
             fail(out, "stall-free",

@@ -133,6 +133,39 @@ shrinkCandidates(const FuzzSample &s)
             b = s.benchmarks.front();
         add(v);
     }
+
+    // Scenario simplifications, most drastic first: a static run is
+    // the simplest repro, then peel events from the back (kills of
+    // pids whose spawn was dropped are skipped with a warning, so
+    // partial scripts stay runnable), then drop the side features.
+    if (!s.scenario.empty()) {
+        {
+            auto v = s;
+            v.scenario = {};
+            add(v);
+        }
+        if (!s.scenario.events.empty()) {
+            auto v = s;
+            v.scenario.events.pop_back();
+            add(v);
+        }
+        if (!s.scenario.initialPhases.empty()) {
+            auto v = s;
+            v.scenario.initialPhases.clear();
+            add(v);
+        }
+        if (s.scenario.migrate) {
+            auto v = s;
+            v.scenario.migrate = false;
+            add(v);
+        }
+        if (s.scenario.hasAdversarial()) {
+            auto v = s;
+            for (auto &ev : v.scenario.events)
+                ev.adversarial = false;
+            add(v);
+        }
+    }
     return out;
 }
 

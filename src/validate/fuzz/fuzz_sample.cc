@@ -85,6 +85,15 @@ FuzzSample::serialize() const
            << "warmup_quanta=" << warmupQuanta << "\n"
            << "measure_quanta=" << measureQuanta << "\n"
            << "benchmarks=" << joinBenchmarks(benchmarks) << "\n";
+        if (!scenario.empty()) {
+            // Embed the ScenarioScript line-form, each line prefixed
+            // so the sample keyspace stays flat and unambiguous.
+            std::stringstream lines(scenario.serialize());
+            std::string line;
+            while (std::getline(lines, line))
+                if (!line.empty())
+                    os << "scenario_" << line << "\n";
+        }
     }
     return os.str();
 }
@@ -103,6 +112,12 @@ FuzzSample::describe() const
            << ", bpt " << banksPerTaskPerRank
            << (xorBankHash ? ", xor-hash" : "") << ", seed " << seed
            << ", [" << joinBenchmarks(benchmarks) << "]";
+        if (!scenario.empty()) {
+            os << ", scenario(" << scenario.events.size() << " ev"
+               << (scenario.migrate ? ", migrate" : "")
+               << (scenario.hasAdversarial() ? ", adversarial" : "")
+               << ")";
+        }
     } else {
         os << ", " << windows << " windows";
     }
@@ -139,6 +154,7 @@ FuzzSample::toConfig(core::Policy policy) const
     cfg.bestEffort = bestEffort;
     cfg.banksPerTaskPerRank = banksPerTaskPerRank;
     cfg.benchmarks = benchmarks;
+    cfg.scenario = scenario;
     cfg.seed = seed;
     cfg.validate = true;
     return cfg;
@@ -149,6 +165,7 @@ FuzzSample::parse(const std::string &text)
 {
     FuzzSample s;
     bool sawKind = false;
+    std::string scenarioText;
     std::stringstream ss(text);
     std::string line;
     while (std::getline(ss, line)) {
@@ -159,7 +176,9 @@ FuzzSample::parse(const std::string &text)
             fatal("malformed fuzz sample line: ", line);
         const std::string key = line.substr(0, eq);
         const std::string val = line.substr(eq + 1);
-        if (key == "kind") {
+        if (key.rfind("scenario_", 0) == 0) {
+            scenarioText += key.substr(9) + "=" + val + "\n";
+        } else if (key == "kind") {
             if (val == "cadence")
                 s.kind = SampleKind::Cadence;
             else if (val == "system")
@@ -207,6 +226,8 @@ FuzzSample::parse(const std::string &text)
     }
     if (!sawKind)
         fatal("fuzz sample is missing the kind= line");
+    if (!scenarioText.empty())
+        s.scenario = workload::ScenarioScript::parse(scenarioText);
     if (s.kind == SampleKind::System
         && static_cast<int>(s.benchmarks.size()) != s.totalTasks()) {
         fatal("fuzz sample has ", s.benchmarks.size(),
@@ -295,6 +316,15 @@ sampleSystemOnce(Rng &rng)
     s.measureQuanta = s.tasksPerCore
         * static_cast<int>(rng.inRange(2, 4));
     s.benchmarks = workload::randomTaskList(rng, s.totalTasks());
+    // Half the samples run a dynamic scenario: churn/phase/migration
+    // events confined to the simulated horizon so every scripted
+    // quantum actually executes.
+    if (rng.bernoulli(0.5)) {
+        const auto horizon = static_cast<std::uint64_t>(
+            s.warmupQuanta + s.measureQuanta);
+        s.scenario =
+            workload::randomScenario(rng, s.totalTasks(), horizon);
+    }
     return s;
 }
 

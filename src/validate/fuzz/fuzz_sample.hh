@@ -30,6 +30,7 @@
 #include "core/system_config.hh"
 #include "dram/timings.hh"
 #include "simcore/rng.hh"
+#include "workload/scenario.hh"
 
 namespace refsched::validate::fuzz
 {
@@ -73,6 +74,15 @@ struct FuzzSample
     int measureQuanta = 2;
     /** One benchmark name per task (cores * tasksPerCore). */
     std::vector<std::string> benchmarks;
+
+    /**
+     * Dynamic-workload scenario (System kind): churn, phase changes
+     * and migration run identically in every policy cell, with the
+     * ScenarioAuditor armed.  Serialized as scenario_-prefixed
+     * ScenarioScript lines; absent keys mean a static run, so old
+     * corpus entries parse unchanged.
+     */
+    workload::ScenarioScript scenario;
 
     int totalTasks() const { return cores * tasksPerCore; }
 

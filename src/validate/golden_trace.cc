@@ -89,6 +89,10 @@ kindName(TraceKind kind)
         return "ALLOC";
     case TraceKind::PageFree:
         return "FREE";
+    case TraceKind::PageMigrate:
+        return "MIGRATE";
+    case TraceKind::TaskLife:
+        return "TASK";
     }
     return "?";
 }
@@ -114,6 +118,10 @@ traceFieldCount(TraceKind kind)
         return 3;  // pid+1, pfn, fallback
     case TraceKind::PageFree:
         return 1;  // pfn
+    case TraceKind::PageMigrate:
+        return 4;  // pid+1, vpn, fromPfn, toPfn
+    case TraceKind::TaskLife:
+        return 2;  // pid+1, spawn
     }
     fatal("unknown trace kind ", static_cast<int>(kind));
 }
@@ -164,6 +172,16 @@ describe(const TraceEvent &ev)
         break;
     case TraceKind::PageFree:
         s += detail::format(" pfn ", ev.f[0]);
+        break;
+    case TraceKind::PageMigrate:
+        s += detail::format(" pid ",
+                            static_cast<std::int64_t>(ev.f[0]) - 1,
+                            " vpn ", ev.f[1], " pfn ", ev.f[2],
+                            " -> ", ev.f[3]);
+        break;
+    case TraceKind::TaskLife:
+        s += detail::format(ev.f[1] ? " spawn pid " : " exit pid ",
+                            static_cast<std::int64_t>(ev.f[0]) - 1);
         break;
     }
     return s;
@@ -250,7 +268,36 @@ TraceRecorder::onPageAlloc(const PageAllocEvent &ev)
 void
 TraceRecorder::onPageFree(const PageFreeEvent &ev)
 {
+    // The owning pid is deliberately not encoded: PageFree predates
+    // pid-carrying frees and old fixtures must keep decoding.
     put(TraceKind::PageFree, ev.tick, {ev.pfn});
+}
+
+void
+TraceRecorder::onPageMigrate(const PageMigrateEvent &ev)
+{
+    put(TraceKind::PageMigrate, ev.tick,
+        {static_cast<std::uint64_t>(
+             static_cast<std::int64_t>(ev.pid) + 1),
+         ev.vpn, ev.fromPfn, ev.toPfn});
+}
+
+void
+TraceRecorder::onTaskSpawn(const TaskLifeEvent &ev)
+{
+    put(TraceKind::TaskLife, ev.tick,
+        {static_cast<std::uint64_t>(
+             static_cast<std::int64_t>(ev.pid) + 1),
+         1u});
+}
+
+void
+TraceRecorder::onTaskExit(const TaskLifeEvent &ev)
+{
+    put(TraceKind::TaskLife, ev.tick,
+        {static_cast<std::uint64_t>(
+             static_cast<std::int64_t>(ev.pid) + 1),
+         0u});
 }
 
 std::vector<TraceEvent>
@@ -263,7 +310,7 @@ decodeTrace(const std::vector<std::uint8_t> &data)
         TraceEvent ev;
         const std::uint8_t kind = data[pos++];
         if (kind < 1
-            || kind > static_cast<std::uint8_t>(TraceKind::PageFree))
+            || kind > static_cast<std::uint8_t>(TraceKind::TaskLife))
             fatal("bad trace record kind ", int(kind), " at byte ",
                   pos - 1);
         ev.kind = static_cast<TraceKind>(kind);

@@ -44,6 +44,8 @@ enum class TraceKind : std::uint8_t {
     SchedPick = 8,
     PageAlloc = 9,
     PageFree = 10,
+    PageMigrate = 11,
+    TaskLife = 12,
 };
 
 /** Payload fields per kind (beyond kind + tick). */
@@ -58,7 +60,9 @@ struct TraceEvent
      *  Dram*:       ch, rank, bank+1, row/rows [, busyUntil-tick]
      *  SchedPick:   cpu, pick kind, chosen pid+1
      *  PageAlloc:   pid+1, pfn, fallback
-     *  PageFree:    pfn */
+     *  PageFree:    pfn
+     *  PageMigrate: pid+1, vpn, fromPfn, toPfn
+     *  TaskLife:    pid+1, spawn */
     std::array<std::uint64_t, 5> f{};
 
     bool operator==(const TraceEvent &o) const;
@@ -90,6 +94,9 @@ class TraceRecorder final : public Probe
     void onSchedPick(const SchedPickEvent &ev) override;
     void onPageAlloc(const PageAllocEvent &ev) override;
     void onPageFree(const PageFreeEvent &ev) override;
+    void onPageMigrate(const PageMigrateEvent &ev) override;
+    void onTaskSpawn(const TaskLifeEvent &ev) override;
+    void onTaskExit(const TaskLifeEvent &ev) override;
 
     /** Encoded records only (no file header). */
     const std::vector<std::uint8_t> &data() const;

@@ -110,9 +110,21 @@ OsAuditor::onPageFree(const PageFreeEvent &ev)
     }
     allocated_[ev.pfn] = 0;
     --allocatedCount_;
-    --perBankAllocated_[static_cast<std::size_t>(
-        mapping_.bankOfFrame(ev.pfn))];
-    freesSeen_ = true;
+    const int bank = mapping_.bankOfFrame(ev.pfn);
+    --perBankAllocated_[static_cast<std::size_t>(bank)];
+    if (ev.pid >= 0) {
+        auto it = residency_.find(ev.pid);
+        if (it == residency_.end()
+            || it->second[static_cast<std::size_t>(bank)] == 0) {
+            flag(ev.tick, "pid ", ev.pid, " freed pfn ", ev.pfn,
+                 " (global bank ", bank,
+                 ") but owns no page there by the rebuilt residency");
+        } else {
+            --it->second[static_cast<std::size_t>(bank)];
+        }
+    } else {
+        anonymousFreesSeen_ = true;
+    }
     checkConservation(ev.tick, "free");
 }
 
@@ -211,7 +223,7 @@ OsAuditor::checkPickDecision(const SchedPickEvent &ev)
     }
 
     // Residency cross-check of the emitter's clean classification.
-    if (!freesSeen_ && ev.refreshBanks) {
+    if (!anonymousFreesSeen_ && ev.refreshBanks) {
         for (const auto &c : cands) {
             bool myClean = true;
             const auto it = residency_.find(c.pid);

@@ -81,9 +81,11 @@ class OsAuditor final : public Checker
     /** Total frames per global bank (XOR hashing permutes banks
      *  within a row, so capacities are derived by enumeration). */
     std::vector<std::uint64_t> perBankCapacity_;
-    /** Frees carry no pid, so residency cross-checks stop once any
-     *  page is freed (never during a measured run). */
-    bool freesSeen_ = false;
+    /** Pid-carrying frees keep the per-task residency model exact
+     *  (scenario churn frees with the owner's pid); an anonymous
+     *  free (pid -1) loses track of one task's footprint, so the
+     *  residency cross-checks stop at the first one. */
+    bool anonymousFreesSeen_ = false;
     std::unordered_map<Pid, std::vector<std::uint32_t>> residency_;
     std::vector<RqMirror> rqs_;
 };

@@ -1,0 +1,129 @@
+#include "validate/scenario_auditor.hh"
+
+namespace refsched::validate
+{
+
+ScenarioAuditor::ScenarioAuditor(const dram::AddressMapping &mapping)
+    : Checker("ScenarioAuditor"), mapping_(mapping)
+{
+}
+
+void
+ScenarioAuditor::onTaskSpawn(const TaskLifeEvent &ev)
+{
+    sawLifeEvents_ = true;
+    if (!live_.insert(ev.pid).second)
+        flag(ev.tick, "pid ", ev.pid, " spawned while already alive");
+    everLive_.insert(ev.pid);
+}
+
+void
+ScenarioAuditor::onTaskExit(const TaskLifeEvent &ev)
+{
+    sawLifeEvents_ = true;
+    if (live_.erase(ev.pid) == 0) {
+        flag(ev.tick, "pid ", ev.pid, " exited while not alive (",
+             everLive_.count(ev.pid) ? "already exited"
+                                     : "never spawned",
+             ")");
+        return;
+    }
+    const auto it = ownedCount_.find(ev.pid);
+    if (it != ownedCount_.end() && it->second != 0)
+        flag(ev.tick, "pid ", ev.pid, " exited still owning ",
+             it->second, " frame(s) -- churned allocation leaked");
+}
+
+void
+ScenarioAuditor::onSchedPick(const SchedPickEvent &ev)
+{
+    if (!tracking() || ev.chosen < 0)
+        return;
+    if (!live_.count(ev.chosen))
+        flag(ev.tick, "cpu ", ev.cpu, " scheduled pid ", ev.chosen,
+             " which is ",
+             everLive_.count(ev.chosen) ? "already exited"
+                                        : "not spawned");
+}
+
+void
+ScenarioAuditor::onPageAlloc(const PageAllocEvent &ev)
+{
+    const auto it = owner_.find(ev.pfn);
+    if (it != owner_.end()) {
+        flag(ev.tick, "pfn ", ev.pfn, " allocated to pid ", ev.pid,
+             " while still owned by pid ", it->second,
+             " -- allocations alias");
+        return;
+    }
+    if (ev.pid < 0)
+        return;
+    if (tracking() && !live_.count(ev.pid))
+        flag(ev.tick, "pfn ", ev.pfn, " allocated to pid ", ev.pid,
+             " which is ",
+             everLive_.count(ev.pid) ? "already exited"
+                                     : "not spawned");
+    owner_.emplace(ev.pfn, ev.pid);
+    ++ownedCount_[ev.pid];
+}
+
+void
+ScenarioAuditor::onPageFree(const PageFreeEvent &ev)
+{
+    const auto it = owner_.find(ev.pfn);
+    if (it == owner_.end()) {
+        if (ev.pid >= 0 && tracking())
+            flag(ev.tick, "pid ", ev.pid, " freed pfn ", ev.pfn,
+                 " which no task owns");
+        return;
+    }
+    if (ev.pid >= 0 && ev.pid != it->second)
+        flag(ev.tick, "pid ", ev.pid, " freed pfn ", ev.pfn,
+             " owned by pid ", it->second);
+    auto owned = ownedCount_.find(it->second);
+    if (owned != ownedCount_.end() && owned->second > 0)
+        --owned->second;
+    owner_.erase(it);
+}
+
+void
+ScenarioAuditor::onPageMigrate(const PageMigrateEvent &ev)
+{
+    const auto from = owner_.find(ev.fromPfn);
+    if (from == owner_.end() || from->second != ev.pid)
+        flag(ev.tick, "pid ", ev.pid, " migrated vpn ", ev.vpn,
+             " out of pfn ", ev.fromPfn, " it does not own");
+    const auto to = owner_.find(ev.toPfn);
+    if (to == owner_.end() || to->second != ev.pid)
+        flag(ev.tick, "pid ", ev.pid, " migrated vpn ", ev.vpn,
+             " into pfn ", ev.toPfn, " it does not own");
+
+    const int bank = mapping_.bankOfFrame(ev.toPfn);
+    if (ev.allowedBanks
+        && (static_cast<std::size_t>(bank) >= ev.allowedBanks->size()
+            || !(*ev.allowedBanks)[static_cast<std::size_t>(bank)]))
+        flag(ev.tick, "pid ", ev.pid, " migrated vpn ", ev.vpn,
+             " into pfn ", ev.toPfn, " (global bank ", bank,
+             ") outside its possible_banks_vector");
+
+    const int expectLines =
+        static_cast<int>(mapping_.pageBytes() / 64);
+    if (ev.linesCopied != expectLines)
+        flag(ev.tick, "migration of vpn ", ev.vpn, " (pid ", ev.pid,
+             ") copied ", ev.linesCopied, " line(s), a page is ",
+             expectLines);
+}
+
+void
+ScenarioAuditor::finalize(Tick endTick)
+{
+    std::uint64_t counted = 0;
+    for (const auto &[pid, n] : ownedCount_)
+        counted += n;
+    if (counted != owner_.size())
+        flag(endTick, "ownership accounting drifted: per-pid counts "
+             "sum to ", counted, ", ", owner_.size(),
+             " frames are owned");
+}
+
+} // namespace refsched::validate

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Scenario invariant layer: audits the dynamic-workload engine
+ * (tenant churn, phase changes, page migration) from the probe event
+ * stream.
+ *
+ * Invariants:
+ *  - no task is ever scheduled (SchedPick) unless it is alive
+ *    (spawned and not yet exited);
+ *  - page ownership is a bijection: a frame is owned by at most one
+ *    pid, allocations go to live tasks, a pid-carrying free must
+ *    come from the frame's recorded owner;
+ *  - a migration moves a frame the task owns to a frame the task
+ *    owns (the destination was allocated to it), the destination
+ *    bank is inside the task's possible_banks_vector at migration
+ *    time, and the copy is a whole page (pageBytes/64 lines);
+ *  - an exiting task leaks nothing: its owned-frame count is zero
+ *    once the exit event fires (the director frees the address space
+ *    before announcing the exit).
+ *
+ * Life events are only emitted when a scenario runs; all ownership
+ * checks that depend on liveness are gated on having seen at least
+ * one TaskLife event, so the auditor stays silent on static runs.
+ */
+
+#ifndef REFSCHED_VALIDATE_SCENARIO_AUDITOR_HH
+#define REFSCHED_VALIDATE_SCENARIO_AUDITOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dram/address_mapping.hh"
+#include "validate/checker.hh"
+
+namespace refsched::validate
+{
+
+class ScenarioAuditor final : public Checker
+{
+  public:
+    explicit ScenarioAuditor(const dram::AddressMapping &mapping);
+
+    void onTaskSpawn(const TaskLifeEvent &ev) override;
+    void onTaskExit(const TaskLifeEvent &ev) override;
+    void onSchedPick(const SchedPickEvent &ev) override;
+    void onPageAlloc(const PageAllocEvent &ev) override;
+    void onPageFree(const PageFreeEvent &ev) override;
+    void onPageMigrate(const PageMigrateEvent &ev) override;
+    void finalize(Tick endTick) override;
+
+  private:
+    bool tracking() const { return sawLifeEvents_; }
+
+    const dram::AddressMapping &mapping_;
+    bool sawLifeEvents_ = false;
+
+    /** pfn -> owning pid (only pid-attributed allocations). */
+    std::unordered_map<std::uint64_t, Pid> owner_;
+    /** Frames currently owned per pid (exit leak check). */
+    std::unordered_map<Pid, std::uint64_t> ownedCount_;
+    std::unordered_set<Pid> live_;
+    /** Every pid ever spawned (distinguishes "exited" from "never
+     *  existed" in diagnostics). */
+    std::unordered_set<Pid> everLive_;
+};
+
+} // namespace refsched::validate
+
+#endif // REFSCHED_VALIDATE_SCENARIO_AUDITOR_HH

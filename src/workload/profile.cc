@@ -1,11 +1,80 @@
 #include "workload/profile.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <map>
 
 #include "simcore/logging.hh"
 
 namespace refsched::workload
 {
+
+double
+PhaseSchedule::maxFootprintScale() const
+{
+    double maxScale = 1.0;
+    for (const auto &p : phases)
+        maxScale = std::max(maxScale, p.footprintScale);
+    return maxScale;
+}
+
+std::string
+PhaseSchedule::serialize() const
+{
+    std::string out;
+    for (const auto &p : phases) {
+        if (!out.empty())
+            out += '|';
+        char scale[32];
+        std::snprintf(scale, sizeof(scale), "%.6g", p.footprintScale);
+        out += detail::format(p.profile, '@', p.instrs, '@', scale);
+    }
+    return out;
+}
+
+PhaseSchedule
+PhaseSchedule::parse(const std::string &text)
+{
+    PhaseSchedule sched;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('|', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        const std::string item = text.substr(pos, end - pos);
+        pos = end + 1;
+
+        const std::size_t a = item.find('@');
+        const std::size_t b =
+            a == std::string::npos ? a : item.find('@', a + 1);
+        if (a == std::string::npos || b == std::string::npos)
+            fatal("bad phase spec '", item,
+                  "' (want profile@instrs@scale)");
+        PhaseSpec spec;
+        spec.profile = item.substr(0, a);
+        spec.instrs = std::strtoull(
+            item.substr(a + 1, b - a - 1).c_str(), nullptr, 10);
+        spec.footprintScale =
+            std::strtod(item.substr(b + 1).c_str(), nullptr);
+        sched.phases.push_back(std::move(spec));
+    }
+    sched.check();
+    return sched;
+}
+
+void
+PhaseSchedule::check() const
+{
+    for (const auto &p : phases) {
+        profileByName(p.profile);  // fatal on unknown name
+        if (p.instrs == 0)
+            fatal("phase '", p.profile, "': zero instruction budget");
+        if (p.footprintScale <= 0.0 || p.footprintScale > 16.0)
+            fatal("phase '", p.profile, "': footprintScale ",
+                  p.footprintScale, " out of (0,16]");
+    }
+}
 
 std::string
 toString(MpkiClass c)

@@ -39,6 +39,48 @@ enum class MpkiClass { Low, Medium, High };
 
 std::string toString(MpkiClass c);
 
+/**
+ * One macro-phase of a phased benchmark: run with the access pattern
+ * of built-in profile @p profile for @p instrs instructions, with the
+ * task's footprint scaled by @p footprintScale relative to its base
+ * footprint.  A shrink releases pages through the buddy allocator; a
+ * grow demand-pages back in.
+ */
+struct PhaseSpec
+{
+    std::string profile;
+    std::uint64_t instrs = 0;
+    double footprintScale = 1.0;
+};
+
+/**
+ * A cyclic schedule of macro-phases (empty = the task keeps its base
+ * profile forever).  Unlike the micro mem/compute alternation built
+ * into BenchmarkProfile, a macro-phase switch changes the MPKI class
+ * and footprint mid-run -- the "placement goes stale" regime the
+ * scenario engine tests.
+ *
+ * Text form: "profile@instrs@scale|profile@instrs@scale|..."
+ */
+struct PhaseSchedule
+{
+    std::vector<PhaseSpec> phases;
+
+    bool empty() const { return phases.empty(); }
+
+    /** Largest footprintScale across phases (capacity planning). */
+    double maxFootprintScale() const;
+
+    std::string serialize() const;
+
+    /** Parse the text form; fatal() on malformed input or unknown
+     *  profile names. */
+    static PhaseSchedule parse(const std::string &text);
+
+    /** Range-check every phase; fatal() on nonsense. */
+    void check() const;
+};
+
 struct BenchmarkProfile
 {
     std::string name;
@@ -89,6 +131,12 @@ struct BenchmarkProfile
 
     /** Paper's classification (what Table 2 says). */
     MpkiClass paperClass = MpkiClass::Low;
+
+    /** Macro-phase schedule (empty for the built-in profiles; set by
+     *  the scenario engine).  The generator swaps in each phase's
+     *  pattern mixture while keeping this profile's hot set and
+     *  access granularity. */
+    PhaseSchedule phases;
 
     double hotFraction() const
     {

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Dynamic-workload scenario scripts: tenant arrival/departure churn,
+ * mid-run phase changes and the page-migration / mask-reassignment
+ * knobs, all expressed in scheduler-quantum units so the same script
+ * is meaningful under every refresh policy (the quantum depends only
+ * on topology, not on the policy).
+ *
+ * Text form (one directive per line, '#' comments):
+ *
+ *   migrate=0|1             migrate stale pages after churn
+ *   reassign=0|1            re-binpack bank masks after churn
+ *   phase=<taskIdx>:<sched> PhaseSchedule for an initial task
+ *   ev=<q>:spawn:<bench>[:fp=<scale>][:cpu=<n>][:adv=1][:phases=<sched>]
+ *   ev=<q>:kill:<pid>
+ *
+ * where <sched> is PhaseSchedule's "profile@instrs@scale|..." form
+ * (no ':' can occur inside it, so the ev-line split is unambiguous).
+ * Spawned tasks receive sequential pids: totalTasks+1 for the first
+ * spawn in quantum order, and so on -- kill events may target them.
+ */
+
+#ifndef REFSCHED_WORKLOAD_SCENARIO_HH
+#define REFSCHED_WORKLOAD_SCENARIO_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "simcore/rng.hh"
+#include "simcore/types.hh"
+#include "workload/profile.hh"
+
+namespace refsched::workload
+{
+
+enum class ScenarioEventKind { Spawn, Kill };
+
+struct ScenarioEvent
+{
+    /** Quantum index (0 = the first scheduling boundary). */
+    std::uint64_t quantum = 0;
+    ScenarioEventKind kind = ScenarioEventKind::Spawn;
+
+    // --- Spawn ---
+    std::string benchmark;
+    /** Footprint scale relative to the benchmark's (time-scaled)
+     *  base footprint. */
+    double footprintScale = 1.0;
+    /** Home CPU; -1 = least loaded. */
+    int cpu = -1;
+    /** Drive the task with the adversarial colocation generator
+     *  (hotspots the bank about to be refreshed). */
+    bool adversarial = false;
+    /** Macro-phase schedule (empty = static profile). */
+    PhaseSchedule phases;
+
+    // --- Kill ---
+    Pid pid = -1;
+};
+
+struct ScenarioScript
+{
+    /** Churn events, sorted by quantum (stable on parse). */
+    std::vector<ScenarioEvent> events;
+
+    /** Migrate pages stranded outside a task's
+     *  possible_banks_vector after churn. */
+    bool migrate = false;
+
+    /** Recompute every live task's bank mask after each churn event
+     *  (the consolidation re-binpack that strands placements). */
+    bool reassignOnChurn = true;
+
+    /** PhaseSchedules for initial tasks, by task index. */
+    std::vector<std::pair<int, PhaseSchedule>> initialPhases;
+
+    bool
+    empty() const
+    {
+        return events.empty() && initialPhases.empty();
+    }
+
+    /** True when any spawn event uses the adversarial generator. */
+    bool hasAdversarial() const;
+
+    std::string serialize() const;
+
+    /** Parse the text form; fatal() on malformed input. */
+    static ScenarioScript parse(const std::string &text);
+
+    /** Parse a script file; fatal() on I/O errors. */
+    static ScenarioScript parseFile(const std::string &path);
+
+    /** Range-check all directives; fatal() on nonsense. */
+    void check() const;
+};
+
+/**
+ * Sample a random scenario for the differential fuzzer: a handful of
+ * spawn/kill events inside [1, horizonQuanta), optional initial
+ * phase schedules, and random migrate/reassign settings.  Kill
+ * targets only pids guaranteed alive at the event's quantum, and at
+ * least one task always survives.
+ */
+ScenarioScript randomScenario(Rng &rng, int initialTasks,
+                              std::uint64_t horizonQuanta);
+
+} // namespace refsched::workload
+
+#endif // REFSCHED_WORKLOAD_SCENARIO_HH

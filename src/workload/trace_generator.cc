@@ -10,11 +10,14 @@ namespace refsched::workload
 SyntheticTraceGenerator::SyntheticTraceGenerator(
     const BenchmarkProfile &profile, std::uint64_t seed,
     std::uint64_t footprintBytes)
-    : profile_(profile),
-      footprint_(std::max(footprintBytes, profile.hotsetBytes)),
+    : base_(profile),
+      baseFootprint_(std::max(footprintBytes, profile.hotsetBytes)),
+      profile_(profile),
+      footprint_(baseFootprint_),
       rng_(seed)
 {
     profile_.check();
+    base_.phases.check();
     // Spread the stream cursors across the footprint, like the
     // separate operand arrays of a streaming kernel.  Each cursor is
     // additionally staggered by one page: quarter-footprint offsets
@@ -28,16 +31,59 @@ SyntheticTraceGenerator::SyntheticTraceGenerator(
     }
     if (profile_.phased())
         phaseInstrsLeft_ = profile_.memPhaseInstrs;
+    if (!base_.phases.empty())
+        applyPhase(0);
+}
+
+void
+SyntheticTraceGenerator::applyPhase(std::size_t idx)
+{
+    const PhaseSpec &spec = base_.phases.phases[idx];
+    phaseIdx_ = idx;
+    macroInstrsLeft_ = spec.instrs;
+
+    // The phase contributes its pattern mixture and intensity; the
+    // task keeps its identity (hot set, access granularity).
+    BenchmarkProfile eff = profileByName(spec.profile);
+    eff.name = base_.name + ":" + spec.profile;
+    eff.hotsetBytes = base_.hotsetBytes;
+    eff.accessBytes = base_.accessBytes;
+    eff.phases = {};
+
+    footprint_ = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            static_cast<double>(baseFootprint_) * spec.footprintScale),
+        eff.hotsetBytes);
+    eff.footprintBytes = footprint_;
+    eff.check();
+    profile_ = eff;
+
+    // A shrink can leave cursors past the new footprint.
+    for (auto &cur : streamCursor_)
+        cur %= footprint_;
+
+    inMemPhase_ = true;
+    phaseInstrsLeft_ = profile_.phased() ? profile_.memPhaseInstrs : 0;
 }
 
 cpu::TraceEntry
 SyntheticTraceGenerator::next()
 {
+    if (!base_.phases.empty() && macroInstrsLeft_ == 0) {
+        ++phaseEpoch_;
+        applyPhase((phaseIdx_ + 1) % base_.phases.phases.size());
+    }
+
     cpu::TraceEntry e;
     // Gap between memory ops: geometric with mean (1-f)/f.
     e.gap = static_cast<std::uint32_t>(
         rng_.geometric(profile_.memOpFraction, 4096));
     e.isWrite = rng_.bernoulli(profile_.writeFraction);
+
+    if (!base_.phases.empty()) {
+        macroInstrsLeft_ -=
+            std::min<std::uint64_t>(macroInstrsLeft_, e.gap + 1ULL);
+    }
 
     if (profile_.phased()) {
         if (phaseInstrsLeft_ == 0) {

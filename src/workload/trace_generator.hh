@@ -44,15 +44,30 @@ class SyntheticTraceGenerator final : public cpu::InstructionSource
 
     double baseCpi() const override { return profile_.baseCpi; }
 
+    /** The effective profile of the current macro-phase. */
     const BenchmarkProfile &profile() const { return profile_; }
+
+    /** Effective footprint of the current macro-phase. */
     std::uint64_t footprintBytes() const { return footprint_; }
 
     /** True while the generator is in a memory-intensive phase
      *  (always true for unphased profiles). */
     bool inMemPhase() const { return inMemPhase_; }
 
+    /** Number of macro-phase switches taken so far (0 when the base
+     *  profile has no PhaseSchedule). */
+    std::uint64_t phaseEpoch() const { return phaseEpoch_; }
+
   private:
     static constexpr int kNumStreams = 4;
+
+    /** Enter macro-phase @p idx of the base profile's schedule. */
+    void applyPhase(std::size_t idx);
+
+    /** Base profile (with the PhaseSchedule) and unscaled effective
+     *  footprint, the reference phase scales apply to. */
+    BenchmarkProfile base_;
+    std::uint64_t baseFootprint_;
 
     BenchmarkProfile profile_;
     std::uint64_t footprint_;
@@ -60,9 +75,14 @@ class SyntheticTraceGenerator final : public cpu::InstructionSource
     std::uint64_t streamCursor_[kNumStreams];
     int nextStream_ = 0;
 
-    // Phase tracking (instruction budget of the current phase).
+    // Micro-phase tracking (instruction budget of the current phase).
     bool inMemPhase_ = true;
     std::uint64_t phaseInstrsLeft_ = 0;
+
+    // Macro-phase tracking (PhaseSchedule position).
+    std::size_t phaseIdx_ = 0;
+    std::uint64_t macroInstrsLeft_ = 0;
+    std::uint64_t phaseEpoch_ = 0;
 };
 
 } // namespace refsched::workload

@@ -49,7 +49,7 @@ TEST(ValidateIntegrationTest, AllPoliciesRunCleanUnderValidation)
         SCOPED_TRACE(core::toString(policy));
         core::System sys(smallConfig(policy));
         ASSERT_NE(sys.checkers(), nullptr);
-        EXPECT_EQ(sys.checkers()->checkers().size(), 3u);
+        EXPECT_EQ(sys.checkers()->checkers().size(), 4u);
 
         const core::Metrics m = sys.run(1, 2);
         EXPECT_EQ(m.validationViolations, 0u) << m.firstViolation;

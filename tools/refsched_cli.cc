@@ -34,6 +34,7 @@ struct CliOptions
 {
     std::string workload;
     std::vector<std::string> benchmarks;
+    std::string scenarioPath;
     core::Policy policy = core::Policy::CoDesign;
     int densityGb = 32;
     double retentionMs = 64.0;
@@ -86,7 +87,11 @@ usage(const char *argv0, const std::string &error = "")
         << "  --benchmarks a,b,...   explicit per-task benchmark "
            "list\n"
         << "                         (mcf bwaves stream GemsFDTD "
-           "npb_ua povray h264ref)\n\n"
+           "npb_ua povray h264ref)\n"
+        << "  --scenario FILE        dynamic-workload scenario script "
+           "(tenant churn,\n"
+        << "                         phase changes, page migration; "
+           "see workload/scenario.hh)\n\n"
         << "policy and hardware:\n"
         << "  --policy P             all-bank | per-bank | "
            "per-bank-ooo |\n"
@@ -173,6 +178,8 @@ parse(int argc, char **argv)
             o.workload = need(i);
         } else if (a == "--benchmarks") {
             o.benchmarks = splitCsv(need(i));
+        } else if (a == "--scenario") {
+            o.scenarioPath = need(i);
         } else if (a == "--policy") {
             o.policy = parsePolicy(need(i), argv[0]);
         } else if (a == "--density") {
@@ -288,6 +295,9 @@ buildConfig(const CliOptions &o, const char *argv0)
         cfg.benchmarks = workload::workloadByName(o.workload)
                              .taskList(cfg.totalTasks());
     }
+    if (!o.scenarioPath.empty())
+        cfg.scenario = workload::ScenarioScript::parseFile(
+            o.scenarioPath);
     return cfg;
 }
 

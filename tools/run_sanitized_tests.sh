@@ -41,11 +41,29 @@ obs_smoke() {
     done
 }
 
+# The scenario engine's churn/migration paths free and reallocate
+# task address spaces mid-run -- prime use-after-free territory that
+# only the sanitizers audit.  The CLI run drives the checked-in
+# adversarial-colocation fixture end-to-end under validation.
+scenario_smoke() {
+    local dir="$1" out="$1/scenario-smoke"
+    mkdir -p "$out"
+    echo "--- ${dir}: --scenario fixture run (churn + migration) ---"
+    "./$dir/tools/refsched_cli" --policy co-design \
+        --benchmarks GemsFDTD,stream,GemsFDTD,npb_ua --cores 1 \
+        --density 32 --scale 1024 --warmup 0 --measure 24 --seed 1 \
+        --scenario tests/validate/data/adversarial_colocation.scenario \
+        --validate \
+        --stats-json "$out/scenario.stats.json" >/dev/null
+}
+
 run_pass asan address
 echo "=== asan: ctest ==="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 echo "=== asan: per-policy observability exports ==="
 obs_smoke build-asan
+echo "=== asan: scenario engine (churn + page migration) ==="
+scenario_smoke build-asan
 echo "=== asan: differential fuzz (corpus replay + short random run) ==="
 # The randomized samples drive every refresh policy through configs
 # the fixed tests never reach -- exactly where sanitizers earn their
@@ -59,7 +77,7 @@ echo "=== tsan: parallel-runner + sharded-kernel determinism suites ==="
 # (no probe attached) and asserts bit-identity with the sequential
 # run -- the primary TSan target for the sharded kernel.
 ctest --test-dir build-tsan --output-on-failure \
-    -R 'ParallelRunner|GoldenTraceJobs|ShardIdentity'
+    -R 'ParallelRunner|GoldenTraceJobs|ShardIdentity|ScenarioIntegration'
 echo "=== tsan: sharded CLI run (real worker threads) ==="
 # No --timeline here: attaching a probe forces workers=1, and the
 # point of this pass is the threaded phase-B path.
@@ -67,6 +85,19 @@ mkdir -p build-tsan/shard-smoke
 ./build-tsan/tools/refsched_cli --policy co-design --workload WL-5 \
     --channels 2 --shards 2 --warmup 1 --measure 4 --seed 7 \
     --stats-json build-tsan/shard-smoke/sh2.stats.json >/dev/null
+echo "=== tsan: sharded scenario run (migration on worker threads) ==="
+# Migration copy completions route through the sharded kernel's main
+# lane; churn while phase-B workers drain the channel lanes is the
+# adversarial interleaving for the director's bookkeeping.
+./build-tsan/tools/refsched_cli --policy co-design \
+    --benchmarks GemsFDTD,stream,GemsFDTD,npb_ua --cores 1 \
+    --density 32 --scale 1024 --channels 2 --shards 2 \
+    --warmup 0 --measure 24 --seed 1 \
+    --scenario tests/validate/data/adversarial_colocation.scenario \
+    --validate \
+    --stats-json build-tsan/shard-smoke/scenario.stats.json >/dev/null
+echo "=== tsan: scenario engine (churn + page migration) ==="
+scenario_smoke build-tsan
 echo "=== tsan: full suite ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 echo "=== tsan: per-policy observability exports ==="

@@ -1,0 +1,51 @@
+# ctest driver for the dynamic-workload scenario engine: run the
+# checked-in adversarial-colocation fixture end-to-end with the
+# invariant checkers attached and a stats-JSON export, then gate the
+# export schema on the new churn/migration counters being present
+# and the engine having actually exercised them.
+#
+# Usage (see tools/CMakeLists.txt):
+#   cmake -DCLI=<refsched_cli> -DSCENARIO=<fixture> -DOUT=<dir>
+#         -P scenario_smoke.cmake
+
+foreach(var CLI SCENARIO OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "scenario_smoke.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+set(stats "${OUT}/scenario_stats.json")
+
+# warmup=0 keeps the churn quanta inside the measured region so the
+# director's counters survive the warm-up stats reset; --validate
+# turns any auditor violation into a non-zero exit.
+execute_process(
+    COMMAND "${CLI}" --policy co-design
+        --benchmarks GemsFDTD,stream,GemsFDTD,npb_ua --cores 1
+        --density 32 --scale 1024 --warmup 0 --measure 24 --seed 1
+        --scenario "${SCENARIO}" --validate --stats-json "${stats}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "refsched_cli --scenario failed (rc=${rc})")
+endif()
+
+# Schema gate: every scenario counter must appear in the export.
+file(READ "${stats}" stats_text)
+foreach(key
+        scenario.spawns scenario.kills scenario.phaseChanges
+        scenario.pagesMigrated scenario.migrationReads
+        scenario.migrationWrites scenario.pagesTrimmed)
+    if(NOT stats_text MATCHES "${key}")
+        message(FATAL_ERROR "stats JSON missing ${key}")
+    endif()
+endforeach()
+
+# Liveness gate: the fixture's kill, spawn and consolidation sweep
+# must all have fired.
+foreach(key scenario.spawns scenario.kills scenario.pagesMigrated)
+    if(stats_text MATCHES "\"${key}\": 0[,\n}]")
+        message(FATAL_ERROR "${key} is zero: scenario never ran")
+    endif()
+endforeach()
