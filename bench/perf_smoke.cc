@@ -30,12 +30,19 @@
  * factor (default 20; faster is never a failure; --events-only
  * skips both host-speed checks for heterogeneous machines).  Exits
  * non-zero on any regression.
+ *
+ * The header line and each row report the host core count and the
+ * threads a config needs (kernel workers + main).  Host-speed
+ * checks of a threaded row are SKIPPED (visibly) when hostCores <
+ * threads needed: timing an oversubscribed run measures the host,
+ * not the simulator.  Event checks always run.
  */
 
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "bench_util.hh"
 
@@ -51,19 +58,35 @@ struct SmokeConfig
     const char *name;
     Policy policy;
     int channels = 1;
-    int shards = 0;  ///< 0 = legacy kernel, >0 = sharded kernel
+    int shards = 0;     ///< 0 = legacy kernel, >0 = sharded kernel
+    int coreLanes = 0;  ///< core-cluster lanes (0 = cores on main)
+    int cores = 2;
+
+    /** Worker threads the threaded kernel wants, plus the main
+     *  thread.  1 for the single-threaded rows. */
+    int
+    threadsNeeded() const
+    {
+        return shards + coreLanes > 0 ? shards + coreLanes + 1 : 1;
+    }
 };
 
 /** The fixed config set; order is part of the archive format.  The
  *  2-channel co-design cell exercises the multi-controller scan
  *  paths; the -sh2 cell runs the same machine on the sharded kernel
- *  with one worker per channel. */
+ *  with one worker per channel; the -cl rows add core-cluster lanes
+ *  (the -sh4-cl8 row is the 8-core 4-channel co-design target of
+ *  the core-lane work).  Host-speed checks for threaded rows are
+ *  skipped on hosts with fewer cores than the row needs. */
 constexpr SmokeConfig kConfigs[] = {
     {"allbank-32gb", Policy::AllBank, 1},
     {"perbank-32gb", Policy::PerBank, 1},
     {"codesign-32gb", Policy::CoDesign, 1},
     {"codesign-32gb-2ch", Policy::CoDesign, 2},
     {"codesign-32gb-2ch-sh2", Policy::CoDesign, 2, 2},
+    {"codesign-32gb-2ch-cl2", Policy::CoDesign, 2, 0, 2},
+    {"codesign-32gb-2ch-sh2-cl2", Policy::CoDesign, 2, 2, 2},
+    {"codesign-32gb-8c-4ch-sh4-cl8", Policy::CoDesign, 4, 4, 8, 8},
 };
 
 /**
@@ -93,16 +116,25 @@ struct SmokeResult
     std::uint64_t events = 0;
     double eventsPerQuantum = 0.0;
     double mticksPerSec = 0.0;
+    int threadsNeeded = 1;
 };
+
+int
+hostCores()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? static_cast<int>(n) : 1;
+}
 
 SmokeResult
 runConfig(const SmokeConfig &sc, const BenchOptions &opts)
 {
     core::SystemConfig cfg = core::makeConfig(
         "WL-1", sc.policy, dram::DensityGb::d32, milliseconds(64.0),
-        /*numCores=*/2, /*tasksPerCore=*/4, opts.timeScale);
+        sc.cores, /*tasksPerCore=*/4, opts.timeScale);
     cfg.channels = sc.channels;
     cfg.shards = sc.shards;
+    cfg.coreLanes = sc.coreLanes;
 
     core::System sys(cfg);
     const auto t0 = std::chrono::steady_clock::now();
@@ -124,6 +156,7 @@ runConfig(const SmokeConfig &sc, const BenchOptions &opts)
         ? static_cast<double>(sys.eventQueue().now())
             / (r.wallMs * 1e3)  // ticks/ms -> Mticks/s
         : 0.0;
+    r.threadsNeeded = sc.threadsNeeded();
     return r;
 }
 
@@ -235,6 +268,17 @@ checkAgainstBaseline(const std::vector<SmokeResult> &now,
 
         if (eventsOnly)
             continue;
+        // A threaded row timed on a host with fewer cores than the
+        // kernel's worker count measures oversubscription, not the
+        // simulator -- skip the host-speed checks VISIBLY rather
+        // than recording a bogus regression.
+        if (hostCores() < r.threadsNeeded) {
+            std::cout << r.name
+                      << ": wall-clock/Mticks SKIPPED (hostCores="
+                      << hostCores() << " < " << r.threadsNeeded
+                      << " threads needed)\n";
+            continue;
+        }
         const double limit = baseWall * (1.0 + wallTolPct / 100.0);
         if (r.wallMs > limit) {
             std::cerr << r.name << ": wall-clock REGRESSED: "
@@ -296,16 +340,19 @@ main(int argc, char **argv)
         results.push_back(runConfig(sc, opts));
 
     core::Table table({"config", "policy", "simMs", "wallMs",
-                       "events", "events/quantum", "Mticks/s"});
+                       "events", "events/quantum", "Mticks/s",
+                       "threads"});
     for (const auto &r : results) {
         table.addRow({r.name, r.policy, core::fmt(r.simMs, 2),
                       core::fmt(r.wallMs, 2),
                       std::to_string(r.events),
                       core::fmt(r.eventsPerQuantum, 1),
-                      core::fmt(r.mticksPerSec, 2)});
+                      core::fmt(r.mticksPerSec, 2),
+                      std::to_string(r.threadsNeeded)});
     }
     std::cout << "Simulation performance smoke (WL-1, 32 Gb, scale "
-              << opts.timeScale << ")\n\n";
+              << opts.timeScale << ", hostCores " << hostCores()
+              << ")\n\n";
     emit(opts, table, "perf_smoke");
     std::cout << "\n";
 

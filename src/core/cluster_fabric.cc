@@ -1,0 +1,47 @@
+#include "core/cluster_fabric.hh"
+
+#include <algorithm>
+
+#include "simcore/logging.hh"
+
+namespace refsched::core
+{
+
+void
+ClusterFabric::onBoundary(Tick boundary)
+{
+    parked_.clear();
+    for (cpu::Core *c : cores_) {
+        if (c->laneWait() != cpu::Core::LaneWait::None)
+            parked_.push_back(c);
+    }
+    // cores_ is in coreId order, so a stable sort on the park tick
+    // realises the (parkTick, coreId) drain key.
+    std::stable_sort(parked_.begin(), parked_.end(),
+                     [](const cpu::Core *a, const cpu::Core *b) {
+                         return a->laneWaitTick() < b->laneWaitTick();
+                     });
+
+    for (cpu::Core *c : parked_) {
+        switch (c->laneWait()) {
+        case cpu::Core::LaneWait::Fault: {
+            os::Task *task = c->currentTask();
+            REFSCHED_ASSERT(task, "parked fault without a task");
+            vm_.translate(*task, c->parkedFaultVaddr());
+            c->completeFault(boundary);
+            break;
+        }
+        case cpu::Core::LaneWait::L2: {
+            const auto res = caches_.applyL2(c->parkedL2());
+            c->completeL2(res, boundary);
+            break;
+        }
+        case cpu::Core::LaneWait::None:
+            break;
+        }
+    }
+
+    caches_.flushLaneStats();
+}
+
+} // namespace refsched::core

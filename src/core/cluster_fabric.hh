@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Boundary drain for core-cluster lanes: the single-threaded half of
+ * every parked core's shared-resource access.
+ *
+ * During the parallel phase a core may only touch its private state
+ * (its L1, its task's TLB, its staging boxes).  An L1 miss or an
+ * unmapped page parks the core; at the window boundary (phase C,
+ * single-threaded) the fabric drains every parked core in
+ * (parkTick, coreId) order -- a deterministic, partition-invariant
+ * key -- and performs the shared half serially:
+ *
+ *   Fault  -> VirtualMemory::translate (the allocating path, hitting
+ *             the buddy allocator and page table), then
+ *             Core::completeFault schedules the epoch-guarded resume
+ *             at the boundary tick on the core's cluster lane.
+ *
+ *   L2     -> CacheHierarchy::applyL2 (shared L2 state + stats),
+ *             then Core::completeL2 hands the result over for the
+ *             core to replay the exact legacy post-access
+ *             arithmetic on resume.
+ *
+ * The drain order makes shared-state mutation order independent of
+ * how cores are grouped into clusters and how many workers execute
+ * them, which is what gives bit-identical results for every
+ * core-lane count >= 1.  After the drain the per-core L1 stat
+ * counters are folded into the shared Scalars (coreId order).
+ */
+
+#ifndef REFSCHED_CORE_CLUSTER_FABRIC_HH
+#define REFSCHED_CORE_CLUSTER_FABRIC_HH
+
+#include <vector>
+
+#include "cache/cache_hierarchy.hh"
+#include "cpu/core.hh"
+#include "os/virtual_memory.hh"
+#include "simcore/types.hh"
+
+namespace refsched::core
+{
+
+class ClusterFabric
+{
+  public:
+    ClusterFabric(std::vector<cpu::Core *> cores,
+                  cache::CacheHierarchy &caches,
+                  os::VirtualMemory &vm)
+        : cores_(std::move(cores)), caches_(caches), vm_(vm)
+    {
+    }
+
+    /** Window boundary (phase C); register after the router's hook
+     *  so completions are already staged when cores resume. */
+    void onBoundary(Tick boundary);
+
+  private:
+    std::vector<cpu::Core *> cores_;
+    cache::CacheHierarchy &caches_;
+    os::VirtualMemory &vm_;
+    std::vector<cpu::Core *> parked_;  ///< scratch, reused
+};
+
+} // namespace refsched::core
+
+#endif // REFSCHED_CORE_CLUSTER_FABRIC_HH

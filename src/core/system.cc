@@ -60,15 +60,25 @@ System::System(const SystemConfig &cfg)
         eq_, dev_, std::move(refresh), cfg_.mcParams);
     mc_->registerStats(registry_, "mc");
 
-    // Sharded kernel: one controller lane per channel plus the
+    // Sharded kernel: one controller lane per channel (shards > 0)
+    // and/or one lane per core cluster (coreLanes > 0), plus the
     // cross-shard router; cores then talk to the router, not the
     // controller.  The worker count is fixed at run() time (probes
-    // force sequential lanes).
-    if (cfg_.shards > 0) {
+    // force sequential lanes).  Core lanes shrink the window to
+    // coreLaneEpoch and align every window boundary to the OS
+    // quantum so setTask and director actions always run with the
+    // lanes caught up.
+    effCoreLanes_ = std::min(cfg_.coreLanes, cfg_.numCores);
+    const bool laneMode = effCoreLanes_ > 0;
+    if (cfg_.shards > 0 || laneMode) {
+        const Tick epoch = laneMode
+            ? std::min(cfg_.shardEpoch, cfg_.coreLaneEpoch)
+            : cfg_.shardEpoch;
         shardKernel_ = std::make_unique<ShardKernel>(
-            eq_, cfg_.channels, cfg_.shardEpoch);
+            eq_, cfg_.shards > 0 ? cfg_.channels : 0, epoch,
+            effCoreLanes_, laneMode ? cfg_.effectiveQuantum() : 0);
         shardRouter_ = std::make_unique<memctrl::ShardRouter>(
-            *shardKernel_, *mc_);
+            *shardKernel_, *mc_, cfg_.shards > 0);
     }
     memPort_ = shardRouter_
         ? static_cast<memctrl::MemoryPort *>(shardRouter_.get())
@@ -86,6 +96,32 @@ System::System(const SystemConfig &cfg)
             eq_, i, cfg_.coreParams, *caches_, memPort, *vm_));
         cores_.back()->registerStats(registry_,
                                      "core" + std::to_string(i));
+    }
+
+    // Core-cluster lanes: contiguous blocks -- core i lives on
+    // cluster i * lanes / numCores.  The assignment only decides
+    // which thread runs the core; results are identical for every
+    // lane count >= 1 (see shard_kernel.hh).  The fabric's boundary
+    // hook runs after the router's (registration order), so a
+    // resumed core observes this window's completions already
+    // staged.
+    if (laneMode) {
+        caches_->enableLaneMode();
+        std::vector<EventQueue *> laneOfCore;
+        std::vector<cpu::Core *> corePtrs;
+        for (int i = 0; i < cfg_.numCores; ++i) {
+            const int cluster = i * effCoreLanes_ / cfg_.numCores;
+            EventQueue &lane = shardKernel_->clusterLane(cluster);
+            cores_[static_cast<std::size_t>(i)]->attachCoreLane(lane);
+            laneOfCore.push_back(&lane);
+            corePtrs.push_back(
+                cores_[static_cast<std::size_t>(i)].get());
+        }
+        shardRouter_->setCoreLanes(std::move(laneOfCore));
+        fabric_ = std::make_unique<ClusterFabric>(
+            std::move(corePtrs), *caches_, *vm_);
+        shardKernel_->setBoundaryHook(
+            [this](Tick b) { fabric_->onBoundary(b); });
     }
 
     os::SchedulerParams sp;
@@ -441,8 +477,10 @@ System::run(int warmupQuanta, int measureQuanta)
     // fan into one shared hub, so any attached probe (or checker
     // set) forces sequential lane execution.  Results are identical
     // either way -- the sharded kernel's phase order is fixed.
-    if (shardKernel_)
-        shardKernel_->setWorkers(probeHub_ ? 1 : cfg_.shards);
+    if (shardKernel_) {
+        shardKernel_->setWorkers(
+            probeHub_ ? 1 : cfg_.shards + effCoreLanes_);
+    }
     const auto runKernel = [this](Tick limit) {
         return shardKernel_ ? shardKernel_->runUntil(limit)
                             : eq_.runUntil(limit);

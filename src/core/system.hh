@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cache/cache_hierarchy.hh"
+#include "core/cluster_fabric.hh"
 #include "core/metrics.hh"
 #include "core/system_config.hh"
 #include "cpu/core.hh"
@@ -67,6 +68,10 @@ class System
 
     /** The sharded kernel, or null under the legacy kernel. */
     ShardKernel *shardKernel() { return shardKernel_.get(); }
+
+    /** Core-cluster lane count after clamping to numCores (0 when
+     *  core lanes are off). */
+    int effectiveCoreLanes() const { return effCoreLanes_; }
 
     /** Events executed across every lane (legacy: the one queue). */
     std::uint64_t
@@ -166,6 +171,8 @@ class System
     std::unique_ptr<memctrl::MemoryController> mc_;
     std::unique_ptr<ShardKernel> shardKernel_;
     std::unique_ptr<memctrl::ShardRouter> shardRouter_;
+    std::unique_ptr<ClusterFabric> fabric_;
+    int effCoreLanes_ = 0;
     std::unique_ptr<os::BuddyAllocator> buddy_;
     std::unique_ptr<os::VirtualMemory> vm_;
     std::unique_ptr<cache::CacheHierarchy> caches_;

@@ -11,21 +11,51 @@ namespace refsched::cpu
 Core::Core(EventQueue &eq, int id, const CoreParams &params,
            cache::CacheHierarchy &caches,
            memctrl::MemoryPort &mc, os::VirtualMemory &vm)
-    : eq_(eq), id_(id), params_(params), caches_(caches), mc_(mc),
-      vm_(vm)
+    : eq_(eq), schedQ_(&eq), id_(id), params_(params),
+      caches_(caches), mc_(mc), vm_(vm)
 {
     if (params_.issueWidth < 1 || params_.robSize < 1)
         fatal("core needs positive issue width and ROB size");
     if (params_.cpuPeriod == 0)
         fatal("cpu period must be non-zero");
     resumeCallee_.core = this;
+    fillSlotIdx_.assign(static_cast<std::size_t>(params_.robSize) + 1,
+                        0);
+    fillSlotFilled_.assign(
+        static_cast<std::size_t>(params_.robSize) + 1, 0);
 }
 
 void
-Core::ResumeCallee::fire(Tick, std::uint64_t epoch, std::uint64_t)
+Core::attachCoreLane(EventQueue &lane)
+{
+    laneMode_ = true;
+    schedQ_ = &lane;
+}
+
+void
+Core::completeL2(const cache::HierarchyResult &res, Tick boundary)
+{
+    REFSCHED_ASSERT(laneWait_ == LaneWait::L2, "no parked L2 lookup");
+    laneWait_ = LaneWait::None;
+    l2Result_ = res;
+    l2ResultReady_ = true;
+    scheduleResume(boundary);
+}
+
+void
+Core::completeFault(Tick boundary)
+{
+    REFSCHED_ASSERT(laneWait_ == LaneWait::Fault, "no parked fault");
+    laneWait_ = LaneWait::None;
+    faultResolved_ = true;
+    scheduleResume(boundary);
+}
+
+void
+Core::ResumeCallee::fire(Tick now, std::uint64_t epoch, std::uint64_t)
 {
     if (epoch == core->epoch_)
-        core->advance();
+        core->advance(now);
 }
 
 void
@@ -36,7 +66,7 @@ Core::setTask(os::Task *task, Tick runUntil)
         // trace position and any in-flight misses alive.
         runUntil_ = runUntil;
         if (task_ && !stalledOnRob_ && !waitingRetry_)
-            advance();
+            advance(eq_.now());
         return;
     }
 
@@ -61,6 +91,10 @@ Core::setTask(os::Task *task, Tick runUntil)
     pendingEntry_.reset();
     pendingGap_ = 0;
     pendingMiss_.reset();
+    // Any boundary-delivered L2/fault result of the outgoing task
+    // dies with it (the epoch bump already kills its resume event).
+    l2ResultReady_ = false;
+    faultResolved_ = false;
     resumeEvent_.cancel();
 
     task_ = task;
@@ -83,7 +117,7 @@ Core::setTask(os::Task *task, Tick runUntil)
         }
         localTick_ = eq_.now();
         instrIdx_ = 0;
-        advance();
+        advance(eq_.now());
     }
 }
 
@@ -121,7 +155,7 @@ void
 Core::scheduleResume(Tick when)
 {
     resumeEvent_.cancel();
-    resumeEvent_ = eq_.schedule(when, resumeCallee_, epoch_, 0);
+    resumeEvent_ = schedQ_->schedule(when, resumeCallee_, epoch_, 0);
 }
 
 bool
@@ -133,6 +167,7 @@ Core::flushWritebacks()
         w.type = memctrl::Request::Type::Write;
         w.coreId = id_;
         w.pid = task_ ? task_->pid() : -1;
+        w.issueTick = localTick_;
         if (!mc_.enqueue(std::move(w)))
             return false;
         pendingWritebacks_.pop_front();
@@ -153,51 +188,67 @@ Core::onFill(std::uint64_t epoch, std::uint64_t instrIdx, Tick fillTick)
         if (stalledOnMshr_ && inFlightReads_ < params_.mshrCount) {
             stalledOnMshr_ = false;
             mshrStallTicks +=
-                static_cast<double>(eq_.now() - stallStart_);
+                static_cast<double>(fillTick - stallStart_);
             localTick_ = std::max(localTick_, fillTick);
-            advance();
+            advance(fillTick);
         }
         return;
     }
 
-    for (auto &m : outstanding_) {
-        if (m.instrIdx == instrIdx) {
-            m.filled = true;
-            break;
-        }
+    // O(1) slot lookup replacing the per-fill linear scan: live
+    // entries own slot idx % (robSize + 1) exclusively (see
+    // fillSlotIdx_), so an owner match is exactly "the miss is still
+    // outstanding".
+    const std::uint64_t slots = fillSlotIdx_.size();
+    if (fillSlotIdx_[static_cast<std::size_t>(instrIdx % slots)]
+        == instrIdx) {
+        fillSlotFilled_[static_cast<std::size_t>(instrIdx % slots)] =
+            1;
     }
-    while (!outstanding_.empty() && outstanding_.front().filled)
+    while (!outstanding_.empty()
+           && fillSlotFilled_[static_cast<std::size_t>(
+                  outstanding_.front().instrIdx % slots)]) {
         outstanding_.pop_front();
+    }
 
     if (stalledOnRob_ && !robFull()) {
         stalledOnRob_ = false;
-        robStallTicks += static_cast<double>(eq_.now() - stallStart_);
+        robStallTicks += static_cast<double>(fillTick - stallStart_);
         localTick_ = std::max(localTick_, fillTick);
-        advance();
+        advance(fillTick);
     } else if (stalledOnDependency_ && outstanding_.empty()) {
         stalledOnDependency_ = false;
-        robStallTicks += static_cast<double>(eq_.now() - stallStart_);
+        robStallTicks += static_cast<double>(fillTick - stallStart_);
         localTick_ = std::max(localTick_, fillTick);
-        advance();
+        advance(fillTick);
     } else if (stalledOnMshr_ && inFlightReads_ < params_.mshrCount) {
         stalledOnMshr_ = false;
-        mshrStallTicks += static_cast<double>(eq_.now() - stallStart_);
+        mshrStallTicks += static_cast<double>(fillTick - stallStart_);
         localTick_ = std::max(localTick_, fillTick);
-        advance();
+        advance(fillTick);
     }
 }
 
 void
-Core::advance()
+Core::advance(Tick now)
 {
     if (!task_ || stalledOnRob_ || stalledOnMshr_
         || stalledOnDependency_ || waitingRetry_) {
         return;
     }
-
-    const Tick now = eq_.now();
-    if (localTick_ < now)
+    if (laneMode_) {
+        // Parked for the boundary drain: only the fabric's resume
+        // may continue this core (setTask of the same task could
+        // otherwise re-enter mid-park).
+        if (laneWait_ != LaneWait::None)
+            return;
+    } else if (localTick_ < now) {
+        // Legacy: the local clock never trails the event clock.  In
+        // lane mode the core may legitimately run BEHIND wall clock
+        // after a boundary-resumed park (catch-up semantics); the
+        // clamp would inflate every parked access by up to a window.
         localTick_ = now;
+    }
 
     auto setRetry = [this] {
         waitingRetry_ = true;
@@ -205,7 +256,7 @@ Core::advance()
         mc_.requestRetryNotification([this, e = epoch_] {
             if (e == epoch_) {
                 waitingRetry_ = false;
-                advance();
+                advance(eq_.now());
             }
         });
     };
@@ -260,6 +311,7 @@ Core::advance()
             r.type = memctrl::Request::Type::Read;
             r.coreId = id_;
             r.pid = task_->pid();
+            r.issueTick = localTick_;
             r.completion = this;
             r.cookie0 = epoch_;
             r.cookie1 = pendingMissIdx_;
@@ -270,9 +322,15 @@ Core::advance()
             ++inFlightReads_;
             // Prefetch-covered sequential misses consume bandwidth
             // and an MSHR but do not block retirement.
-            if (!(pendingMissSequential_ && params_.prefetchSequential))
+            if (!(pendingMissSequential_
+                  && params_.prefetchSequential)) {
+                const std::size_t s = static_cast<std::size_t>(
+                    pendingMissIdx_ % fillSlotIdx_.size());
+                fillSlotIdx_[s] = pendingMissIdx_;
+                fillSlotFilled_[s] = 0;
                 outstanding_.push_back(
                     OutstandingMiss{pendingMissIdx_});
+            }
             pendingMiss_.reset();
             ++dramReads;
             ++task_->dramReads;
@@ -306,12 +364,89 @@ Core::advance()
         }
 
         // --- Stage E: the memory operation (one instruction) ---
+
+        // Lane mode, continuation of a parked L1 miss: the boundary
+        // drain delivered the shared-L2 result; replay the legacy
+        // post-access arithmetic.  Placed before the robFull gate
+        // because the parked op cleared it when it issued (and
+        // outstanding_ can only have shrunk since).
+        if (laneMode_ && l2ResultReady_) {
+            l2ResultReady_ = false;
+            const auto res = l2Result_;
+            const Addr paddr = parkedL2_.paddr;
+            chargeInstructions(1);
+            ++task_->memOps;
+
+            if (!res.dramMiss && res.latency > 0) {
+                chargeCycles(static_cast<double>(res.latency)
+                             * params_.hitLatencyVisibility);
+            }
+
+            const Addr lineMask = ~(
+                static_cast<Addr>(caches_.l2().params().lineBytes)
+                - 1);
+            for (int i = 0; i < res.writebackCount; ++i)
+                pendingWritebacks_.push_back(res.writebacks[i]
+                                             & lineMask);
+
+            if (res.dramMiss) {
+                pendingMiss_ = paddr & lineMask;
+                pendingMissIdx_ = instrIdx_;
+                pendingMissSequential_ = pendingEntry_->sequential;
+                pendingMissDependent_ = pendingEntry_->dependent;
+            }
+
+            pendingEntry_.reset();
+            continue;
+        }
+
         if (robFull()) {
             if (needSync())
                 return;
             stalledOnRob_ = true;
             stallStart_ = now;
             return;
+        }
+
+        if (laneMode_) {
+            // Lane fast path: fault-free translation + private L1.
+            // An unmapped page or an L1 miss parks the core for the
+            // boundary drain; an L1 hit completes inline with the
+            // exact legacy timing (hit latency x visibility).
+            if (faultResolved_) {
+                faultResolved_ = false;
+                chargeCycles(
+                    static_cast<double>(params_.pageFaultPenalty));
+            }
+            const auto pa =
+                vm_.lookup(*task_, pendingEntry_->vaddr);
+            if (!pa) {
+                laneWait_ = LaneWait::Fault;
+                laneWaitTick_ = localTick_;
+                parkedFaultVaddr_ = pendingEntry_->vaddr;
+                return;  // resumed by ClusterFabric::completeFault
+            }
+
+            const bool isWrite = pendingEntry_->isWrite;
+            const auto l1 = caches_.l1Access(id_, *pa, isWrite);
+            if (l1.hit) {
+                chargeInstructions(1);
+                ++task_->memOps;
+                if (l1.latency > 0) {
+                    chargeCycles(static_cast<double>(l1.latency)
+                                 * params_.hitLatencyVisibility);
+                }
+                pendingEntry_.reset();
+                continue;
+            }
+
+            parkedL2_ = cache::L2Lookup{*pa, task_->pid(), isWrite,
+                                        l1.victimValid,
+                                        l1.victimDirty,
+                                        l1.victimAddr};
+            laneWait_ = LaneWait::L2;
+            laneWaitTick_ = localTick_;
+            return;  // resumed by ClusterFabric::completeL2
         }
 
         bool faulted = false;

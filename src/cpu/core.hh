@@ -85,6 +85,43 @@ class Core : public os::CpuContext, public Callee
     os::Task *currentTask() const { return task_; }
     const CoreParams &params() const { return params_; }
 
+    // --- Core-lane coordination (core/system, ClusterFabric) ---
+    //
+    // Under core-cluster lanes the core's events (resumes, DRAM
+    // fills) live on its cluster lane while the scheduler still
+    // drives setTask from the main lane in phase A.  An L1 miss (or
+    // an unmapped page) cannot touch the shared L2 / buddy allocator
+    // from a lane, so the core PARKS: it records the pending lookup
+    // and returns; the ClusterFabric drains all parked cores at the
+    // single-threaded window boundary in (parkTick, coreId) order
+    // and hands each its result, scheduling an epoch-guarded resume
+    // on the cluster lane at the boundary tick.
+
+    /** What the core is parked on, if anything. */
+    enum class LaneWait
+    {
+        None,
+        Fault,  ///< page not mapped; boundary runs translate()
+        L2,     ///< L1 miss; boundary runs CacheHierarchy::applyL2
+    };
+
+    /** Switch this core to lane mode, eventing on @p lane. */
+    void attachCoreLane(EventQueue &lane);
+
+    LaneWait laneWait() const { return laneWait_; }
+    /** Core-local tick at which the parked access issued. */
+    Tick laneWaitTick() const { return laneWaitTick_; }
+    const cache::L2Lookup &parkedL2() const { return parkedL2_; }
+    Addr parkedFaultVaddr() const { return parkedFaultVaddr_; }
+
+    /** Boundary drain: deliver the shared-L2 half of a parked miss
+     *  and schedule the resume at @p boundary on the cluster lane. */
+    void completeL2(const cache::HierarchyResult &res, Tick boundary);
+
+    /** Boundary drain: the parked fault has been serviced (the
+     *  fabric ran the allocating translate); resume at @p boundary. */
+    void completeFault(Tick boundary);
+
     void registerStats(StatRegistry &reg, const std::string &prefix);
 
     // --- Statistics ---
@@ -101,11 +138,11 @@ class Core : public os::CpuContext, public Callee
     struct OutstandingMiss
     {
         std::uint64_t instrIdx;
-        bool filled = false;
     };
 
-    /** Run the issue loop until a sync point. */
-    void advance();
+    /** Run the issue loop until a sync point.  @p now is the firing
+     *  tick of the invoking event (== the owning queue's now()). */
+    void advance(Tick now);
 
     /** Charge @p n instructions of non-memory work. */
     void chargeInstructions(std::uint64_t n);
@@ -148,11 +185,24 @@ class Core : public os::CpuContext, public Callee
     };
 
     EventQueue &eq_;
+    /** Queue the core's own events live on: eq_ normally, the
+     *  cluster lane in core-lane mode. */
+    EventQueue *schedQ_;
     int id_;
     CoreParams params_;
     cache::CacheHierarchy &caches_;
     memctrl::MemoryPort &mc_;
     os::VirtualMemory &vm_;
+
+    // --- Core-lane mode state ---
+    bool laneMode_ = false;
+    LaneWait laneWait_ = LaneWait::None;
+    Tick laneWaitTick_ = 0;
+    cache::L2Lookup parkedL2_;
+    Addr parkedFaultVaddr_ = 0;
+    cache::HierarchyResult l2Result_;
+    bool l2ResultReady_ = false;
+    bool faultResolved_ = false;
 
     os::Task *task_ = nullptr;
     Tick runUntil_ = 0;
@@ -164,6 +214,23 @@ class Core : public os::CpuContext, public Callee
 
     std::uint64_t instrIdx_ = 0;
     std::deque<OutstandingMiss> outstanding_;
+
+    /**
+     * O(1) fill lookup, replacing a linear scan of outstanding_ per
+     * DRAM completion.  Every live miss index lies in [front, front
+     * + robSize]: the stage-E gate admits the memory instruction at
+     * distance <= robSize - 1 and charging it adds one, and stage B
+     * pushes the staged miss without a further ROB check.  That is
+     * robSize + 1 distinct values, so idx % (robSize + 1) is
+     * collision-free among live entries: slot idx mod (robSize + 1)
+     * holds (owner instrIdx, filled flag).  A fill marks its slot
+     * only when the owner matches -- prefetch-covered misses were
+     * never pushed, and their index can trail the ROB window
+     * arbitrarily, so an unconditional mark could corrupt an
+     * innocent resident entry.
+     */
+    std::vector<std::uint64_t> fillSlotIdx_;
+    std::vector<std::uint8_t> fillSlotFilled_;
     std::optional<TraceEntry> pendingEntry_;
     std::uint64_t pendingGap_ = 0;
     std::optional<Addr> pendingMiss_;

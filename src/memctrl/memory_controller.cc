@@ -90,8 +90,8 @@ MemoryController::enqueue(Request req)
                 if (req.completion) {
                     if (completionSink_) {
                         completionSink_->complete(
-                            ch, doneAt, *req.completion, req.cookie0,
-                            req.cookie1);
+                            ch, req.coreId, doneAt, *req.completion,
+                            req.cookie0, req.cookie1);
                     } else {
                         eq_.schedule(doneAt, *req.completion,
                                      req.cookie0, req.cookie1);
@@ -526,9 +526,9 @@ MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
     // simulator schedules without allocating.
     if (req.completion) {
         if (completionSink_) {
-            completionSink_->complete(req.coord.channel, dataAt,
-                                      *req.completion, req.cookie0,
-                                      req.cookie1);
+            completionSink_->complete(req.coord.channel, req.coreId,
+                                      dataAt, *req.completion,
+                                      req.cookie0, req.cookie1);
         } else {
             eq_.schedule(dataAt, *req.completion, req.cookie0,
                          req.cookie1);

@@ -142,8 +142,11 @@ class MemoryController : public MemoryPort,
     class CompletionSink
     {
       public:
-        virtual void complete(int channel, Tick when, Callee &callee,
-                              std::uint64_t cookie0,
+        /** @p coreId is the requester (Request::coreId; -1 for
+         *  non-core traffic such as migration reads), letting the
+         *  sink route the delivery to that core's lane. */
+        virtual void complete(int channel, int coreId, Tick when,
+                              Callee &callee, std::uint64_t cookie0,
                               std::uint64_t cookie1) = 0;
 
       protected:

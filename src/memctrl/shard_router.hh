@@ -1,32 +1,43 @@
 /**
  * @file
- * Cross-shard mailboxes between the cores (main lane) and the
- * per-channel controller lanes of the sharded kernel.
+ * Cross-shard mailboxes between the cores and the per-channel
+ * controller lanes of the sharded kernel.
  *
  * The router is the MemoryPort the cores see in sharded mode and
  * the CompletionSink the controller reports into.  Both directions
  * are staged, never delivered mid-window:
  *
- *   main -> channel   enqueue() stages the request in the target
- *     channel's inbox (phase A, main lane only).  At the window
- *     boundary the inbox moves onto the channel's pending list and
- *     a delivery event is armed on the channel lane at the boundary
- *     tick; the delivery calls MemoryController::enqueue on the
- *     channel's own lane.  A full controller queue bounces the
- *     request back onto the pending list -- the router retries at
- *     the next boundary and the core never sees a NACK (sharded
- *     mode has no core-side retry protocol).
+ *   core -> channel   enqueue() stages the request.  With the cores
+ *     on the main lane (coreLanes == 0) the request goes straight
+ *     into the target channel's inbox in arrival order (phase A,
+ *     main lane only).  With core-cluster lanes each core stages
+ *     into its PRIVATE box (its own lane in phase A', or the main
+ *     thread in phase A for scheduler-driven issue; the two phases
+ *     never overlap); the boundary merges all boxes by (issueTick,
+ *     coreId, staging order) -- a partition-invariant key -- before
+ *     bucketing per channel.  Either way the boundary moves the
+ *     requests onto the channel's pending list and arms a delivery
+ *     event at the boundary tick on the lane the controller channel
+ *     lives on (its channel lane when channels are sharded, the
+ *     main lane otherwise); the delivery calls
+ *     MemoryController::enqueue there.  A full controller queue
+ *     bounces the request back onto the pending list -- the router
+ *     retries at the next boundary and the core never sees a NACK
+ *     (sharded mode has no core-side retry protocol).
  *
- *   channel -> main   complete() stages the controller's read
- *     completion in the channel's outbox (phase B, that channel's
- *     worker only).  The boundary drains every outbox in channel
- *     order and schedules each completion on the main lane at
- *     max(when, boundary); with epoch <= tCL + tBURST the max never
- *     clamps a CAS completion (see shard_kernel.hh).
+ *   channel -> core   complete() stages the controller's read
+ *     completion in the channel's outbox (the channel's own lane,
+ *     or the main lane when channels are not sharded).  The
+ *     boundary drains every outbox in channel order and schedules
+ *     each completion at max(when, boundary) on the requesting
+ *     core's lane (cluster lane in core-lane mode, main lane for
+ *     coreId == -1 traffic and when core lanes are off); with epoch
+ *     <= tCL + tBURST the max never clamps a CAS completion (see
+ *     shard_kernel.hh).
  *
  * Each mailbox has exactly one writer phase and one reader phase,
  * separated by the kernel's barrier, so no locks are needed even
- * when phase B runs on worker threads.
+ * when the parallel phase runs on worker threads.
  */
 
 #ifndef REFSCHED_MEMCTRL_SHARD_ROUTER_HH
@@ -47,20 +58,33 @@ class ShardRouter final : public MemoryPort,
                           public Callee
 {
   public:
-    /** Wires itself up: installs the boundary hook on @p kernel and
-     *  the completion sink on @p mc. */
-    ShardRouter(ShardKernel &kernel, MemoryController &mc);
+    /**
+     * Wires itself up: installs the boundary hook on @p kernel and
+     * the completion sink on @p mc.  @p shardChannels moves each
+     * controller channel onto its own kernel lane (requires
+     * laneCount >= channels); false keeps the controller on the
+     * main lane (core-lane-only mode).
+     */
+    ShardRouter(ShardKernel &kernel, MemoryController &mc,
+                bool shardChannels = true);
 
-    // --- MemoryPort (main lane, phase A) ---
+    /**
+     * Enable core-lane routing: requests stage per-core and read
+     * completions for core i are delivered on @p laneOfCore[i].
+     * Call before running.
+     */
+    void setCoreLanes(std::vector<EventQueue *> laneOfCore);
+
+    // --- MemoryPort (issuing core's lane / main lane) ---
     bool enqueue(Request req) override;
     void requestRetryNotification(std::function<void()> cb) override;
 
-    // --- CompletionSink (channel lane, phase B) ---
-    void complete(int channel, Tick when, Callee &callee,
+    // --- CompletionSink (controller's lane) ---
+    void complete(int channel, int coreId, Tick when, Callee &callee,
                   std::uint64_t cookie0,
                   std::uint64_t cookie1) override;
 
-    // --- Callee: per-channel delivery event (channel lane) ---
+    // --- Callee: per-channel delivery event (controller's lane) ---
     void fire(Tick now, std::uint64_t channel, std::uint64_t) override;
 
     /** Window boundary (phase C, single-threaded). */
@@ -73,6 +97,7 @@ class ShardRouter final : public MemoryPort,
     struct Completion
     {
         Tick when;
+        int coreId;
         Callee *callee;
         std::uint64_t cookie0;
         std::uint64_t cookie1;
@@ -80,15 +105,26 @@ class ShardRouter final : public MemoryPort,
 
     struct LaneBox
     {
-        std::vector<Request> inbox;       ///< staged by phase A
+        std::vector<Request> inbox;       ///< staged pre-boundary
         std::vector<Request> pending;     ///< awaiting delivery
-        std::vector<Completion> outbox;   ///< staged by phase B
+        std::vector<Completion> outbox;   ///< staged by controller
         bool deliveryArmed = false;
     };
 
+    /** Lane the controller channel @p ch events on. */
+    EventQueue &channelLane(int ch);
+    /** Lane completions for @p coreId deliver on. */
+    EventQueue &deliveryLane(int coreId);
+
     ShardKernel &kernel_;
     MemoryController &mc_;
+    bool shardChannels_;
     std::vector<LaneBox> boxes_;
+    /** Core-lane mode: slot 0 is coreId -1 (director/OS traffic),
+     *  slot i+1 is core i.  Empty when core lanes are off. */
+    std::vector<std::vector<Request>> coreBoxes_;
+    std::vector<EventQueue *> coreLanes_;
+    std::vector<Request> mergeScratch_;
     std::vector<std::function<void()>> retryWaiters_;
 };
 

@@ -7,13 +7,24 @@
 namespace refsched
 {
 
-ShardKernel::ShardKernel(EventQueue &main, int lanes, Tick epoch)
-    : main_(main), epoch_(epoch)
+ShardKernel::ShardKernel(EventQueue &main, int lanes, Tick epoch,
+                         int clusterLanes, Tick alignQuantum)
+    : main_(main), epoch_(epoch), align_(alignQuantum)
 {
-    REFSCHED_ASSERT(lanes > 0, "sharded kernel needs >= 1 lane");
+    REFSCHED_ASSERT(lanes >= 0, "negative channel lane count");
+    REFSCHED_ASSERT(clusterLanes >= 0, "negative cluster lane count");
+    REFSCHED_ASSERT(lanes + clusterLanes > 0,
+                    "sharded kernel needs >= 1 lane");
     REFSCHED_ASSERT(epoch > 0, "shard epoch must be positive");
+    REFSCHED_ASSERT(align_ >= 0, "negative alignment quantum");
     for (int i = 0; i < lanes; ++i)
         lanes_.push_back(std::make_unique<EventQueue>());
+    for (int i = 0; i < clusterLanes; ++i)
+        clusterLanes_.push_back(std::make_unique<EventQueue>());
+    for (auto &l : lanes_)
+        allLanes_.push_back(l.get());
+    for (auto &l : clusterLanes_)
+        allLanes_.push_back(l.get());
 }
 
 ShardKernel::~ShardKernel()
@@ -26,7 +37,7 @@ ShardKernel::setWorkers(int n)
 {
     REFSCHED_ASSERT(threads_.empty(),
                     "setWorkers must precede the first runUntil");
-    workers_ = std::clamp(n, 1, laneCount());
+    workers_ = std::clamp(n, 1, totalLaneCount());
 }
 
 void
@@ -58,7 +69,7 @@ void
 ShardKernel::runLaneRange(int first, int last)
 {
     for (int i = first; i < last; ++i)
-        lanes_[static_cast<std::size_t>(i)]->runUntil(target_);
+        allLanes_[static_cast<std::size_t>(i)]->runUntil(target_);
 }
 
 void
@@ -68,7 +79,7 @@ ShardKernel::workerLoop(int workerId)
     // ownership never changes, so a lane's events always run on the
     // same thread and successive windows of one lane are ordered by
     // the barrier alone.
-    const int lanes = laneCount();
+    const int lanes = totalLaneCount();
     const int per = (lanes + workers_ - 1) / workers_;
     const int first = std::min(workerId * per, lanes);
     const int last = std::min(first + per, lanes);
@@ -104,15 +115,25 @@ ShardKernel::runUntil(Tick limit)
         // finishes exactly at `limit` (events AT limit included,
         // matching EventQueue::runUntil's contract).
         const Tick t = main_.now();
-        const Tick end = std::min(t + epoch_, limit + 1);
+        Tick end = std::min(t + epoch_, limit + 1);
+        if (align_ > 0) {
+            // Clamp to the smallest multiple of align_ that still
+            // yields a non-empty window (end >= t + 2, since the
+            // previous window already ran events at tick t): OS
+            // quantum expiries at n*align_ then run in phase A with
+            // every lane caught up through n*align_ - 1.
+            const Tick m = ((t + 1) / align_ + 1) * align_;
+            end = std::min(end, std::min(m, limit + 1));
+        }
         target_ = end - 1;
 
         // Phase A: the main lane, alone.
         main_.runUntil(target_);
 
-        // Phase B: channel lanes, mutually independent.
+        // Phase A'/B: cluster and channel lanes, mutually
+        // independent.
         if (threads_.empty()) {
-            runLaneRange(0, laneCount());
+            runLaneRange(0, totalLaneCount());
         } else {
             {
                 std::lock_guard<std::mutex> lk(mu_);
@@ -126,8 +147,8 @@ ShardKernel::runUntil(Tick limit)
 
         // Phase C: seal the window; cross-lane deliveries land at
         // >= end, i.e. inside the next window.
-        if (boundaryHook_)
-            boundaryHook_(end);
+        for (const auto &hook : boundaryHooks_)
+            hook(end);
     } while (main_.now() < limit);
     return executedTotal() - before;
 }
@@ -136,7 +157,7 @@ std::uint64_t
 ShardKernel::executedTotal() const
 {
     std::uint64_t total = main_.executedCount();
-    for (const auto &l : lanes_)
+    for (const auto &l : allLanes_)
         total += l->executedCount();
     return total;
 }

@@ -1,46 +1,69 @@
 /**
  * @file
  * The sharded discrete-event kernel: one event-queue lane per DRAM
- * channel beside the main lane, synchronized at epoch boundaries.
+ * channel beside the main lane, synchronized at epoch boundaries,
+ * plus optional core-cluster lanes that peel the CPU side off the
+ * main lane.
  *
  * The legacy kernel interleaves every component on one EventQueue.
  * The sharded kernel splits the event population by owner:
  *
- *   lane 0 (the "main" lane, the caller's EventQueue) -- cores, OS
- *     scheduler, caches, virtual memory: everything that shares
- *     state with the software side.
- *   lane 1..C (owned by the kernel) -- one per DRAM channel: the
- *     memory controller's per-channel clock ticks.
+ *   lane 0 (the "main" lane, the caller's EventQueue) -- the OS
+ *     scheduler, scenario director, shared L2 and virtual memory:
+ *     everything that shares state with the software side.
+ *   channel lanes (owned by the kernel) -- one per DRAM channel:
+ *     the memory controller's per-channel clock ticks.
+ *   cluster lanes (owned by the kernel) -- one per core cluster:
+ *     the cores and their private L1s, when core lanes are enabled.
  *
  * Time advances in epoch windows [T, T+E).  Within a window every
  * lane runs its own events independently; anything that crosses a
  * lane boundary (a core's request entering a channel, a channel's
- * read completion returning to a core) is staged in a mailbox and
- * delivered at the next window boundary, never mid-window.  That
- * makes the window execution order unobservable: lanes may run
- * sequentially in any order or concurrently on worker threads and
- * the simulation is bit-for-bit identical, because no lane can read
- * another lane's state until the single-threaded boundary phase has
- * sealed the window.
+ * read completion returning to a core, a shared-L2 lookup) is staged
+ * in a mailbox and delivered at the next window boundary, never
+ * mid-window.  That makes the window execution order unobservable:
+ * lanes may run sequentially in any order or concurrently on worker
+ * threads and the simulation is bit-for-bit identical, because no
+ * lane can read another lane's state until the single-threaded
+ * boundary phase has sealed the window.
  *
  * Window phasing (runUntil):
  *
- *   phase A  main lane runs [T, T+E) on the caller's thread, alone.
- *            Cross-lane READS that the software side performs (the
- *            refresh-aware scheduler's analytic schedule query) are
- *            safe here because channel lanes are quiescent.
- *   phase B  channel lanes run [T, T+E), mutually independent --
- *            sequentially, or in parallel when workers > 1.
- *   phase C  barrier; the boundary hook runs single-threaded and
- *            drains the mailboxes, scheduling deliveries at >= T+E.
+ *   phase A   main lane runs [T, T+E) on the caller's thread, alone.
+ *             Cross-lane READS that the software side performs (the
+ *             refresh-aware scheduler's analytic schedule query) are
+ *             safe here because the other lanes are quiescent.
+ *   phase A'/B  cluster lanes and channel lanes run [T, T+E),
+ *             mutually independent -- sequentially, or in parallel
+ *             when workers > 1.  Cluster lanes may READ main-lane
+ *             state that phase A only mutates at boundary-aligned
+ *             ticks (the analytic refresh schedule, their own task's
+ *             page table) -- ordered by the pool barrier.
+ *   phase C   barrier; the boundary hooks run single-threaded in
+ *             registration order and drain the mailboxes, scheduling
+ *             deliveries at >= T+E.
  *
  * Exactness: a read CAS issued inside a window completes tCL+tBURST
  * later, so with E <= tCL+tBURST every staged completion already
  * lies at or beyond the next boundary and delivery never distorts
- * its tick.  Requests travelling main->channel are delivered at the
- * boundary, adding up to E of queueing latency -- the documented
- * approximation of sharded mode (shard counts never change results;
- * the epoch length is the accuracy knob).
+ * its tick.  The same argument covers the shared L2: a hit costs 20
+ * CPU cycles, so with E <= that latency a lookup issued inside a
+ * window cannot observably complete before the boundary.  Requests
+ * travelling main->channel (and L1 misses parking for the boundary
+ * L2 drain) are delivered at the boundary, adding up to E of
+ * latency -- the documented approximation of sharded mode (lane and
+ * worker counts never change results; the epoch length is the
+ * accuracy knob).
+ *
+ * Alignment: when core lanes are on, OS quantum expiries and
+ * scenario-director actions must observe cores that have fully
+ * caught up with the previous quantum.  The kernel therefore clamps
+ * every window so that each multiple of `alignQuantum` is some
+ * window's boundary; the expiry event then runs in phase A right
+ * after that boundary, with every lane quiescent at Q-1 -- the
+ * "mailbox" for scheduler/director actions is the window structure
+ * itself.  With core lanes off no clamp is applied and the phasing
+ * is byte-for-byte the PR 6 kernel.
  */
 
 #ifndef REFSCHED_SIMCORE_SHARD_KERNEL_HH
@@ -63,11 +86,17 @@ class ShardKernel
 {
   public:
     /**
-     * @p main   the system's main event queue (lane 0, not owned).
-     * @p lanes  number of channel lanes to create.
-     * @p epoch  window length E in ticks.
+     * @p main          the system's main event queue (not owned).
+     * @p lanes         number of channel lanes to create (may be 0
+     *                  when only cluster lanes are wanted).
+     * @p epoch         window length E in ticks.
+     * @p clusterLanes  number of core-cluster lanes (0 = none).
+     * @p alignQuantum  when > 0, clamp windows so every multiple of
+     *                  this tick count is a window boundary (the OS
+     *                  quantum; only used with cluster lanes).
      */
-    ShardKernel(EventQueue &main, int lanes, Tick epoch);
+    ShardKernel(EventQueue &main, int lanes, Tick epoch,
+                int clusterLanes = 0, Tick alignQuantum = 0);
     ~ShardKernel();
 
     ShardKernel(const ShardKernel &) = delete;
@@ -79,30 +108,46 @@ class ShardKernel
         return *lanes_[static_cast<std::size_t>(i)];
     }
 
+    /** Core-cluster lane @p i in [0, clusterLaneCount). */
+    EventQueue &clusterLane(int i)
+    {
+        return *clusterLanes_[static_cast<std::size_t>(i)];
+    }
+
     /** Lane 0: the caller's main event queue. */
     EventQueue &mainLane() { return main_; }
 
     int laneCount() const { return static_cast<int>(lanes_.size()); }
+    int clusterLaneCount() const
+    {
+        return static_cast<int>(clusterLanes_.size());
+    }
+    /** All kernel-owned lanes: channel + cluster. */
+    int totalLaneCount() const
+    {
+        return laneCount() + clusterLaneCount();
+    }
     Tick epoch() const { return epoch_; }
 
     /**
-     * Worker threads for phase B.  1 (default) runs channel lanes
+     * Worker threads for phase A'/B.  1 (default) runs the lanes
      * sequentially on the caller's thread; n > 1 spreads them over
-     * min(n, lanes) persistent workers.  The thread count never
-     * affects results.  Must be set before the first runUntil.
+     * min(n, totalLaneCount) persistent workers.  The thread count
+     * never affects results.  Must be set before the first runUntil.
      */
     void setWorkers(int n);
     int workers() const { return workers_; }
 
     /**
-     * Invoked single-threaded at every window boundary with the
-     * boundary tick (the start of the next window).  The router
-     * drains its mailboxes here; deliveries must be scheduled at or
-     * after the boundary tick.
+     * Register a hook invoked single-threaded at every window
+     * boundary with the boundary tick (the start of the next
+     * window).  Hooks run in registration order; the router and the
+     * cluster fabric drain their mailboxes here.  Deliveries must be
+     * scheduled at or after the boundary tick.
      */
     void setBoundaryHook(std::function<void(Tick boundary)> hook)
     {
-        boundaryHook_ = std::move(hook);
+        boundaryHooks_.push_back(std::move(hook));
     }
 
     /**
@@ -112,23 +157,27 @@ class ShardKernel
      */
     std::uint64_t runUntil(Tick limit);
 
-    /** Lifetime events executed across the main and channel lanes. */
+    /** Lifetime events executed across all lanes. */
     std::uint64_t executedTotal() const;
 
   private:
     void startWorkers();
     void stopWorkers();
     void workerLoop(int workerId);
-    /** Run channel lanes [first, last) up to target_. */
+    /** Run kernel-owned lanes [first, last) up to target_. */
     void runLaneRange(int first, int last);
 
     EventQueue &main_;
     std::vector<std::unique_ptr<EventQueue>> lanes_;
+    std::vector<std::unique_ptr<EventQueue>> clusterLanes_;
+    /** Channel lanes then cluster lanes, for worker partitioning. */
+    std::vector<EventQueue *> allLanes_;
     Tick epoch_;
+    Tick align_ = 0;
     int workers_ = 1;
-    std::function<void(Tick)> boundaryHook_;
+    std::vector<std::function<void(Tick)>> boundaryHooks_;
 
-    // Phase-B thread pool: a generation barrier.  The coordinator
+    // Phase-A'/B thread pool: a generation barrier.  The coordinator
     // bumps gen_ to release the workers on target_, then waits for
     // pending_ to drain; both transitions synchronize through mu_,
     // which is what orders mailbox writes against phase C.

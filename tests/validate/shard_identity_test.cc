@@ -1,14 +1,24 @@
 /**
  * @file
- * Differential determinism proof for the sharded event kernel: a
- * run is bit-identical for every shard (worker) count.  shards=1
- * executes the channel lanes sequentially on the caller's thread;
- * shards=channels runs them on worker threads (or, with a probe
- * attached, sequentially again -- the kernel's phase order makes
- * the difference unobservable, which is exactly what is asserted
- * here).  Compared artifacts: the full golden trace (every DRAM
- * command, scheduler pick, and page movement at its tick) and the
- * stats-JSON document minus the host-dependent self-profile line.
+ * Differential determinism proof for the sharded event kernel and
+ * the core-cluster lanes stacked on it.
+ *
+ * Two timing modes exist by contract (SystemConfig::coreLanes):
+ * coreLanes == 0 is the untouched legacy kernel; coreLanes >= 1 is
+ * the lane-mode kernel, whose simulated timing (stats JSON) is
+ * bit-identical for EVERY lane count x shard count x worker count
+ * x jobs count (cluster assignment and worker scheduling are
+ * partition invariants, enforced by the boundary merge keys).  The
+ * two modes differ slightly from each other -- lane mode quantises
+ * shared-L2 walks and DRAM hand-offs to window boundaries -- so
+ * comparisons never cross them.  Golden traces additionally group
+ * on shards == 0 vs shards >= 1 within each mode: channel sharding
+ * moves controller events onto channel lanes, which permutes
+ * same-tick record order without moving any event's tick.
+ *
+ * Compared artifacts: the full golden trace (every DRAM command,
+ * scheduler pick, and page movement at its tick) and the stats-JSON
+ * document minus the host-dependent self-profile line.
  */
 
 #include <gtest/gtest.h>
@@ -16,11 +26,14 @@
 #include <cstdint>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.hh"
+#include "core/parallel_runner.hh"
 #include "core/system.hh"
 #include "validate/golden_trace.hh"
+#include "workload/scenario.hh"
 
 namespace refsched::validate
 {
@@ -28,14 +41,16 @@ namespace
 {
 
 core::SystemConfig
-shardedConfig(int channels, int shards)
+shardedConfig(int channels, int shards, int coreLanes = 0,
+              int numCores = 2)
 {
     core::SystemConfig cfg = core::makeConfig(
         "WL-1", core::Policy::CoDesign, dram::DensityGb::d32,
-        milliseconds(64.0), /*numCores=*/2, /*tasksPerCore=*/4,
+        milliseconds(64.0), numCores, /*tasksPerCore=*/4,
         /*timeScale=*/1024);
     cfg.channels = channels;
     cfg.shards = shards;
+    cfg.coreLanes = coreLanes;
     return cfg;
 }
 
@@ -63,9 +78,9 @@ struct ShardRun
 };
 
 ShardRun
-runSharded(int channels, int shards, bool withProbe)
+runOne(const core::SystemConfig &cfg, bool withProbe)
 {
-    core::System sys(shardedConfig(channels, shards));
+    core::System sys(cfg);
     TraceRecorder rec;
     if (withProbe)
         sys.attachProbe(&rec);
@@ -78,19 +93,34 @@ runSharded(int channels, int shards, bool withProbe)
     return r;
 }
 
+ShardRun
+runSharded(int channels, int shards, bool withProbe,
+           int coreLanes = 0)
+{
+    return runOne(shardedConfig(channels, shards, coreLanes),
+                  withProbe);
+}
+
+void
+expectSameRun(const ShardRun &ref, const ShardRun &got,
+              const std::string &what)
+{
+    if (ref.trace != got.trace) {
+        const TraceDiff d = diffTraces(decodeTrace(ref.trace),
+                                       decodeTrace(got.trace));
+        ADD_FAILURE() << what << ": trace divergence: "
+                      << d.describe();
+    }
+    EXPECT_EQ(ref.statsJson, got.statsJson) << what;
+}
+
 TEST(ShardIdentityTest, TraceIdenticalAcrossShardCounts)
 {
     const ShardRun one = runSharded(2, /*shards=*/1, true);
     const ShardRun two = runSharded(2, /*shards=*/2, true);
 
     EXPECT_GT(one.traceEvents, 0u);
-    if (one.trace != two.trace) {
-        const TraceDiff d = diffTraces(decodeTrace(one.trace),
-                                       decodeTrace(two.trace));
-        ADD_FAILURE() << "shards=1 vs shards=2 trace divergence: "
-                      << d.describe();
-    }
-    EXPECT_EQ(one.statsJson, two.statsJson);
+    expectSameRun(one, two, "shards=1 vs shards=2");
 }
 
 TEST(ShardIdentityTest, ThreadedStatsIdenticalToSequential)
@@ -117,6 +147,193 @@ TEST(ShardIdentityTest, SingleChannelShardedIsDeterministic)
     EXPECT_GT(a.traceEvents, 0u);
     EXPECT_EQ(a.trace, b.trace);
     EXPECT_EQ(a.statsJson, b.statsJson);
+}
+
+/**
+ * Run one (shards, coreLanes) cell per grid entry under a
+ * ParallelRunner worker pool, tracing each.
+ */
+std::vector<ShardRun>
+runMatrix(const std::vector<std::pair<int, int>> &cells, int jobs)
+{
+    std::vector<ShardRun> runs(cells.size());
+    std::vector<core::CellSpec> specs;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const core::SystemConfig cfg =
+            shardedConfig(2, cells[i].first, cells[i].second);
+        ShardRun *out = &runs[i];
+        core::CellSpec spec;
+        spec.custom = [cfg, out] {
+            core::System sys(cfg);
+            TraceRecorder rec;
+            sys.attachProbe(&rec);
+            const auto m =
+                sys.run(/*warmupQuanta=*/1, /*measureQuanta=*/2);
+            out->trace = rec.data();
+            out->traceEvents = rec.eventCount();
+            out->statsJson = statsJsonStripped(sys, m);
+            return m;
+        };
+        specs.push_back(std::move(spec));
+    }
+    core::ParallelRunner(jobs).runCells(specs);
+    return runs;
+}
+
+TEST(ShardIdentityTest, CoreLaneMatrixIdenticalAcrossShardsLanesJobs)
+{
+    // The full lane-mode identity matrix: {shards 0,1,2} x
+    // {core-lanes 1,2,8} x {jobs 1,8}.  Lanes=8 on the 2-core
+    // config also exercises the oversubscription clamp (effective
+    // lanes = numCores = 2).
+    //
+    // Stats JSON is byte-identical across the ENTIRE matrix: in
+    // lane mode the router stages per-core boxes and hands them to
+    // the controller at window boundaries whether or not the
+    // channels are additionally sharded, so simulated timing does
+    // not depend on shards at all.  The golden trace splits into
+    // two groups on shards==0 vs shards>=1 -- channel sharding
+    // moves the controller's events onto channel lanes, which
+    // reorders same-tick trace RECORDS (phase A vs phase B emission
+    // order) without moving any event's tick.  The same record-
+    // order split exists in the PR 6 seed for coreLanes == 0.
+    std::vector<std::pair<int, int>> cells;
+    for (int shards : {0, 1, 2})
+        for (int lanes : {1, 2, 8})
+            cells.emplace_back(shards, lanes);
+
+    const std::vector<ShardRun> seq = runMatrix(cells, /*jobs=*/1);
+    const std::vector<ShardRun> par = runMatrix(cells, /*jobs=*/8);
+
+    const ShardRun &ref = seq[0];
+    EXPECT_GT(ref.traceEvents, 0u);
+    // Trace reference for the shards>=1 subgroup: the first cell
+    // with shards == 1 (lanes=1, jobs=1).
+    const ShardRun *shardedRef = nullptr;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        if (cells[i].first >= 1) {
+            shardedRef = &seq[i];
+            break;
+        }
+    ASSERT_NE(shardedRef, nullptr);
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::ostringstream what;
+        what << "shards=" << cells[i].first
+             << " lanes=" << cells[i].second;
+        const ShardRun &traceRef =
+            cells[i].first == 0 ? ref : *shardedRef;
+        expectSameRun(traceRef, seq[i], what.str() + " jobs=1");
+        expectSameRun(traceRef, par[i], what.str() + " jobs=8");
+        // Stats cross the trace groups: identical matrix-wide.
+        EXPECT_EQ(ref.statsJson, seq[i].statsJson) << what.str();
+        EXPECT_EQ(ref.statsJson, par[i].statsJson) << what.str();
+    }
+}
+
+TEST(ShardIdentityTest, LegacyLaneZeroIdenticalAcrossShardsAndJobs)
+{
+    // coreLanes == 0 keeps the PR 6 seed contract: shards >= 1 is
+    // one identity group (any worker count, any jobs count), and
+    // shards == 0 (no shard kernel at all) is its own deterministic
+    // group.
+    std::vector<std::pair<int, int>> cells = {
+        {0, 0}, {1, 0}, {2, 0}};
+    const std::vector<ShardRun> seq = runMatrix(cells, /*jobs=*/1);
+    const std::vector<ShardRun> par = runMatrix(cells, /*jobs=*/8);
+    EXPECT_GT(seq[0].traceEvents, 0u);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::ostringstream what;
+        what << "legacy shards=" << cells[i].first;
+        const ShardRun &ref = cells[i].first == 0 ? seq[0] : seq[1];
+        expectSameRun(ref, seq[i], what.str() + " jobs=1");
+        expectSameRun(ref, par[i], what.str() + " jobs=8");
+    }
+}
+
+TEST(ShardIdentityTest, ThreadedCoreLanePoolMatchesSequential)
+{
+    // No probe: lanes and channel shards really run on worker
+    // threads (workers = shards + effective lanes).  Stats must
+    // match the minimal one-worker run.
+    const ShardRun one =
+        runSharded(2, /*shards=*/0, false, /*coreLanes=*/1);
+    const ShardRun pool =
+        runSharded(2, /*shards=*/2, false, /*coreLanes=*/2);
+    EXPECT_FALSE(one.statsJson.empty());
+    EXPECT_EQ(one.statsJson, pool.statsJson);
+}
+
+TEST(ShardIdentityTest, LaneIdentityHoldsOnEveryRefreshPolicy)
+{
+    // The async (boundary-ordered) L2 and fill delivery must stay a
+    // partition invariant under every refresh scheduler, since each
+    // policy shifts DRAM completion times differently.  Threaded
+    // (no probe), lanes=1 vs lanes=2 per policy.
+    for (core::Policy p :
+         {core::Policy::NoRefresh, core::Policy::AllBank,
+          core::Policy::PerBank, core::Policy::PerBankOoo,
+          core::Policy::Adaptive, core::Policy::CoDesign}) {
+        core::SystemConfig a = shardedConfig(2, 0, /*coreLanes=*/1);
+        a.applyPolicy(p);
+        core::SystemConfig b = shardedConfig(2, 0, /*coreLanes=*/2);
+        b.applyPolicy(p);
+        const ShardRun ra = runOne(a, false);
+        const ShardRun rb = runOne(b, false);
+        EXPECT_FALSE(ra.statsJson.empty());
+        EXPECT_EQ(ra.statsJson, rb.statsJson)
+            << "policy " << core::toString(p);
+    }
+}
+
+TEST(ShardIdentityTest, ScenarioChurnMigrationCrossesClusters)
+{
+    // Tenant churn + page migration on a 4-core system whose lane
+    // clusters are {0,1} and {2,3} (lanes=2) or one core each
+    // (lanes=4): spawns pinned to cores 0 and 3 land in different
+    // clusters, the kill + re-binpack strands pages, and migration
+    // traffic crosses cluster boundaries.  All lane counts must
+    // produce the same golden trace.
+    workload::ScenarioScript script;
+    {
+        workload::ScenarioEvent spawn;
+        spawn.quantum = 1;
+        spawn.kind = workload::ScenarioEventKind::Spawn;
+        spawn.benchmark = "stream";
+        spawn.cpu = 0;
+        script.events.push_back(spawn);
+        spawn.quantum = 2;
+        spawn.benchmark = "mcf";
+        spawn.cpu = 3;
+        script.events.push_back(spawn);
+        workload::ScenarioEvent kill;
+        kill.quantum = 3;
+        kill.kind = workload::ScenarioEventKind::Kill;
+        kill.pid = 2;
+        script.events.push_back(kill);
+    }
+    script.migrate = true;
+    script.reassignOnChurn = true;
+
+    std::vector<ShardRun> runs;
+    for (int lanes : {1, 2, 4}) {
+        core::SystemConfig cfg =
+            shardedConfig(2, /*shards=*/2, lanes, /*numCores=*/4);
+        cfg.scenario = script;
+        core::System sys(cfg);
+        TraceRecorder rec;
+        sys.attachProbe(&rec);
+        const auto m =
+            sys.run(/*warmupQuanta=*/0, /*measureQuanta=*/6);
+        ShardRun r;
+        r.trace = rec.data();
+        r.traceEvents = rec.eventCount();
+        r.statsJson = statsJsonStripped(sys, m);
+        runs.push_back(std::move(r));
+    }
+    EXPECT_GT(runs[0].traceEvents, 0u);
+    expectSameRun(runs[0], runs[1], "scenario lanes=1 vs lanes=2");
+    expectSameRun(runs[0], runs[2], "scenario lanes=1 vs lanes=4");
 }
 
 } // namespace

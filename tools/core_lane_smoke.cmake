@@ -1,0 +1,114 @@
+# ctest driver for the core-cluster lane kernel: run the same
+# 2-channel co-design cell with --core-lanes 1 (one cluster lane for
+# all cores), 2 (one lane per core on the 2-core workload), and 8
+# (oversubscribed; clamps to the core count), plus a channel-sharded
+# combination, then assert the exported artifacts are byte-identical
+# -- lane count, worker count and channel sharding are partition
+# invariants of the lane-mode kernel:
+#
+#   timeline    compared verbatim (integer microsecond timestamps,
+#               no host-dependent fields)
+#   stats JSON  compared minus the selfProfile line, the only
+#               host-wall-clock field in the document
+#
+# --core-lanes 0 is the legacy kernel -- a distinct timing mode, so
+# it is not compared against the lane runs; instead it is run twice
+# and checked for byte-exact determinism (i.e. the lane machinery
+# left it untouched and reproducible).
+#
+# Usage (see tools/CMakeLists.txt):
+#   cmake -DCLI=<refsched_cli> -DOUT=<dir> -P core_lane_smoke.cmake
+
+foreach(var CLI OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "core_lane_smoke.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+
+function(run_cell tag)
+    execute_process(
+        COMMAND "${CLI}" --policy co-design --workload WL-5
+            --channels 2 --warmup 2 --measure 8 --seed 7
+            ${ARGN}
+            --timeline "${OUT}/${tag}.timeline.json"
+            --stats-json "${OUT}/${tag}.stats.json"
+        RESULT_VARIABLE rc
+        OUTPUT_QUIET)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "refsched_cli ${tag} failed (rc=${rc})")
+    endif()
+endfunction()
+
+run_cell(cl1 --core-lanes 1)
+run_cell(cl2 --core-lanes 2)
+run_cell(cl8 --core-lanes 8)
+run_cell(cl2sh2 --core-lanes 2 --shards 2)
+run_cell(cl8sh2 --core-lanes 8 --shards 2)
+run_cell(cl0a --core-lanes 0)
+run_cell(cl0b --core-lanes 0)
+
+# Strip the host-dependent self-profile line from a stats export.
+function(read_stats_stripped path outvar)
+    file(READ "${path}" text)
+    string(REGEX REPLACE "\"selfProfile\"[^\n]*" "" text "${text}")
+    set(${outvar} "${text}" PARENT_SCOPE)
+endfunction()
+
+read_stats_stripped("${OUT}/cl1.stats.json" stats_ref)
+file(READ "${OUT}/cl1.timeline.json" tl_ref)
+
+foreach(tag cl2 cl8)
+    read_stats_stripped("${OUT}/${tag}.stats.json" stats_n)
+    if(NOT stats_ref STREQUAL stats_n)
+        message(FATAL_ERROR
+            "stats JSON diverges: core-lanes 1 vs ${tag}")
+    endif()
+    file(READ "${OUT}/${tag}.timeline.json" tl_n)
+    if(NOT tl_ref STREQUAL tl_n)
+        message(FATAL_ERROR
+            "timeline diverges: core-lanes 1 vs ${tag}")
+    endif()
+endforeach()
+
+# Channel sharding on top of lanes keeps every stat identical; the
+# timeline's same-tick record order moves with the controller onto
+# the channel lanes (exactly as in the lanes=0 seed, where shards=0
+# and shards>=1 are distinct record orders), so timelines compare
+# within the sharded subgroup: lanes 2 vs lanes 8 at shards=2.
+read_stats_stripped("${OUT}/cl2sh2.stats.json" stats_sh2)
+read_stats_stripped("${OUT}/cl8sh2.stats.json" stats_sh8)
+if(NOT stats_ref STREQUAL stats_sh2)
+    message(FATAL_ERROR
+        "stats JSON diverges: core-lanes 2 vs core-lanes 2 + shards 2")
+endif()
+if(NOT stats_ref STREQUAL stats_sh8)
+    message(FATAL_ERROR
+        "stats JSON diverges: core-lanes 2 vs core-lanes 8 + shards 2")
+endif()
+file(READ "${OUT}/cl2sh2.timeline.json" tl_sh2)
+file(READ "${OUT}/cl8sh2.timeline.json" tl_sh8)
+if(NOT tl_sh2 STREQUAL tl_sh8)
+    message(FATAL_ERROR
+        "timeline diverges: shards=2 core-lanes 2 vs core-lanes 8")
+endif()
+
+# Legacy determinism: two --core-lanes 0 runs must agree exactly.
+read_stats_stripped("${OUT}/cl0a.stats.json" stats0a)
+read_stats_stripped("${OUT}/cl0b.stats.json" stats0b)
+if(NOT stats0a STREQUAL stats0b)
+    message(FATAL_ERROR "legacy (--core-lanes 0) stats not reproducible")
+endif()
+file(READ "${OUT}/cl0a.timeline.json" tl0a)
+file(READ "${OUT}/cl0b.timeline.json" tl0b)
+if(NOT tl0a STREQUAL tl0b)
+    message(FATAL_ERROR "legacy (--core-lanes 0) timeline not reproducible")
+endif()
+
+# The exports must not be trivially empty for the identity to mean
+# anything.
+string(LENGTH "${tl_ref}" tl_len)
+if(tl_len LESS 1000)
+    message(FATAL_ERROR "timeline suspiciously small (${tl_len} B)")
+endif()

@@ -85,6 +85,27 @@ mkdir -p build-tsan/shard-smoke
 ./build-tsan/tools/refsched_cli --policy co-design --workload WL-5 \
     --channels 2 --shards 2 --warmup 1 --measure 4 --seed 7 \
     --stats-json build-tsan/shard-smoke/sh2.stats.json >/dev/null
+echo "=== tsan: core-lane CLI run (cluster lanes on worker threads) ==="
+# Core-cluster lanes put every core's issue loop and L1 on its own
+# worker thread concurrently with the channel lanes -- the widest
+# threaded surface in the kernel.  Stats-only for the same reason as
+# above: a probe would force workers=1.
+./build-tsan/tools/refsched_cli --policy co-design --workload WL-5 \
+    --channels 2 --shards 2 --core-lanes 2 --warmup 1 --measure 4 \
+    --seed 7 \
+    --stats-json build-tsan/shard-smoke/cl2.stats.json >/dev/null
+echo "=== tsan: core-lane scenario run (churn crossing clusters) ==="
+# Churn + migration while cluster lanes run: spawns/kills re-home
+# tasks across clusters at quantum boundaries, and migration copy
+# traffic crosses the per-core staging boxes.
+./build-tsan/tools/refsched_cli --policy co-design \
+    --benchmarks GemsFDTD,stream,GemsFDTD,npb_ua --cores 2 \
+    --density 32 --scale 1024 --channels 2 --core-lanes 2 \
+    --warmup 0 --measure 24 --seed 1 \
+    --scenario tests/validate/data/adversarial_colocation.scenario \
+    --validate \
+    --stats-json build-tsan/shard-smoke/cl-scenario.stats.json \
+    >/dev/null
 echo "=== tsan: sharded scenario run (migration on worker threads) ==="
 # Migration copy completions route through the sharded kernel's main
 # lane; churn while phase-B workers drain the channel lanes is the
