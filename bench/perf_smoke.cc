@@ -61,6 +61,8 @@ struct SmokeConfig
     int shards = 0;     ///< 0 = legacy kernel, >0 = sharded kernel
     int coreLanes = 0;  ///< core-cluster lanes (0 = cores on main)
     int cores = 2;
+    /** Open-loop serving spec (ServingConfig::parse), or null. */
+    const char *serving = nullptr;
 
     /** Worker threads the threaded kernel wants, plus the main
      *  thread.  1 for the single-threaded rows. */
@@ -87,6 +89,13 @@ constexpr SmokeConfig kConfigs[] = {
     {"codesign-32gb-2ch-cl2", Policy::CoDesign, 2, 0, 2},
     {"codesign-32gb-2ch-sh2-cl2", Policy::CoDesign, 2, 2, 2},
     {"codesign-32gb-8c-4ch-sh4-cl8", Policy::CoDesign, 4, 4, 8, 8},
+    // Serving rows ride at the END so the legacy baseline prefix
+    // stays byte-identical; the injector runs on the main lane and
+    // adds no worker thread (threadsNeeded is unchanged).
+    {"codesign-32gb-2ch-serving", Policy::CoDesign, 2, 0, 0, 2,
+     "arrival=mmpp,load=0.4,pool=8,queue=32,lines=4"},
+    {"codesign-32gb-2ch-sh2-cl2-serving", Policy::CoDesign, 2, 2, 2,
+     2, "arrival=mmpp,load=0.4,pool=8,queue=32,lines=4"},
 };
 
 /**
@@ -135,6 +144,8 @@ runConfig(const SmokeConfig &sc, const BenchOptions &opts)
     cfg.channels = sc.channels;
     cfg.shards = sc.shards;
     cfg.coreLanes = sc.coreLanes;
+    if (sc.serving)
+        cfg.serving = workload::ServingConfig::parse(sc.serving);
 
     core::System sys(cfg);
     const auto t0 = std::chrono::steady_clock::now();

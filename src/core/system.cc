@@ -209,6 +209,38 @@ System::System(const SystemConfig &cfg)
         director_->registerStats(registry_, "scenario");
         director_->setProbe(probeHub_.get());
     }
+
+    // Open-loop serving: the injector lives on the main lane (like
+    // the scenario director); its coreId = -1 reads stage through
+    // the router onto their owning channel lane at epoch boundaries
+    // in sharded mode, so enabling it never perturbs the
+    // {jobs}x{shards}x{core-lanes} identity matrix.
+    if (cfg_.serving.enabled) {
+        workload::ServingInjector::Hooks hooks;
+        if (director_) {
+            hooks.liveTasks =
+                [this]() -> const std::vector<os::Task *> & {
+                return director_->liveTasks();
+            };
+        } else {
+            for (auto &t : tasks_)
+                servingTasks_.push_back(t.get());
+            hooks.liveTasks =
+                [this]() -> const std::vector<os::Task *> & {
+                return servingTasks_;
+            };
+        }
+        hooks.footprintBytes = [](const os::Task &t) {
+            return generatorOf(t).footprintBytes();
+        };
+        hooks.translate = [this](os::Task &t, Addr vaddr) {
+            return vm_->translate(t, vaddr);
+        };
+        servingInjector_ = std::make_unique<workload::ServingInjector>(
+            cfg_.serving, eq_, *memPort_, std::move(hooks),
+            cfg_.seed);
+        servingInjector_->registerStats(registry_, "serving");
+    }
     profile_.constructMs = msSince(t0);
 }
 
@@ -511,6 +543,9 @@ System::writeStatsJson(std::ostream &os, const Metrics &m) const
        << "\",\n"
        << "  \"timeScale\": " << cfg_.timeScale << ",\n"
        << "  \"seed\": " << cfg_.seed << ",\n"
+       << "  \"serving\": \""
+       << (cfg_.serving.enabled ? cfg_.serving.serialize() : "")
+       << "\",\n"
        << "  \"cores\": " << cfg_.numCores << ",\n"
        << "  \"tasksPerCore\": " << cfg_.tasksPerCore << ",\n"
        << "  \"metrics\": ";

@@ -37,6 +37,7 @@
 #include "simcore/probe.hh"
 #include "simcore/shard_kernel.hh"
 #include "simcore/stats.hh"
+#include "workload/serving.hh"
 #include "workload/trace_generator.hh"
 
 namespace refsched::validate
@@ -90,6 +91,13 @@ class System
 
     /** The scenario engine, or null when cfg.scenario is empty. */
     os::ScenarioDirector *scenarioDirector() { return director_.get(); }
+
+    /** The open-loop serving injector, or null when cfg.serving is
+     *  disabled. */
+    workload::ServingInjector *servingInjector()
+    {
+        return servingInjector_.get();
+    }
     const SystemConfig &config() const { return cfg_; }
     StatRegistry &stats() { return registry_; }
 
@@ -181,6 +189,9 @@ class System
     std::vector<std::unique_ptr<cpu::InstructionSource>> sources_;
     std::vector<std::unique_ptr<os::Task>> tasks_;
     std::unique_ptr<os::ScenarioDirector> director_;
+    std::unique_ptr<workload::ServingInjector> servingInjector_;
+    /** Stable live-task list for serving without a scenario. */
+    std::vector<os::Task *> servingTasks_;
 
     /** The port cores (and the scenario engine's migration traffic)
      *  enqueue into: the router in sharded mode, else the MC. */

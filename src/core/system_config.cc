@@ -145,6 +145,7 @@ SystemConfig::check() const
         fatal("coreLanes must be >= 0 (0 = cores on the main lane)");
     if (coreLanes > 0 && coreLaneEpoch <= 0)
         fatal("core-cluster lanes need a positive epoch");
+    serving.check();
 }
 
 } // namespace refsched::core

@@ -30,6 +30,7 @@
 #include "memctrl/memory_controller.hh"
 #include "simcore/types.hh"
 #include "workload/scenario.hh"
+#include "workload/serving.hh"
 
 namespace refsched::core
 {
@@ -178,6 +179,16 @@ struct SystemConfig
      * boundaries.  Empty (the default) runs the static task set.
      */
     workload::ScenarioScript scenario;
+
+    /**
+     * Open-loop serving workload: a deterministic arrival process
+     * (Poisson/MMPP) injecting read requests at an offered load over
+     * the live tasks' footprints, with bounded-queue drop semantics.
+     * Disabled by default; composes with both the static task set
+     * and scenario churn (requests always target currently-live
+     * tasks).  See workload/serving.hh.
+     */
+    workload::ServingConfig serving;
 
     std::uint64_t seed = 1;
 

@@ -520,6 +520,8 @@ MemoryController::completeRead(Channel &c, Request &req, Tick dataAt)
     } else {
         c.stats.readLatencyClean.sample(latency);
     }
+    if (req.blockedOut)
+        *req.blockedOut = req.blockedByRefresh ? 1 : 0;
 
     // Intrusive completion: the (callee, cookies) triple goes into
     // the event slot as plain data, so the hottest path in the

@@ -66,6 +66,20 @@ struct Request
     /** Set once the request observed its bank busy refreshing. */
     bool blockedByRefresh = false;
 
+    /**
+     * Out-parameter mirror of blockedByRefresh for issuers whose
+     * completion cookies are already spoken for (the open-loop
+     * serving injector packs slot/line indices).  When non-null the
+     * controller stores the final blocked state here at read
+     * completion; the storage must stay valid until then, and each
+     * in-flight request needs its own element -- under the sharded
+     * kernel the owning channel lane writes it, so sharing one flag
+     * across channels would race.  Forwarded reads (served from a
+     * queued write) bypass the DRAM banks entirely and leave the
+     * issuer's cleared flag untouched.
+     */
+    std::uint8_t *blockedOut = nullptr;
+
     /** Set when the controller issued an ACT on this request's
      *  behalf (row-buffer miss accounting). */
     bool neededAct = false;

@@ -19,7 +19,30 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
+/** The splitmix64 output finalizer (full-avalanche bijection). */
+std::uint64_t
+finalize(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
 } // namespace
+
+std::uint64_t
+CounterRng::mix(std::uint64_t seed, std::uint64_t stream,
+                std::uint64_t counter)
+{
+    // Weyl-style increments keep (seed, stream, counter) in distinct
+    // linear subspaces before each avalanche round, so adjacent
+    // counters, adjacent seeds and adjacent stream keys all map to
+    // unrelated outputs.
+    std::uint64_t z = seed;
+    z = finalize(z + 0x9E3779B97F4A7C15ULL * stream);
+    z = finalize(z + 0xD1B54A32D192ED03ULL * counter);
+    return finalize(z + 0x8CB92BA72F3D8DD7ULL);
+}
 
 void
 Rng::reseed(std::uint64_t seed)

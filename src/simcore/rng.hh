@@ -16,6 +16,86 @@
 namespace refsched
 {
 
+/**
+ * Named stream-domain keys for CounterRng.
+ *
+ * Every counter-based generator in the simulator draws from
+ * mix(seed, streamKey, counter); two generators sharing a key (and
+ * seed) would silently consume the *same* sequence, which breaks the
+ * jobs=1-vs-N and shards/lanes bit-identity the moment their draw
+ * orders diverge.  Keys live here, in one place, so collisions are
+ * a code-review diff rather than a debugging session.
+ *
+ * The stateful Rng consumers predating this scheme key themselves
+ * by seed derivation instead and stay disjoint by construction:
+ * initial task traces use seed*1000003 + coreIdx and scenario
+ * spawns use seed*1000003 + 7919*pid with spawn pids strictly above
+ * every initial task index, while the randomScenario sampler runs
+ * before the simulation on its own Rng instance.  The serving layer
+ * must not piggyback on any of those streams.
+ */
+namespace rngstream
+{
+/** Interarrival draws of the open-loop arrival process. */
+inline constexpr std::uint64_t kArrival = 0x41525249564C5331ULL;
+/** MMPP modulating-state dwell-time draws. */
+inline constexpr std::uint64_t kArrivalPhase = 0x41525249564C5332ULL;
+/** Serving-request target-task selection. */
+inline constexpr std::uint64_t kServingTask = 0x53455256544B5331ULL;
+/** Serving-request line-address selection within a footprint. */
+inline constexpr std::uint64_t kServingAddr = 0x5345525641445231ULL;
+} // namespace rngstream
+
+/**
+ * Counter-based (stateless) PRNG: output i is a pure function
+ * mix(seed, stream, i) built from splitmix64 finalizer rounds.
+ *
+ * Unlike the stateful Rng, interleaving draws from two CounterRngs
+ * cannot entangle their sequences -- each owns an independent
+ * counter -- which is exactly the property the open-loop serving
+ * layer needs to stay bit-identical across {jobs}x{shards}x{lanes}
+ * partitionings regardless of who draws first.
+ */
+class CounterRng
+{
+  public:
+    CounterRng(std::uint64_t seed, std::uint64_t streamKey)
+        : seed_(seed), stream_(streamKey)
+    {
+    }
+
+    /** Pure mixing function; the whole generator in one place. */
+    static std::uint64_t mix(std::uint64_t seed, std::uint64_t stream,
+                             std::uint64_t counter);
+
+    /** Next raw 64-bit value (advances the counter). */
+    std::uint64_t next() { return mix(seed_, stream_, counter_++); }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        const unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    std::uint64_t counter() const { return counter_; }
+    std::uint64_t streamKey() const { return stream_; }
+
+  private:
+    std::uint64_t seed_;
+    std::uint64_t stream_;
+    std::uint64_t counter_ = 0;
+};
+
 /** xoshiro256** PRNG with splitmix64 seeding. */
 class Rng
 {

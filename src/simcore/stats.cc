@@ -201,19 +201,33 @@ Histogram::quantile(double q) const
     if (count == 0)
         return 0.0;
     q = std::clamp(q, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(count));
+    // 1-based rank of the sample the quantile falls on.  ceil() so
+    // q=1 selects the last sample exactly and a tail quantile of a
+    // tiny population (q=0.999, count=1) still selects a sample
+    // instead of truncating to rank 0.
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count))));
     std::uint64_t seen = 0;
     for (std::size_t b = 0; b < buckets.size(); ++b) {
         if (buckets[b] == 0)
             continue;
         if (seen + buckets[b] >= target) {
-            const double frac = buckets[b]
-                ? (static_cast<double>(target - seen))
-                    / static_cast<double>(buckets[b])
-                : 0.0;
-            return bucketLo(b)
-                + frac * (bucketHi(b) - bucketLo(b));
+            const double frac = static_cast<double>(target - seen)
+                / static_cast<double>(buckets[b]);
+            // Interpolate inside the covering bucket, but never
+            // outside the observed extrema: the log2 edges can sit a
+            // factor of two away from any real sample, and the top
+            // (overflow) bucket has no meaningful upper edge at all
+            // -- without the clamp a p999 landing there would report
+            // a latency above the maximum sample ever recorded.
+            const bool overflowBucket = b == kNumBuckets - 1;
+            const double lo = std::max(bucketLo(b), minV);
+            const double hi = overflowBucket
+                ? maxV
+                : std::min(bucketHi(b), maxV);
+            const double v = lo + frac * (hi - lo);
+            return std::clamp(v, minV, maxV);
         }
         seen += buckets[b];
     }
@@ -248,7 +262,9 @@ Histogram::renderJson() const
        << ", \"max\": " << jsonNumber(maxValue())
        << ", \"count\": " << count
        << ", \"p50\": " << jsonNumber(quantile(0.5))
+       << ", \"p95\": " << jsonNumber(quantile(0.95))
        << ", \"p99\": " << jsonNumber(quantile(0.99))
+       << ", \"p999\": " << jsonNumber(quantile(0.999))
        << ", \"log2Buckets\": [";
     // Sparse rendering: [bucketIndex, count] pairs for occupied
     // buckets only (65 mostly-zero counters would dominate a dump).

@@ -170,6 +170,67 @@ checkCadencePolicy(const FuzzSample &s, dram::RefreshPolicy policy,
 }
 
 /**
+ * Oracle: the counter-based streams behind open-loop serving are
+ * pairwise independent and none of them aliases the stateful
+ * Rng(seed) sequence the workload samplers and trace generators
+ * consume.  Two generators silently sharing a stream would correlate
+ * arrivals with workload randomness -- runs would still be
+ * deterministic, so no other oracle can catch it; only a direct
+ * sequence comparison does.  A 16-draw window has a ~2^-60 chance of
+ * a single honest collision, so more than one matching position is
+ * an alias, not luck.
+ */
+void
+checkRngStreamSeparation(const FuzzSample &s, FailureList &out)
+{
+    constexpr int kProbe = 16;
+    constexpr std::uint64_t kKeys[] = {
+        rngstream::kArrival, rngstream::kArrivalPhase,
+        rngstream::kServingTask, rngstream::kServingAddr};
+    constexpr const char *kNames[] = {
+        "arrival", "arrivalPhase", "servingTask", "servingAddr",
+        "statefulRng(seed)", "statefulRng(task0)"};
+
+    std::vector<std::vector<std::uint64_t>> seqs;
+    for (const auto key : kKeys) {
+        CounterRng rng(s.seed, key);
+        std::vector<std::uint64_t> v;
+        for (int i = 0; i < kProbe; ++i)
+            v.push_back(rng.next());
+        seqs.push_back(std::move(v));
+    }
+    // The stateful streams the rest of the simulator draws from:
+    // the raw seed (scenario/fuzz samplers) and the first derived
+    // per-task trace seed (seed*1000003 + coreIdx, coreIdx = 0).
+    const std::uint64_t statefulSeeds[] = {s.seed,
+                                           s.seed * 1000003ULL};
+    for (const std::uint64_t seed : statefulSeeds) {
+        Rng st(seed);
+        std::vector<std::uint64_t> v;
+        for (int i = 0; i < kProbe; ++i)
+            v.push_back(st.next());
+        seqs.push_back(std::move(v));
+    }
+
+    for (std::size_t a = 0; a < seqs.size(); ++a) {
+        for (std::size_t b = a + 1; b < seqs.size(); ++b) {
+            int matches = 0;
+            for (int i = 0; i < kProbe; ++i)
+                matches += seqs[a][static_cast<std::size_t>(i)]
+                    == seqs[b][static_cast<std::size_t>(i)];
+            if (matches > 1) {
+                fail(out, "rng-streams",
+                     std::string(kNames[a]) + " aliases "
+                         + kNames[b] + ": " + std::to_string(matches)
+                         + "/" + std::to_string(kProbe)
+                         + " identical draws at seed "
+                         + std::to_string(s.seed));
+            }
+        }
+    }
+}
+
+/**
  * Run every policy cell of @p s through a ParallelRunner, recording
  * golden traces.  Throws FatalError for infeasible configs (hand-
  * written corpus entries); the caller converts that to a failure.
@@ -213,6 +274,7 @@ FailureList
 checkSystem(const FuzzSample &s, int jobs)
 {
     FailureList out;
+    checkRngStreamSeparation(s, out);
     std::vector<TraceRecorder> par, seq;
     std::vector<core::Metrics> results;
     try {
@@ -265,8 +327,13 @@ checkSystem(const FuzzSample &s, int jobs)
         };
     // The adversarial hotspot source consumes the refresh schedule,
     // so each policy cell sees a DIFFERENT access stream -- cross-
-    // policy IPC ordering is no longer an invariant there.
-    if (!s.scenario.hasAdversarial()
+    // policy IPC ordering is no longer an invariant there.  Open-
+    // loop serving is gated for the same reason as scenarios'
+    // adversarial mode: injected reads contend with task traffic at
+    // policy-dependent times (slower policies queue more injected
+    // work into the same interval), so per-task IPC ordering is not
+    // an invariant either.
+    if (!s.scenario.hasAdversarial() && s.serving.empty()
         && !dominanceSuspects(results).empty()) {
         // Confirmation pass at a longer horizon: alignment noise
         // decays, a genuine inversion persists.

@@ -87,6 +87,8 @@ FuzzSample::serialize() const
            << "shards=" << shards << "\n"
            << "core_lanes=" << coreLanes << "\n"
            << "benchmarks=" << joinBenchmarks(benchmarks) << "\n";
+        if (!serving.empty())
+            os << "serving=" << serving << "\n";
         if (!scenario.empty()) {
             // Embed the ScenarioScript line-form, each line prefixed
             // so the sample keyspace stays flat and unambiguous.
@@ -124,6 +126,8 @@ FuzzSample::describe() const
                << (scenario.hasAdversarial() ? ", adversarial" : "")
                << ")";
         }
+        if (!serving.empty())
+            os << ", serving(" << serving << ")";
     } else {
         os << ", " << windows << " windows";
     }
@@ -163,6 +167,8 @@ FuzzSample::toConfig(core::Policy policy) const
     cfg.coreLanes = coreLanes;
     cfg.benchmarks = benchmarks;
     cfg.scenario = scenario;
+    if (!serving.empty())
+        cfg.serving = workload::ServingConfig::parse(serving);
     cfg.seed = seed;
     cfg.validate = true;
     return cfg;
@@ -232,6 +238,8 @@ FuzzSample::parse(const std::string &text)
             s.coreLanes = std::stoi(val);
         } else if (key == "benchmarks") {
             s.benchmarks = splitBenchmarks(val);
+        } else if (key == "serving") {
+            s.serving = val;
         } else {
             fatal("unknown fuzz sample key: ", key);
         }
@@ -346,6 +354,23 @@ sampleSystemOnce(Rng &rng)
             s.warmupQuanta + s.measureQuanta);
         s.scenario =
             workload::randomScenario(rng, s.totalTasks(), horizon);
+    }
+    // A third of the samples add open-loop serving traffic on top,
+    // spanning quiet-to-overload offered loads and both arrival
+    // kinds; tiny pools/queues make the drop path reachable.
+    if (rng.bernoulli(0.35)) {
+        static constexpr const char *kArrivals[] = {"poisson",
+                                                    "mmpp"};
+        static constexpr const char *kLoads[] = {"0.1", "0.4", "1.6",
+                                                 "6.4"};
+        static constexpr int kPools[] = {1, 2, 8};
+        static constexpr int kQueues[] = {0, 2, 16};
+        static constexpr int kLines[] = {1, 4, 8};
+        s.serving = std::string("arrival=") + pick(rng, kArrivals)
+            + ",load=" + pick(rng, kLoads)
+            + ",pool=" + std::to_string(pick(rng, kPools))
+            + ",queue=" + std::to_string(pick(rng, kQueues))
+            + ",lines=" + std::to_string(pick(rng, kLines));
     }
     return s;
 }

@@ -95,6 +95,14 @@ struct FuzzSample
      */
     workload::ScenarioScript scenario;
 
+    /**
+     * Open-loop serving spec (System kind), in the exact
+     * ServingConfig::parse key=value form, or empty for no serving
+     * traffic.  Absent keys parse as empty, keeping old corpus
+     * entries valid.
+     */
+    std::string serving;
+
     int totalTasks() const { return cores * tasksPerCore; }
 
     /** Line-oriented key=value form (includes a trailing newline). */

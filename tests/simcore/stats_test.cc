@@ -157,6 +157,51 @@ TEST(HistogramTest, QuantileInterpolation)
     EXPECT_LE(h.quantile(1.0), 1024.0);
 }
 
+TEST(HistogramTest, QuantileClampsToObservedExtrema)
+{
+    // Regression: interpolation inside a log2 bucket used to ignore
+    // the observed min/max.  A single sample of 1025 lands in bucket
+    // 11 [1024, 2048); every quantile of that population is 1025,
+    // but the old code reported the bucket's lower edge (1024, below
+    // the minimum sample) for any q.
+    Histogram one;
+    one.sample(1025.0);
+    for (const double q : {0.0, 0.5, 0.95, 0.99, 0.999, 1.0})
+        EXPECT_DOUBLE_EQ(one.quantile(q), 1025.0) << "q=" << q;
+
+    // Two samples in the same wide bucket: the old interpolation
+    // reported p99 = 1536, above the maximum sample ever recorded.
+    Histogram two;
+    two.sample(1024.0);
+    two.sample(1025.0);
+    EXPECT_LE(two.quantile(0.99), two.maxValue());
+    EXPECT_LE(two.quantile(0.999), two.maxValue());
+    EXPECT_GE(two.quantile(0.0), two.minValue());
+    EXPECT_GE(two.quantile(0.5), two.minValue());
+}
+
+TEST(HistogramTest, QuantileOverflowBucketStaysBounded)
+{
+    // The top bucket's upper edge is effectively unbounded (2^64);
+    // quantiles falling there must clamp to the observed maximum
+    // rather than interpolate toward the edge.
+    Histogram h;
+    h.sample(5.0);
+    h.sample(1e30);  // overflow bucket
+    EXPECT_LE(h.quantile(0.99), h.maxValue());
+    EXPECT_LE(h.quantile(0.999), h.maxValue());
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), h.maxValue());
+}
+
+TEST(HistogramTest, JsonRendersTailQuantiles)
+{
+    Histogram h;
+    h.sample(100.0);
+    const std::string json = h.renderJson();
+    EXPECT_NE(json.find("\"p95\": 100"), std::string::npos);
+    EXPECT_NE(json.find("\"p999\": 100"), std::string::npos);
+}
+
 TEST(HistogramTest, ResetClearsEverything)
 {
     Histogram h;

@@ -286,6 +286,69 @@ TEST(ShardIdentityTest, LaneIdentityHoldsOnEveryRefreshPolicy)
     }
 }
 
+TEST(ServingIdentityTest, OpenLoopInjectionIdenticalAcrossPartitionings)
+{
+    // Open-loop serving arrivals land on the main lane and their
+    // line requests route to owning channel lanes; both sides must
+    // stay partition invariants.  Lane-mode identity group:
+    // {shards 1,2} x {core-lanes 1,2} x {jobs 1,8} byte-identical
+    // stats (which include every serving.* histogram), plus the
+    // legacy kernel (shards=0, lanes=0) deterministic on its own.
+    auto servingCfg = [](int shards, int lanes) {
+        core::SystemConfig cfg = shardedConfig(2, shards, lanes);
+        cfg.serving = workload::ServingConfig::parse(
+            "arrival=mmpp,load=0.3,pool=4,queue=16,lines=4");
+        return cfg;
+    };
+
+    std::vector<std::pair<int, int>> cells = {
+        {1, 1}, {2, 1}, {1, 2}, {2, 2}};
+    std::vector<ShardRun> seq, par;
+    for (int jobs : {1, 8}) {
+        std::vector<ShardRun> runs(cells.size());
+        std::vector<core::CellSpec> specs;
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const core::SystemConfig cfg =
+                servingCfg(cells[i].first, cells[i].second);
+            ShardRun *out = &runs[i];
+            core::CellSpec spec;
+            spec.custom = [cfg, out] {
+                core::System sys(cfg);
+                const auto m = sys.run(/*warmupQuanta=*/1,
+                                       /*measureQuanta=*/2);
+                out->statsJson = statsJsonStripped(sys, m);
+                return m;
+            };
+            specs.push_back(std::move(spec));
+        }
+        core::ParallelRunner(jobs).runCells(specs);
+        (jobs == 1 ? seq : par) = std::move(runs);
+    }
+
+    ASSERT_FALSE(seq[0].statsJson.empty());
+    // The stats must actually contain serving data, or this test
+    // proves nothing.
+    EXPECT_NE(seq[0].statsJson.find("serving.arrivals"),
+              std::string::npos);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        std::ostringstream what;
+        what << "serving shards=" << cells[i].first
+             << " lanes=" << cells[i].second;
+        EXPECT_EQ(seq[0].statsJson, seq[i].statsJson)
+            << what.str() << " jobs=1";
+        EXPECT_EQ(seq[0].statsJson, par[i].statsJson)
+            << what.str() << " jobs=8";
+    }
+
+    // Legacy kernel with serving: deterministic run-to-run.
+    const core::SystemConfig legacy = servingCfg(0, 0);
+    const ShardRun a = runOne(legacy, false);
+    const ShardRun b = runOne(legacy, false);
+    EXPECT_EQ(a.statsJson, b.statsJson);
+    EXPECT_NE(a.statsJson.find("serving.arrivals"),
+              std::string::npos);
+}
+
 TEST(ShardIdentityTest, ScenarioChurnMigrationCrossesClusters)
 {
     // Tenant churn + page migration on a 4-core system whose lane

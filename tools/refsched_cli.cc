@@ -35,6 +35,7 @@ struct CliOptions
     std::string workload;
     std::vector<std::string> benchmarks;
     std::string scenarioPath;
+    std::string servingSpec;
     core::Policy policy = core::Policy::CoDesign;
     int densityGb = 32;
     double retentionMs = 64.0;
@@ -93,7 +94,14 @@ usage(const char *argv0, const std::string &error = "")
         << "  --scenario FILE        dynamic-workload scenario script "
            "(tenant churn,\n"
         << "                         phase changes, page migration; "
-           "see workload/scenario.hh)\n\n"
+           "see workload/scenario.hh)\n"
+        << "  --serving SPEC         open-loop serving traffic on top "
+           "of the task set:\n"
+        << "                         arrival=poisson|mmpp,load=<req/"
+           "us>,pool=N,queue=N,\n"
+        << "                         lines=N[,burst-ratio=X,burst-"
+           "frac=X,burst-dwell=X]\n"
+        << "                         (see workload/serving.hh)\n\n"
         << "policy and hardware:\n"
         << "  --policy P             all-bank | per-bank | "
            "per-bank-ooo |\n"
@@ -190,6 +198,8 @@ parse(int argc, char **argv)
             o.benchmarks = splitCsv(need(i));
         } else if (a == "--scenario") {
             o.scenarioPath = need(i);
+        } else if (a == "--serving") {
+            o.servingSpec = need(i);
         } else if (a == "--policy") {
             o.policy = parsePolicy(need(i), argv[0]);
         } else if (a == "--density") {
@@ -316,6 +326,8 @@ buildConfig(const CliOptions &o, const char *argv0)
     if (!o.scenarioPath.empty())
         cfg.scenario = workload::ScenarioScript::parseFile(
             o.scenarioPath);
+    if (!o.servingSpec.empty())
+        cfg.serving = workload::ServingConfig::parse(o.servingSpec);
     return cfg;
 }
 

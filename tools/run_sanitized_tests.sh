@@ -57,6 +57,23 @@ scenario_smoke() {
         --stats-json "$out/scenario.stats.json" >/dev/null
 }
 
+# The open-loop serving injector shares slot/backlog state between
+# the main-lane arrival path and per-line completions delivered from
+# channel lanes, and its per-line blocked flags are written by the
+# controller -- pointer-lifetime and (under the threaded kernel)
+# data-race territory the sanitizers own.  Overload parameters keep
+# the drop and retry paths hot.
+serving_smoke() {
+    local dir="$1" out="$1/serving-smoke"
+    mkdir -p "$out"
+    echo "--- ${dir}: --serving open-loop run (overload, drops) ---"
+    "./$dir/tools/refsched_cli" --policy co-design --workload WL-5 \
+        --scale 1024 --channels 2 --warmup 0 --measure 24 --seed 7 \
+        --serving "arrival=mmpp,load=6.4,pool=2,queue=2,lines=4" \
+        --validate \
+        --stats-json "$out/serving.stats.json" >/dev/null
+}
+
 run_pass asan address
 echo "=== asan: ctest ==="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
@@ -64,6 +81,8 @@ echo "=== asan: per-policy observability exports ==="
 obs_smoke build-asan
 echo "=== asan: scenario engine (churn + page migration) ==="
 scenario_smoke build-asan
+echo "=== asan: open-loop serving (drops + retry paths) ==="
+serving_smoke build-asan
 echo "=== asan: differential fuzz (corpus replay + short random run) ==="
 # The randomized samples drive every refresh policy through configs
 # the fixed tests never reach -- exactly where sanitizers earn their
@@ -117,8 +136,20 @@ echo "=== tsan: sharded scenario run (migration on worker threads) ==="
     --scenario tests/validate/data/adversarial_colocation.scenario \
     --validate \
     --stats-json build-tsan/shard-smoke/scenario.stats.json >/dev/null
+echo "=== tsan: serving on the partitioned kernel (worker threads) ==="
+# Serving arrivals stage on the main lane while channel lanes
+# complete the per-line reads and write the per-line blocked flags
+# concurrently -- the exact cross-lane surface the flat byte array
+# exists for.  Stats-only (a probe would force workers=1).
+./build-tsan/tools/refsched_cli --policy co-design --workload WL-5 \
+    --scale 1024 --channels 2 --shards 2 --core-lanes 2 \
+    --warmup 0 --measure 24 --seed 7 \
+    --serving "arrival=mmpp,load=1.6,pool=8,queue=64,lines=4" \
+    --stats-json build-tsan/shard-smoke/serving.stats.json >/dev/null
 echo "=== tsan: scenario engine (churn + page migration) ==="
 scenario_smoke build-tsan
+echo "=== tsan: open-loop serving (drops + retry paths) ==="
+serving_smoke build-tsan
 echo "=== tsan: full suite ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
 echo "=== tsan: per-policy observability exports ==="

@@ -1,0 +1,87 @@
+# ctest driver for the open-loop serving layer: drive a bursty MMPP
+# arrival stream through the co-design machine with the invariant
+# checkers armed, export stats JSON, then gate on (a) the serving.*
+# schema being present, (b) the injector having actually admitted,
+# completed, and refresh-blocked requests, and (c) the tail ordering
+# the whole feature exists to measure: the refresh-blocked p99 must
+# be at least the clean p99.
+#
+# Usage (see tools/CMakeLists.txt):
+#   cmake -DCLI=<refsched_cli> -DOUT=<dir> -P serving_smoke.cmake
+
+foreach(var CLI OUT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "serving_smoke.cmake needs -D${var}=...")
+    endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT}")
+set(stats "${OUT}/serving_stats.json")
+
+# warmup=0 keeps every admitted request inside the measured region;
+# the load/measure pair is tuned so this deterministic run completes
+# enough requests on both sides of the clean/blocked split for the
+# quantile gate to be meaningful.
+execute_process(
+    COMMAND "${CLI}" --policy co-design --workload WL-5
+        --scale 1024 --channels 2 --warmup 0 --measure 24 --seed 7
+        --serving "arrival=mmpp,load=1.6,pool=8,queue=64,lines=4"
+        --validate --stats-json "${stats}"
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "refsched_cli --serving failed (rc=${rc})")
+endif()
+
+# Schema gate: the serving identity echo and every serving counter /
+# histogram must appear in the export, with tail quantiles.
+file(READ "${stats}" stats_text)
+foreach(key
+        "\"serving\"" serving.arrivals serving.drops
+        serving.completed serving.backlogPeak serving.retryWaits
+        serving.queueDelay serving.reqLatency
+        serving.reqLatencyClean serving.reqLatencyBlocked
+        "\"p50\"" "\"p95\"" "\"p99\"" "\"p999\"")
+    if(NOT stats_text MATCHES "${key}")
+        message(FATAL_ERROR "stats JSON missing ${key}")
+    endif()
+endforeach()
+
+# Liveness gate: arrivals were admitted and completed, and the run
+# produced refresh-blocked completions (otherwise the tail gate
+# below compares against an empty histogram).
+foreach(key serving.arrivals serving.completed)
+    if(stats_text MATCHES "\"${key}\": 0[,\n}]")
+        message(FATAL_ERROR "${key} is zero: serving never ran")
+    endif()
+endforeach()
+string(REGEX MATCH
+    "\"serving.reqLatencyBlocked\": {[^}]*\"count\": ([0-9]+)"
+    _ "${stats_text}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 EQUAL 0)
+    message(FATAL_ERROR
+        "no refresh-blocked completions: the smoke config no longer "
+        "exercises the blocked path")
+endif()
+
+# Tail-ordering gate: requests that waited behind a refresh must not
+# have a lighter tail than clean ones.
+string(REGEX MATCH
+    "\"serving.reqLatencyClean\": {[^}]*\"p99\": ([0-9.eE+-]+)"
+    _ "${stats_text}")
+set(clean_p99 "${CMAKE_MATCH_1}")
+string(REGEX MATCH
+    "\"serving.reqLatencyBlocked\": {[^}]*\"p99\": ([0-9.eE+-]+)"
+    _ "${stats_text}")
+set(blocked_p99 "${CMAKE_MATCH_1}")
+if(NOT clean_p99 OR NOT blocked_p99)
+    message(FATAL_ERROR "could not extract p99 quantiles")
+endif()
+if(blocked_p99 LESS clean_p99)
+    message(FATAL_ERROR
+        "blocked p99 (${blocked_p99}) < clean p99 (${clean_p99}): "
+        "refresh blocking no longer shows in the tail")
+endif()
+message(STATUS
+    "serving smoke ok: clean p99 ${clean_p99}, blocked p99 "
+    "${blocked_p99}")
