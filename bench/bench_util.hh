@@ -70,6 +70,9 @@ struct BenchOptions
     /** When non-empty, each grid cell writes its stats/metrics JSON
      *  to "<prefix>.cell<N>.json". */
     std::string statsJsonPrefix;
+    /** When non-empty, each grid cell runs with sampled telemetry
+     *  enabled and writes the series to "<prefix>.cell<N>.jsonl". */
+    std::string telemetryPrefix;
 };
 
 namespace detail
@@ -176,7 +179,10 @@ usage(const char *argv0)
            "  --timeline-prefix P   write a Chrome trace-event"
            " timeline per grid cell (P.cellN.json)\n"
            "  --stats-json-prefix P write stats/metrics JSON per"
-           " grid cell (P.cellN.json)\n";
+           " grid cell (P.cellN.json)\n"
+           "  --telemetry-prefix P  sample telemetry per grid cell"
+           " and write the\n"
+           "               time-series JSONL to P.cellN.jsonl\n";
     std::exit(2);
 }
 
@@ -219,6 +225,10 @@ parseArgs(int argc, char **argv)
             if (i + 1 >= argc)
                 usage(argv[0]);
             opts.statsJsonPrefix = argv[++i];
+        } else if (std::strcmp(argv[i], "--telemetry-prefix") == 0) {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            opts.telemetryPrefix = argv[++i];
         } else {
             usage(argv[0]);
         }
@@ -287,18 +297,23 @@ class GridRunner
         cfg.validate = opts_.validate;
 
         // With per-cell observability artifacts requested, wrap the
-        // cell in a thunk that attaches a timeline recorder and
-        // writes one artifact per cell.  The simulation itself is
-        // unchanged (probes observe, never steer), so results stay
+        // cell in a thunk that attaches a timeline recorder and/or
+        // enables sampled telemetry, and writes one artifact per
+        // cell.  The simulation itself is unchanged (probes and
+        // samplers observe, never steer), so results stay
         // byte-identical to the plain path and across --jobs.
         if (!opts_.timelinePrefix.empty()
-            || !opts_.statsJsonPrefix.empty()) {
+            || !opts_.statsJsonPrefix.empty()
+            || !opts_.telemetryPrefix.empty()) {
             const std::size_t idx = cells_.size();
             const auto run = runOptions();
             const std::string tlPrefix = opts_.timelinePrefix;
             const std::string sjPrefix = opts_.statsJsonPrefix;
+            const std::string telPrefix = opts_.telemetryPrefix;
+            if (!telPrefix.empty())
+                cfg.telemetry.enabled = true;
             return add([cfg = std::move(cfg), run, tlPrefix, sjPrefix,
-                        idx]() {
+                        telPrefix, idx]() {
                 core::System sys(cfg);
                 std::unique_ptr<obs::TimelineRecorder> tl;
                 if (!tlPrefix.empty()) {
@@ -310,6 +325,13 @@ class GridRunner
                                        run.measureQuanta);
                 const std::string cell =
                     ".cell" + std::to_string(idx) + ".json";
+                if (!telPrefix.empty()) {
+                    sys.telemetry()->writeFile(telPrefix + ".cell"
+                                               + std::to_string(idx)
+                                               + ".jsonl");
+                    if (tl)
+                        sys.telemetry()->exportCounters(*tl);
+                }
                 if (tl)
                     tl->writeFile(tlPrefix + cell);
                 if (!sjPrefix.empty()) {

@@ -63,6 +63,8 @@ struct SmokeConfig
     int cores = 2;
     /** Open-loop serving spec (ServingConfig::parse), or null. */
     const char *serving = nullptr;
+    /** Run with epoch-sampled telemetry enabled. */
+    bool telemetry = false;
 
     /** Worker threads the threaded kernel wants, plus the main
      *  thread.  1 for the single-threaded rows. */
@@ -96,6 +98,16 @@ constexpr SmokeConfig kConfigs[] = {
      "arrival=mmpp,load=0.4,pool=8,queue=32,lines=4"},
     {"codesign-32gb-2ch-sh2-cl2-serving", Policy::CoDesign, 2, 2, 2,
      2, "arrival=mmpp,load=0.4,pool=8,queue=32,lines=4"},
+    // Telemetry rows, also at the END.  The sharded row must execute
+    // exactly the events of its telemetry-off twin above (sampling
+    // is a boundary hook, not an event); the legacy row adds one
+    // periodic sampling event per period.  Earlier rows running with
+    // telemetry disabled and events unchanged is the perf gate's
+    // zero-cost-when-off evidence.
+    {"codesign-32gb-2ch-sh2-cl2-telem", Policy::CoDesign, 2, 2, 2, 2,
+     nullptr, true},
+    {"codesign-32gb-telem", Policy::CoDesign, 1, 0, 0, 2, nullptr,
+     true},
 };
 
 /**
@@ -146,6 +158,7 @@ runConfig(const SmokeConfig &sc, const BenchOptions &opts)
     cfg.coreLanes = sc.coreLanes;
     if (sc.serving)
         cfg.serving = workload::ServingConfig::parse(sc.serving);
+    cfg.telemetry.enabled = sc.telemetry;
 
     core::System sys(cfg);
     const auto t0 = std::chrono::steady_clock::now();

@@ -36,12 +36,28 @@ struct CellOut
     double all50 = 0, all95 = 0, all99 = 0, all999 = 0;
     double clean50 = 0, clean99 = 0, clean999 = 0;
     double blk50 = 0, blk99 = 0, blk999 = 0;
+    // Per-channel read-queue depth over the measured interval:
+    // time-weighted mean (occupancy integral / measured ticks) and
+    // peak.  Queue pressure is where the hockey stick actually
+    // forms, so the tables carry it next to the tails.
+    std::vector<double> qMean;
+    std::vector<std::uint64_t> qPeak;
 };
 
 std::string
 ns(double ticks)
 {
     return core::fmt(ticks / 1000.0, 1);
+}
+
+/** Per-channel values joined "a/b/..." (one channel: just "a"). */
+std::string
+joinPerChannel(const std::vector<std::string> &vals)
+{
+    std::string out;
+    for (std::size_t i = 0; i < vals.size(); ++i)
+        out += (i ? "/" : "") + vals[i];
+    return out;
 }
 
 } // namespace
@@ -118,6 +134,15 @@ main(int argc, char **argv)
                         out->blk50 = bl.quantile(0.50);
                         out->blk99 = bl.quantile(0.99);
                         out->blk999 = bl.quantile(0.999);
+                        auto &mc = sys.controller();
+                        for (int ch = 0; ch < cfg.channels; ++ch) {
+                            out->qMean.push_back(
+                                mc.readQueueOccupancyIntegral(ch)
+                                / static_cast<double>(
+                                    m.measuredTicks));
+                            out->qPeak.push_back(
+                                mc.readQueuePeakDepth(ch));
+                        }
                         return m;
                     });
                 refs.push_back({channels, policy, load, idx});
@@ -131,7 +156,7 @@ main(int argc, char **argv)
         core::Table table(
             {"policy", "load r/us", "arrivals", "drop%", "blocked%",
              "p50", "p95", "p99", "p999", "clean p99", "clean p999",
-             "blocked p99", "blocked p999"});
+             "blocked p99", "blocked p999", "rdQ mean", "rdQ peak"});
         for (std::size_t i = 0; i < refs.size(); ++i) {
             if (refs[i].channels != channels)
                 continue;
@@ -144,6 +169,11 @@ main(int argc, char **argv)
                 ? 100.0 * static_cast<double>(o.blocked)
                     / static_cast<double>(o.completed)
                 : 0.0;
+            std::vector<std::string> qMeans, qPeaks;
+            for (std::size_t ch = 0; ch < o.qMean.size(); ++ch) {
+                qMeans.push_back(core::fmt(o.qMean[ch], 2));
+                qPeaks.push_back(std::to_string(o.qPeak[ch]));
+            }
             table.addRow({core::toString(refs[i].policy),
                           core::fmt(refs[i].load, 2),
                           std::to_string(o.arrivals),
@@ -151,7 +181,9 @@ main(int argc, char **argv)
                           core::fmt(blkPct, 1), ns(o.all50),
                           ns(o.all95), ns(o.all99), ns(o.all999),
                           ns(o.clean99), ns(o.clean999),
-                          ns(o.blk99), ns(o.blk999)});
+                          ns(o.blk99), ns(o.blk999),
+                          joinPerChannel(qMeans),
+                          joinPerChannel(qPeaks)});
         }
         std::cout << "channels=" << channels << "\n";
         emit(opts, table,

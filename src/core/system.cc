@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "simcore/logging.hh"
 #include "validate/checker.hh"
@@ -240,6 +241,27 @@ System::System(const SystemConfig &cfg)
             cfg_.serving, eq_, *memPort_, std::move(hooks),
             cfg_.seed);
         servingInjector_->registerStats(registry_, "serving");
+    }
+
+    // Sampled telemetry: constructed and hooked AFTER every other
+    // component so that in sharded mode its boundary hook is the
+    // LAST phase-C hook -- the router and fabric have drained their
+    // mailboxes and the window is sealed when the samplers read the
+    // component counters.  Telemetry never routes through the probe
+    // hub, so enabling it keeps the kernel's worker threads (probes
+    // force sequential lanes; telemetry must not).  The kernel
+    // self-profiler rides along: it is opt-in for the same runs.
+    if (cfg_.telemetry.enabled) {
+        telemetry_ =
+            std::make_unique<obs::TelemetryRecorder>(cfg_.telemetry);
+        wireTelemetry();
+        if (shardKernel_) {
+            shardKernel_->setBoundaryHook(
+                [this](Tick b) { telemetry_->onBoundary(b); });
+            shardKernel_->enableProfile();
+        } else {
+            telemetry_->armPeriodic(eq_);
+        }
     }
     profile_.constructMs = msSince(t0);
 }
@@ -481,12 +503,120 @@ System::spawnScenarioTask(const workload::ScenarioEvent &ev, Pid pid)
 }
 
 void
+System::wireTelemetry()
+{
+    auto &tel = *telemetry_;
+    const auto count = [](const Scalar &s) {
+        return static_cast<std::int64_t>(std::llround(s.value()));
+    };
+
+    // Lane 0: main-lane software components (scheduler, serving).
+    tel.addDelta("sched.quanta", 0, [this, count] {
+        return count(sched_->quantaScheduled);
+    });
+    tel.addDelta("sched.cleanPicks", 0, [this, count] {
+        return count(sched_->cleanPicks);
+    });
+    if (servingInjector_) {
+        auto *srv = servingInjector_.get();
+        tel.addGauge("serving.backlog", 0, [srv] {
+            return static_cast<std::int64_t>(srv->backlogDepth());
+        });
+        tel.addDelta("serving.arrivals", 0, [srv] {
+            return static_cast<std::int64_t>(srv->arrivals());
+        });
+        tel.addDelta("serving.drops", 0, [srv] {
+            return static_cast<std::int64_t>(srv->dropped());
+        });
+        tel.addDelta("serving.completed", 0, [srv] {
+            return static_cast<std::int64_t>(srv->completed());
+        });
+    }
+
+    // Lane 1+ch: per-channel controller state.  Gauges read the
+    // instantaneous queue/refresh state; deltas difference the
+    // registered Scalars.  The occupancy integrals are integer-exact
+    // (sums of depth x dt products), so llround is lossless.
+    for (int ch = 0; ch < cfg_.channels; ++ch) {
+        const int lane = 1 + ch;
+        const std::string p = "ch" + std::to_string(ch) + ".";
+        auto *mc = mc_.get();
+        tel.addGauge(p + "readQ", lane, [mc, ch] {
+            return static_cast<std::int64_t>(mc->readQueueSize(ch));
+        });
+        tel.addGauge(p + "writeQ", lane, [mc, ch] {
+            return static_cast<std::int64_t>(mc->writeQueueSize(ch));
+        });
+        tel.addGauge(p + "blockedReads", lane, [mc, ch] {
+            return static_cast<std::int64_t>(mc->blockedReadsNow(ch));
+        });
+        tel.addGauge(p + "refreshBacklog", lane, [mc, ch] {
+            return static_cast<std::int64_t>(mc->refreshBacklog(ch));
+        });
+        tel.addGauge(p + "refreshEngaged", lane, [mc, ch] {
+            return static_cast<std::int64_t>(
+                mc->refreshEngagedNow(ch) ? 1 : 0);
+        });
+        const auto &s = mc->channelStats(ch);
+        tel.addDelta(p + "reads", lane,
+                     [&s, count] { return count(s.reads); });
+        tel.addDelta(p + "writes", lane,
+                     [&s, count] { return count(s.writes); });
+        tel.addDelta(p + "rowHits", lane,
+                     [&s, count] { return count(s.rowHits); });
+        tel.addDelta(p + "rowMisses", lane,
+                     [&s, count] { return count(s.rowMisses); });
+        tel.addDelta(p + "refreshCommands", lane, [&s, count] {
+            return count(s.refreshCommands);
+        });
+        tel.addDelta(p + "blockedReadsTotal", lane, [&s, count] {
+            return count(s.readsBlockedByRefresh);
+        });
+        tel.addGauge(p + "readQOccInt", lane, [mc, ch] {
+            return static_cast<std::int64_t>(
+                std::llround(mc->readQueueOccupancyIntegral(ch)));
+        });
+        tel.addGauge(p + "writeQOccInt", lane, [mc, ch] {
+            return static_cast<std::int64_t>(
+                std::llround(mc->writeQueueOccupancyIntegral(ch)));
+        });
+    }
+
+    // Lane 1+channels+i: per-core progress.  IPC is derivable from
+    // the instrs delta and the fixed period; emitting the raw count
+    // keeps every series integer (byte-stable formatting).
+    for (int i = 0; i < cfg_.numCores; ++i) {
+        const int lane = 1 + cfg_.channels + i;
+        const std::string p = "core" + std::to_string(i) + ".";
+        auto *core = cores_[static_cast<std::size_t>(i)].get();
+        tel.addDelta(p + "instrs", lane, [core, count] {
+            return count(core->instrsIssued);
+        });
+        tel.addDelta(p + "dramReads", lane, [core, count] {
+            return count(core->dramReads);
+        });
+        tel.addDelta(p + "robStallTicks", lane, [core, count] {
+            return count(core->robStallTicks);
+        });
+        tel.addGauge(p + "runq", lane, [this, i] {
+            return static_cast<std::int64_t>(
+                sched_->runQueue(i).size());
+        });
+    }
+}
+
+void
 System::resetMeasurement()
 {
     registry_.resetAll();
     caches_->resetStats();
+    // Re-seed the queue-occupancy accrual marks (and peaks) so the
+    // integrals cover the measured interval only.
+    mc_->resetOccupancyMarks();
     for (auto &t : tasks_)
         t->resetAccounting();
+    if (telemetry_)
+        telemetry_->restart();
 }
 
 Metrics
@@ -517,6 +647,16 @@ System::run(int warmupQuanta, int measureQuanta)
         return shardKernel_ ? shardKernel_->runUntil(limit)
                             : eq_.runUntil(limit);
     };
+
+    // Pre-size the sample buffers for the whole run so the sampling
+    // hot path never allocates (warmup passes are dropped at the
+    // measurement reset; the capacity survives).
+    if (telemetry_) {
+        const Tick total =
+            static_cast<Tick>(warmupQuanta + measureQuanta) * q;
+        telemetry_->reserveSamples(static_cast<std::size_t>(
+            total / cfg_.telemetry.periodTicks + 2));
+    }
 
     const auto w0 = ProfileClock::now();
     profile_.warmupEvents =
@@ -558,7 +698,12 @@ System::writeStatsJson(std::ostream &os, const Metrics &m) const
        << ", \"warmupEvents\": " << profile_.warmupEvents
        << ", \"measureEvents\": " << profile_.measureEvents
        << ", \"measureEventsPerSec\": "
-       << profile_.measureEventsPerSec() << "},\n"
+       << profile_.measureEventsPerSec();
+    if (shardKernel_ && shardKernel_->profileEnabled()) {
+        os << ", \"kernel\": ";
+        shardKernel_->renderProfileJson(os);
+    }
+    os << "},\n"
        << "  \"stats\": ";
     registry_.dumpJson(os, 2);
     os << "\n}\n";

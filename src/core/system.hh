@@ -33,6 +33,7 @@
 #include "os/task.hh"
 #include "memctrl/shard_router.hh"
 #include "os/virtual_memory.hh"
+#include "obs/telemetry.hh"
 #include "simcore/event_queue.hh"
 #include "simcore/probe.hh"
 #include "simcore/shard_kernel.hh"
@@ -98,6 +99,15 @@ class System
     {
         return servingInjector_.get();
     }
+    /** The telemetry recorder, or null when cfg.telemetry is
+     *  disabled.  Sampling never perturbs simulated behaviour: in
+     *  sharded mode it reads sealed window state from a boundary
+     *  hook; in legacy mode it is a StatDump-priority event.
+     *  Series values are byte-identical across {jobs} x {shards} x
+     *  {workers} within a kernel timing mode (core lanes on/off are
+     *  distinct modes, like the rest of the identity contract). */
+    obs::TelemetryRecorder *telemetry() { return telemetry_.get(); }
+
     const SystemConfig &config() const { return cfg_; }
     StatRegistry &stats() { return registry_; }
 
@@ -165,6 +175,10 @@ class System
     void assignBankMasks(const std::vector<os::Task *> &live);
     void preTouchFootprints();
     void resetMeasurement();
+    /** Register every telemetry series (channel, core, scheduler,
+     *  serving) in (laneId, seriesId) order and hook the recorder
+     *  into the active kernel. */
+    void wireTelemetry();
 
     /** ScenarioDirector spawn hook: create the Task + source for a
      *  scenario spawn event and take ownership of both. */
@@ -192,6 +206,7 @@ class System
     std::unique_ptr<workload::ServingInjector> servingInjector_;
     /** Stable live-task list for serving without a scenario. */
     std::vector<os::Task *> servingTasks_;
+    std::unique_ptr<obs::TelemetryRecorder> telemetry_;
 
     /** The port cores (and the scenario engine's migration traffic)
      *  enqueue into: the router in sharded mode, else the MC. */

@@ -146,6 +146,7 @@ SystemConfig::check() const
     if (coreLanes > 0 && coreLaneEpoch <= 0)
         fatal("core-cluster lanes need a positive epoch");
     serving.check();
+    telemetry.check();
 }
 
 } // namespace refsched::core

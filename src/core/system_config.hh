@@ -28,6 +28,7 @@
 #include "dram/refresh_scheduler.hh"
 #include "dram/timings.hh"
 #include "memctrl/memory_controller.hh"
+#include "obs/telemetry.hh"
 #include "simcore/types.hh"
 #include "workload/scenario.hh"
 #include "workload/serving.hh"
@@ -189,6 +190,14 @@ struct SystemConfig
      * tasks).  See workload/serving.hh.
      */
     workload::ServingConfig serving;
+
+    /**
+     * Epoch-sampled telemetry time-series: per-channel queue depths
+     * and row-buffer/refresh rates, per-core progress, scheduler and
+     * serving counters, snapshotted every periodTicks of simulated
+     * time.  Disabled by default (zero cost); see obs/telemetry.hh.
+     */
+    obs::TelemetryConfig telemetry;
 
     std::uint64_t seed = 1;
 

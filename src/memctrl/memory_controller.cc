@@ -107,7 +107,12 @@ MemoryController::enqueue(Request req)
         req.enqueuedAt = now;
         req.seq = c.nextSeq++;
         const std::uint64_t row = req.coord.row;
+        accrueOccupancy(c, now);
         c.readQ.push(std::move(req), bankIdx);
+        if (static_cast<double>(c.readQ.size())
+            > c.stats.readQPeakDepth.value())
+            c.stats.readQPeakDepth.set(
+                static_cast<double>(c.readQ.size()));
         noteQueuedRequest(c, bankIdx, row, true, +1);
         REFSCHED_PROBE(
             probe_,
@@ -121,7 +126,12 @@ MemoryController::enqueue(Request req)
         req.enqueuedAt = now;
         req.seq = c.nextSeq++;
         const std::uint64_t row = req.coord.row;
+        accrueOccupancy(c, now);
         c.writeQ.push(std::move(req), bankIdx);
+        if (static_cast<double>(c.writeQ.size())
+            > c.stats.writeQPeakDepth.value())
+            c.stats.writeQPeakDepth.set(
+                static_cast<double>(c.writeQ.size()));
         noteQueuedRequest(c, bankIdx, row, false, +1);
         REFSCHED_PROBE(
             probe_,
@@ -192,6 +202,90 @@ std::size_t
 MemoryController::writeQueueSize(int channel) const
 {
     return channels_[static_cast<std::size_t>(channel)].writeQ.size();
+}
+
+int
+MemoryController::blockedReadsNow(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)]
+        .blockedReadsNow;
+}
+
+std::size_t
+MemoryController::refreshBacklog(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)]
+        .pendingRefreshes.size();
+}
+
+bool
+MemoryController::refreshEngagedNow(int channel) const
+{
+    return channels_[static_cast<std::size_t>(channel)]
+        .refreshEngaged;
+}
+
+void
+MemoryController::accrueOccupancy(Channel &c, Tick now)
+{
+    if (now <= c.occMark)
+        return;
+    const double dt = static_cast<double>(now - c.occMark);
+    c.stats.readQOccIntegral +=
+        dt * static_cast<double>(c.readQ.size());
+    c.stats.writeQOccIntegral +=
+        dt * static_cast<double>(c.writeQ.size());
+    c.occMark = now;
+}
+
+double
+MemoryController::readQueueOccupancyIntegral(int channel) const
+{
+    const auto &c = channels_[static_cast<std::size_t>(channel)];
+    double v = c.stats.readQOccIntegral.value();
+    const Tick now = c.eq->now();
+    if (now > c.occMark)
+        v += static_cast<double>(now - c.occMark)
+            * static_cast<double>(c.readQ.size());
+    return v;
+}
+
+double
+MemoryController::writeQueueOccupancyIntegral(int channel) const
+{
+    const auto &c = channels_[static_cast<std::size_t>(channel)];
+    double v = c.stats.writeQOccIntegral.value();
+    const Tick now = c.eq->now();
+    if (now > c.occMark)
+        v += static_cast<double>(now - c.occMark)
+            * static_cast<double>(c.writeQ.size());
+    return v;
+}
+
+std::size_t
+MemoryController::readQueuePeakDepth(int channel) const
+{
+    return static_cast<std::size_t>(
+        channelStats(channel).readQPeakDepth.value());
+}
+
+std::size_t
+MemoryController::writeQueuePeakDepth(int channel) const
+{
+    return static_cast<std::size_t>(
+        channelStats(channel).writeQPeakDepth.value());
+}
+
+void
+MemoryController::resetOccupancyMarks()
+{
+    for (auto &c : channels_) {
+        c.occMark = c.eq->now();
+        c.stats.readQPeakDepth.set(
+            static_cast<double>(c.readQ.size()));
+        c.stats.writeQPeakDepth.set(
+            static_cast<double>(c.writeQ.size()));
+    }
 }
 
 const dram::Bank &
@@ -651,6 +745,7 @@ MemoryController::serveQueue(Channel &c, int ch, BankedRequestQueue &q,
         c.busyTicks += t.tBURST;
         // A served CAS always targets the open row: retire its hit.
         noteQueuedRequest(c, bankIdx, r.coord.row, !isWriteQueue, -1);
+        accrueOccupancy(c, now);
         q.erase(slot);
         REFSCHED_PROBE(
             probe_,
@@ -1067,6 +1162,10 @@ MemoryController::registerStats(StatRegistry &reg,
         reg.add(p + "energyActivatePj", &s.energyActivatePj);
         reg.add(p + "energyReadWritePj", &s.energyReadWritePj);
         reg.add(p + "energyRefreshPj", &s.energyRefreshPj);
+        reg.add(p + "readQOccIntegral", &s.readQOccIntegral);
+        reg.add(p + "writeQOccIntegral", &s.writeQOccIntegral);
+        reg.add(p + "readQPeakDepth", &s.readQPeakDepth);
+        reg.add(p + "writeQPeakDepth", &s.writeQPeakDepth);
     }
 }
 

@@ -260,12 +260,53 @@ class MemoryController : public MemoryPort,
         Scalar energyActivatePj;
         Scalar energyReadWritePj;
         Scalar energyRefreshPj;
+
+        /**
+         * Queue-occupancy integrals (sum of depth x dt, entry-ticks)
+         * and peak depths, maintained inline at the depth-change
+         * points.  Exact mean depth over an interval is
+         * integral / elapsed; feeds the telemetry series and the
+         * serving_sweep queue-depth columns.  Depths and tick deltas
+         * are integers, so these Scalars stay integer-exact.
+         */
+        Scalar readQOccIntegral;
+        Scalar writeQOccIntegral;
+        Scalar readQPeakDepth;
+        Scalar writeQPeakDepth;
     };
 
     const ChannelStats &channelStats(int channel) const
     {
         return channels_[static_cast<std::size_t>(channel)].stats;
     }
+
+    // --- Telemetry gauges (direct reads; see obs/telemetry.hh) ---
+
+    /** Queued reads whose blockedByRefresh flag is currently set. */
+    int blockedReadsNow(int channel) const;
+
+    /** Refresh commands harvested but not yet completed. */
+    std::size_t refreshBacklog(int channel) const;
+
+    /** The front pending refresh is committed (banks frozen). */
+    bool refreshEngagedNow(int channel) const;
+
+    /** Read/write queue-occupancy integral accrued up to the
+     *  channel's current tick (non-mutating). */
+    double readQueueOccupancyIntegral(int channel) const;
+    double writeQueueOccupancyIntegral(int channel) const;
+
+    /** Peak queue depths since the last stat reset. */
+    std::size_t readQueuePeakDepth(int channel) const;
+    std::size_t writeQueuePeakDepth(int channel) const;
+
+    /**
+     * Re-seed the occupancy accrual marks and peak depths from the
+     * current queue state.  Call right after a stat reset (the
+     * integrals reset to zero; accrual must restart at the reset
+     * tick, not at the last pre-reset depth change).
+     */
+    void resetOccupancyMarks();
 
     /**
      * Energy consumed on @p channel, with background power
@@ -335,6 +376,9 @@ class MemoryController : public MemoryPort,
         /** Queued reads whose blockedByRefresh flag is set (feeds
          *  the McQueueEvent blocked-reads counter track). */
         int blockedReadsNow = 0;
+
+        /** Last tick the occupancy integrals were accrued to. */
+        Tick occMark = 0;
 
         // --- Flattened per-bank hot state (global bank id order) ---
 
@@ -422,6 +466,10 @@ class MemoryController : public MemoryPort,
      *  queue. @p isRead selects the read- or write-queue counters. */
     void noteQueuedRequest(Channel &c, int bankIdx,
                            std::uint64_t row, bool isRead, int delta);
+
+    /** Accrue the queue-occupancy integrals up to @p now.  Called
+     *  before every queue depth change. */
+    static void accrueOccupancy(Channel &c, Tick now);
 
     /** Demand reads queued for the command's target bank(s)? */
     bool demandQueuedForRefresh(const Channel &c,

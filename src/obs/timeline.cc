@@ -219,6 +219,14 @@ TimelineRecorder::onMcQueue(const validate::McQueueEvent &ev)
 }
 
 void
+TimelineRecorder::addCounter(Tick ts, const std::string &track,
+                             std::int64_t value)
+{
+    record({ts, 0, 'C', 3, 0, track,
+            "{\"value\": " + std::to_string(value) + "}", 0});
+}
+
+void
 TimelineRecorder::finalize(Tick endTick)
 {
     for (std::size_t gb = 0; gb < banks_.size(); ++gb) {
@@ -260,6 +268,12 @@ TimelineRecorder::writeJson(std::ostream &os) const
 
     meta(1, -1, "process_name", "DRAM", true);
     meta(2, -1, "process_name", "OS", false);
+    // The telemetry process only exists when counters were merged
+    // in, so timelines without telemetry stay byte-identical to
+    // earlier releases.
+    if (std::any_of(entries_.begin(), entries_.end(),
+                    [](const Entry &e) { return e.pid == 3; }))
+        meta(3, -1, "process_name", "telemetry", false);
     for (int ch = 0; ch < org_.channels; ++ch)
         for (int rk = 0; rk < org_.ranksPerChannel; ++rk)
             for (int bk = 0; bk < org_.banksPerRank; ++bk) {

@@ -17,6 +17,9 @@
  *                   fraction in those banks as args.
  *   pid 1 counters - per-channel read/write queue depth and
  *                   refresh-blocked read count ("C" events).
+ *   pid 3 "telemetry" - one counter track per sampled telemetry
+ *                   series (obs/telemetry.hh), merged in through
+ *                   addCounter() after the run.
  *
  * All timestamps are simulated time rendered by exact integer
  * arithmetic (obs/json.hh), so for a fixed seed the exported file is
@@ -72,6 +75,15 @@ class TimelineRecorder final : public validate::Probe
 
     /** Convenience: writeJson to @p path; fatal() on I/O error. */
     void writeFile(const std::string &path) const;
+
+    /**
+     * Add one sampled-telemetry counter value as a "C" event on the
+     * pid-3 track named @p track.  Called by
+     * TelemetryRecorder::exportCounters after the run; the trace
+     * window applies as for probe events.
+     */
+    void addCounter(Tick ts, const std::string &track,
+                    std::int64_t value);
 
     // --- Introspection (fan-out identity tests) ---
     std::uint64_t dramCommandsSeen() const { return dramSeen_; }

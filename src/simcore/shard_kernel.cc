@@ -7,6 +7,20 @@
 namespace refsched
 {
 
+namespace
+{
+
+using ProfClock = std::chrono::steady_clock;
+
+double
+profMs(ProfClock::time_point from, ProfClock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+} // namespace
+
 ShardKernel::ShardKernel(EventQueue &main, int lanes, Tick epoch,
                          int clusterLanes, Tick alignQuantum)
     : main_(main), epoch_(epoch), align_(alignQuantum)
@@ -41,10 +55,28 @@ ShardKernel::setWorkers(int n)
 }
 
 void
+ShardKernel::enableProfile()
+{
+    REFSCHED_ASSERT(threads_.empty(),
+                    "enableProfile must precede the first runUntil");
+    profile_ = true;
+    prof_.laneBusyMs.assign(
+        static_cast<std::size_t>(totalLaneCount()), 0.0);
+}
+
+void
 ShardKernel::startWorkers()
 {
     if (workers_ <= 1 || !threads_.empty())
         return;
+    if (profile_) {
+        prof_.workerBusyMs.assign(
+            static_cast<std::size_t>(workers_), 0.0);
+        prof_.workerWaitMs.assign(
+            static_cast<std::size_t>(workers_), 0.0);
+        workerFinish_.assign(static_cast<std::size_t>(workers_),
+                             ProfClock::time_point{});
+    }
     threads_.reserve(static_cast<std::size_t>(workers_));
     for (int w = 0; w < workers_; ++w)
         threads_.emplace_back([this, w] { workerLoop(w); });
@@ -94,7 +126,16 @@ ShardKernel::workerLoop(int workerId)
                 return;
             seen = gen_;
         }
-        runLaneRange(first, last);
+        if (profile_) {
+            const auto b0 = ProfClock::now();
+            runLaneRange(first, last);
+            const auto b1 = ProfClock::now();
+            prof_.workerBusyMs[static_cast<std::size_t>(workerId)] +=
+                profMs(b0, b1);
+            workerFinish_[static_cast<std::size_t>(workerId)] = b1;
+        } else {
+            runLaneRange(first, last);
+        }
         {
             std::lock_guard<std::mutex> lk(mu_);
             if (--pending_ == 0)
@@ -127,13 +168,31 @@ ShardKernel::runUntil(Tick limit)
         }
         target_ = end - 1;
 
+        ProfClock::time_point t0;
+        if (profile_)
+            t0 = ProfClock::now();
+
         // Phase A: the main lane, alone.
         main_.runUntil(target_);
+
+        ProfClock::time_point t1;
+        if (profile_)
+            t1 = ProfClock::now();
 
         // Phase A'/B: cluster and channel lanes, mutually
         // independent.
         if (threads_.empty()) {
-            runLaneRange(0, totalLaneCount());
+            if (profile_) {
+                for (int i = 0; i < totalLaneCount(); ++i) {
+                    const auto l0 = ProfClock::now();
+                    allLanes_[static_cast<std::size_t>(i)]->runUntil(
+                        target_);
+                    prof_.laneBusyMs[static_cast<std::size_t>(i)] +=
+                        profMs(l0, ProfClock::now());
+                }
+            } else {
+                runLaneRange(0, totalLaneCount());
+            }
         } else {
             {
                 std::lock_guard<std::mutex> lk(mu_);
@@ -143,12 +202,38 @@ ShardKernel::runUntil(Tick limit)
             cvStart_.notify_all();
             std::unique_lock<std::mutex> lk(mu_);
             cvDone_.wait(lk, [&] { return pending_ == 0; });
+            if (profile_) {
+                // pending_ == 0 under mu_ happens-after every
+                // worker's finish-timestamp write; the gap from a
+                // worker's finish to now is its barrier wait.
+                const auto tb = ProfClock::now();
+                for (int w = 0; w < workers_; ++w) {
+                    const double wait = profMs(
+                        workerFinish_[static_cast<std::size_t>(w)],
+                        tb);
+                    prof_.workerWaitMs[static_cast<std::size_t>(w)] +=
+                        std::max(wait, 0.0);
+                }
+                ++prof_.barriers;
+            }
         }
+
+        ProfClock::time_point t2;
+        if (profile_)
+            t2 = ProfClock::now();
 
         // Phase C: seal the window; cross-lane deliveries land at
         // >= end, i.e. inside the next window.
         for (const auto &hook : boundaryHooks_)
             hook(end);
+
+        if (profile_) {
+            const auto t3 = ProfClock::now();
+            prof_.mainMs += profMs(t0, t1);
+            prof_.parallelMs += profMs(t1, t2);
+            prof_.boundaryMs += profMs(t2, t3);
+            ++prof_.windows;
+        }
     } while (main_.now() < limit);
     return executedTotal() - before;
 }
@@ -160,6 +245,65 @@ ShardKernel::executedTotal() const
     for (const auto &l : allLanes_)
         total += l->executedCount();
     return total;
+}
+
+namespace
+{
+
+void
+jsonDoubleArray(std::ostream &os, const std::vector<double> &xs)
+{
+    os << '[';
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        os << (i ? ", " : "") << xs[i];
+    os << ']';
+}
+
+/** max/mean over @p xs; 1 for empty or all-zero partitions. */
+double
+imbalanceRatio(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double sum = 0.0;
+    double mx = 0.0;
+    for (double x : xs) {
+        sum += x;
+        mx = std::max(mx, x);
+    }
+    if (sum <= 0.0)
+        return 1.0;
+    return mx / (sum / static_cast<double>(xs.size()));
+}
+
+} // namespace
+
+void
+ShardKernel::renderProfileJson(std::ostream &os) const
+{
+    // Threaded mode times worker ranges, sequential mode times
+    // individual lanes; the imbalance ratio is over whichever
+    // partition actually ran the lanes.
+    const bool threaded = !prof_.workerBusyMs.empty();
+    os << "{\"windows\": " << prof_.windows
+       << ", \"barriers\": " << prof_.barriers
+       << ", \"mainMs\": " << prof_.mainMs
+       << ", \"parallelMs\": " << prof_.parallelMs
+       << ", \"boundaryMs\": " << prof_.boundaryMs;
+    os << ", \"laneEvents\": [";
+    for (int i = 0; i < totalLaneCount(); ++i)
+        os << (i ? ", " : "") << laneExecuted(i);
+    os << ']';
+    os << ", \"laneBusyMs\": ";
+    jsonDoubleArray(os, prof_.laneBusyMs);
+    os << ", \"workerBusyMs\": ";
+    jsonDoubleArray(os, prof_.workerBusyMs);
+    os << ", \"workerWaitMs\": ";
+    jsonDoubleArray(os, prof_.workerWaitMs);
+    os << ", \"imbalance\": "
+       << imbalanceRatio(threaded ? prof_.workerBusyMs
+                                  : prof_.laneBusyMs)
+       << '}';
 }
 
 } // namespace refsched

@@ -69,10 +69,12 @@
 #ifndef REFSCHED_SIMCORE_SHARD_KERNEL_HH
 #define REFSCHED_SIMCORE_SHARD_KERNEL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <thread>
 #include <vector>
 
@@ -160,6 +162,55 @@ class ShardKernel
     /** Lifetime events executed across all lanes. */
     std::uint64_t executedTotal() const;
 
+    /** Lifetime events executed on kernel-owned lane @p i. */
+    std::uint64_t
+    laneExecuted(int i) const
+    {
+        return allLanes_[static_cast<std::size_t>(i)]
+            ->executedCount();
+    }
+
+    /**
+     * Wall-clock self-profile of the window phases.  Host-dependent
+     * measurements; they must never feed back into simulated
+     * behaviour.  All times are milliseconds of std::chrono
+     * steady_clock.
+     */
+    struct KernelProfile
+    {
+        std::uint64_t windows = 0;   ///< windows run
+        std::uint64_t barriers = 0;  ///< windows run on worker threads
+        double mainMs = 0.0;      ///< phase A (main lane, alone)
+        double parallelMs = 0.0;  ///< phase A'/B span (incl. barrier)
+        double boundaryMs = 0.0;  ///< phase C (boundary hooks)
+        /** Per-lane run time, sequential mode only (empty when
+         *  workers ran the lanes). */
+        std::vector<double> laneBusyMs;
+        /** Per-worker lane-range run time, threaded mode only. */
+        std::vector<double> workerBusyMs;
+        /** Per-worker per-barrier wait: from a worker finishing its
+         *  range to the barrier completing, summed over windows. */
+        std::vector<double> workerWaitMs;
+    };
+
+    /**
+     * Start collecting the self-profile.  Adds a couple of clock
+     * reads per window (and two per worker per window), so it is
+     * opt-in: System enables it with telemetry.  Call before the
+     * first runUntil.
+     */
+    void enableProfile();
+    bool profileEnabled() const { return profile_; }
+    const KernelProfile &profileData() const { return prof_; }
+
+    /**
+     * Render the self-profile as a single-line JSON object: window
+     * and phase totals, per-lane events, the busy/wait arrays and
+     * the busy-imbalance ratio (max/mean over the active lane or
+     * worker partition).
+     */
+    void renderProfileJson(std::ostream &os) const;
+
   private:
     void startWorkers();
     void stopWorkers();
@@ -189,6 +240,16 @@ class ShardKernel
     int pending_ = 0;
     Tick target_ = 0;
     bool quit_ = false;
+
+    /** Self-profiling; set before worker threads start (read-only
+     *  afterwards, so workers may read it unlocked). */
+    bool profile_ = false;
+    KernelProfile prof_;
+    /** Per-worker range-finish timestamps for the barrier-wait
+     *  accounting; written by workers before they decrement
+     *  pending_ under mu_, read by the coordinator after the
+     *  barrier drains (same lock orders the accesses). */
+    std::vector<std::chrono::steady_clock::time_point> workerFinish_;
 };
 
 } // namespace refsched

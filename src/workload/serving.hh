@@ -144,6 +144,9 @@ class ServingInjector final : public Callee
         return static_cast<std::uint64_t>(completed_.value());
     }
 
+    /** Current backlog depth (telemetry gauge). */
+    std::size_t backlogDepth() const { return backlog_.size(); }
+
   private:
     /** cookie0 marker distinguishing arrivals from completions. */
     static constexpr std::uint64_t kArrivalCookie = ~std::uint64_t{0};

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Allocation counting for the observability overhead guards.
+ *
+ * alloc_watch.cc replaces global operator new/delete for the whole
+ * test binary with a pass-through that counts allocations while an
+ * AllocWatch is armed.  Tests that must prove a hot path is
+ * allocation-free (probe emission, telemetry sampling) open a watch
+ * around the path and assert count() == 0.
+ */
+
+#ifndef REFSCHED_TESTS_OBS_ALLOC_WATCH_HH
+#define REFSCHED_TESTS_OBS_ALLOC_WATCH_HH
+
+#include <cstdint>
+
+namespace refsched::testutil
+{
+
+/** RAII window during which any operator new trips the counter. */
+struct AllocWatch
+{
+    AllocWatch();
+    ~AllocWatch();
+    std::uint64_t count() const;
+};
+
+} // namespace refsched::testutil
+
+#endif // REFSCHED_TESTS_OBS_ALLOC_WATCH_HH

@@ -3,91 +3,22 @@
  * Overhead guard for the probe layer: with no observer attached, an
  * emission site must neither evaluate its event-construction
  * arguments nor allocate, and an empty CheckerSet dispatch must stay
- * allocation-free.  Enforced by replacing global operator new in
- * this binary with a pass-through that counts while armed.
+ * allocation-free.  Enforced by the binary-wide counting operator
+ * new replacement in alloc_watch.cc.
  */
 
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
-#include <new>
 #include <vector>
 
+#include "alloc_watch.hh"
 #include "simcore/probe.hh"
 #include "validate/checker.hh"
 
-namespace
-{
-
-std::atomic<bool> g_armed{false};
-std::atomic<std::uint64_t> g_news{0};
-
-void *
-countedAlloc(std::size_t n)
-{
-    if (g_armed.load(std::memory_order_relaxed))
-        g_news.fetch_add(1, std::memory_order_relaxed);
-    if (void *p = std::malloc(n ? n : 1))
-        return p;
-    throw std::bad_alloc();
-}
-
-/** RAII window during which any operator new trips the counter. */
-struct AllocWatch
-{
-    AllocWatch()
-    {
-        g_news.store(0, std::memory_order_relaxed);
-        g_armed.store(true, std::memory_order_relaxed);
-    }
-    ~AllocWatch() { g_armed.store(false, std::memory_order_relaxed); }
-    std::uint64_t count() const
-    {
-        return g_news.load(std::memory_order_relaxed);
-    }
-};
-
-} // namespace
-
-void *
-operator new(std::size_t n)
-{
-    return countedAlloc(n);
-}
-
-void *
-operator new[](std::size_t n)
-{
-    return countedAlloc(n);
-}
-
-void
-operator delete(void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete(void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
-void
-operator delete[](void *p, std::size_t) noexcept
-{
-    std::free(p);
-}
-
 namespace refsched::validate
 {
+
+using testutil::AllocWatch;
 namespace
 {
 

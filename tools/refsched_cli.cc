@@ -60,6 +60,8 @@ struct CliOptions
     bool verbose = false;
     std::string timelinePath;
     std::string statsJsonPath;
+    std::string telemetryPath;
+    Tick telemetryPeriod = 0;  // 0 keeps the config default
     obs::TimelineOptions window;
 };
 
@@ -149,6 +151,18 @@ usage(const char *argv0, const std::string &error = "")
            "chrome://tracing)\n"
         << "  --stats-json FILE      write metrics + self-profile + "
            "all stats as JSON\n"
+        << "  --telemetry FILE       sample queue depths, row-hit/"
+           "refresh rates,\n"
+        << "                         per-core progress and serving "
+           "backlog every\n"
+        << "                         telemetry period; write JSONL "
+           "(or CSV when FILE\n"
+        << "                         ends in .csv).  With --timeline "
+           "the samples are\n"
+        << "                         also merged as Perfetto counter "
+           "tracks\n"
+        << "  --telemetry-period PS  sampling cadence in picoseconds "
+           "(default 1000000)\n"
         << "  --trace-window S:E     restrict the timeline to "
            "simulated ticks [S, E)\n"
         << "                         (picoseconds; default: whole "
@@ -243,6 +257,11 @@ parse(int argc, char **argv)
             o.timelinePath = need(i);
         } else if (a == "--stats-json") {
             o.statsJsonPath = need(i);
+        } else if (a == "--telemetry") {
+            o.telemetryPath = need(i);
+        } else if (a == "--telemetry-period") {
+            o.telemetryPeriod = static_cast<Tick>(
+                std::strtoull(need(i), nullptr, 10));
         } else if (a == "--trace-window") {
             const std::string w = need(i);
             const auto colon = w.find(':');
@@ -328,6 +347,11 @@ buildConfig(const CliOptions &o, const char *argv0)
             o.scenarioPath);
     if (!o.servingSpec.empty())
         cfg.serving = workload::ServingConfig::parse(o.servingSpec);
+    if (!o.telemetryPath.empty()) {
+        cfg.telemetry.enabled = true;
+        if (o.telemetryPeriod > 0)
+            cfg.telemetry.periodTicks = o.telemetryPeriod;
+    }
     return cfg;
 }
 
@@ -355,6 +379,11 @@ main(int argc, char **argv)
         const auto m =
             sys.run(opts.warmupQuanta, opts.measureQuanta);
 
+        if (!opts.telemetryPath.empty()) {
+            sys.telemetry()->writeFile(opts.telemetryPath);
+            if (timeline)
+                sys.telemetry()->exportCounters(*timeline);
+        }
         if (timeline)
             timeline->writeFile(opts.timelinePath);
         if (!opts.statsJsonPath.empty()) {

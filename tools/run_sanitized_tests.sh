@@ -57,6 +57,26 @@ scenario_smoke() {
         --stats-json "$out/scenario.stats.json" >/dev/null
 }
 
+# Telemetry samples counters from the phase-C boundary hook while
+# the run stays on real worker threads (unlike a probe, telemetry
+# does not force workers=1), then walks the string-heavy JSONL/CSV
+# exporters -- both sides are sanitizer targets.  The self-profiler
+# also arms here, timing the phase-B barrier it samples behind.
+telemetry_smoke() {
+    local dir="$1" out="$1/telemetry-smoke"
+    mkdir -p "$out"
+    echo "--- ${dir}: --telemetry sampled export (threaded kernel) ---"
+    "./$dir/tools/refsched_cli" --policy co-design --workload WL-5 \
+        --scale 1024 --channels 2 --shards 2 --core-lanes 2 \
+        --warmup 1 --measure 8 --seed 7 \
+        --serving "arrival=mmpp,load=0.4,pool=4,queue=16,lines=4" \
+        --telemetry "$out/telemetry.jsonl" \
+        --stats-json "$out/telemetry.stats.json" >/dev/null
+    "./$dir/tools/refsched_cli" --policy co-design --workload WL-5 \
+        --scale 1024 --channels 2 --warmup 1 --measure 8 --seed 7 \
+        --telemetry "$out/telemetry.csv" >/dev/null
+}
+
 # The open-loop serving injector shares slot/backlog state between
 # the main-lane arrival path and per-line completions delivered from
 # channel lanes, and its per-line blocked flags are written by the
@@ -83,6 +103,8 @@ echo "=== asan: scenario engine (churn + page migration) ==="
 scenario_smoke build-asan
 echo "=== asan: open-loop serving (drops + retry paths) ==="
 serving_smoke build-asan
+echo "=== asan: sampled telemetry (boundary-hook sampling + exports) ==="
+telemetry_smoke build-asan
 echo "=== asan: differential fuzz (corpus replay + short random run) ==="
 # The randomized samples drive every refresh policy through configs
 # the fixed tests never reach -- exactly where sanitizers earn their
@@ -146,6 +168,13 @@ echo "=== tsan: serving on the partitioned kernel (worker threads) ==="
     --warmup 0 --measure 24 --seed 7 \
     --serving "arrival=mmpp,load=1.6,pool=8,queue=64,lines=4" \
     --stats-json build-tsan/shard-smoke/serving.stats.json >/dev/null
+echo "=== tsan: telemetry on the threaded kernel (boundary sampling) ==="
+# Telemetry is the one observability consumer that keeps phase-B
+# workers threaded: the boundary hook reads channel/core counters
+# that worker threads wrote moments earlier, and the self-profiler
+# reads worker finish stamps across the barrier -- both are ordering
+# claims TSan can falsify.
+telemetry_smoke build-tsan
 echo "=== tsan: scenario engine (churn + page migration) ==="
 scenario_smoke build-tsan
 echo "=== tsan: open-loop serving (drops + retry paths) ==="

@@ -12,7 +12,12 @@
  *   2. per track (pid, tid): timestamps are monotonically
  *      non-decreasing in file order and complete ("X") slices do not
  *      overlap;
- *   3. with --require-clean-picks (co-design runs): no scheduling
+ *   3. counter ("C") events carry a non-empty args object whose
+ *      members are all non-negative numbers, under a known track
+ *      name: the controller's "chN queues"/"chN blockedReads"
+ *      counters on pid 1, or a telemetry series name
+ *      (obs::isKnownTelemetrySeries) on pid 3;
+ *   4. with --require-clean-picks (co-design runs): no scheduling
  *      quantum ran a task with pages resident in a bank under
  *      refresh -- every quantum slice's residentInRefreshBanks is 0
  *      and no pick fell back to a dirty task.
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "obs/json.hh"
+#include "obs/telemetry.hh"
 #include "simcore/logging.hh"
 
 using namespace refsched;
@@ -53,6 +59,21 @@ fail(std::size_t index, const std::string &what)
     return 1;
 }
 
+/** The TimelineRecorder's own pid-1 counter tracks. */
+bool
+isLegacyCounterTrack(const std::string &name)
+{
+    if (name.size() < 3 || name.compare(0, 2, "ch") != 0)
+        return false;
+    std::size_t i = 2;
+    while (i < name.size() && name[i] >= '0' && name[i] <= '9')
+        ++i;
+    if (i == 2)
+        return false;
+    const std::string rest = name.substr(i);
+    return rest == " queues" || rest == " blockedReads";
+}
+
 int
 check(const obs::JsonValue &doc, bool requireCleanPicks)
 {
@@ -63,7 +84,7 @@ check(const obs::JsonValue &doc, bool requireCleanPicks)
         return fail(0, "missing traceEvents array");
 
     std::map<std::pair<double, double>, TrackState> tracks;
-    std::size_t sliceCount = 0, dirtyQuanta = 0;
+    std::size_t sliceCount = 0, dirtyQuanta = 0, counterCount = 0;
 
     for (std::size_t i = 0; i < events->array.size(); ++i) {
         const auto &ev = events->array[i];
@@ -102,6 +123,29 @@ check(const obs::JsonValue &doc, bool requireCleanPicks)
         if (ts->number < track.lastTs)
             return fail(i, "track timestamps not monotonic");
         track.lastTs = ts->number;
+
+        if (phase == 'C') {
+            const auto *args = ev.find("args");
+            if (!args || !args->isObject() || args->object.empty())
+                return fail(i,
+                            "counter event needs a non-empty args "
+                            "object");
+            for (const auto &[key, val] : args->object) {
+                if (!val.isNumber())
+                    return fail(i, "counter value '" + key
+                                       + "' is not a number");
+                if (val.number < 0.0)
+                    return fail(i, "counter value '" + key
+                                       + "' is negative");
+            }
+            const bool known = pid->number == 3.0
+                ? obs::isKnownTelemetrySeries(name->string)
+                : isLegacyCounterTrack(name->string);
+            if (!known)
+                return fail(i, "unknown counter track '"
+                                   + name->string + "'");
+            ++counterCount;
+        }
 
         if (phase == 'X') {
             const auto *dur = ev.find("dur");
@@ -151,7 +195,8 @@ check(const obs::JsonValue &doc, bool requireCleanPicks)
 
     std::cout << "timeline_check: OK (" << events->array.size()
               << " events, " << tracks.size() << " tracks, "
-              << sliceCount << " slices)\n";
+              << sliceCount << " slices, " << counterCount
+              << " counter samples)\n";
     return 0;
 }
 
